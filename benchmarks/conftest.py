@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration.
+
+The experiment benchmarks regenerate paper tables; they run each
+experiment exactly once (``pedantic`` mode) because the point is the
+artifact, not micro-timing stability.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

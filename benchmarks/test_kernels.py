@@ -1,0 +1,95 @@
+"""Micro-benchmarks of the core kernels.
+
+These time the library's hot paths — Algorithm 1 quantization, the
+GPTQ inner loop, Booth/LOD encoding, the bit-accurate PE — giving the
+performance baseline a user of the library would care about.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw.bitserial import booth_encode, fixed_point_decompose
+from repro.hw.pe import BitMoDPE
+from repro.methods import GPTQ
+from repro.models import CausalLM, get_model_config
+from repro.quant import QuantConfig, quantize_tensor
+
+
+@pytest.fixture(scope="module")
+def big_weights():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((1024, 4096))
+
+
+@pytest.mark.parametrize("dtype", ["int4_asym", "bitmod_fp4", "bitmod_fp3", "ant4", "olive4", "mx_fp4"])
+def test_quantize_4m_weights(benchmark, big_weights, dtype):
+    """Quantize a 4M-element tensor (per-group, G=128)."""
+    cfg = QuantConfig(dtype=dtype)
+    result = benchmark(quantize_tensor, big_weights, cfg)
+    assert result.w_deq.shape == big_weights.shape
+
+
+def test_model_forward_pass(benchmark):
+    model = CausalLM(get_model_config("llama-2-7b"), seed=0)
+    tokens = np.arange(128)[None, :] % model.config.sim_vocab
+    out = benchmark(model.logits, tokens)
+    assert out.shape[-1] == model.config.sim_vocab
+
+
+def test_gptq_layer(benchmark, run_once):
+    model = CausalLM(get_model_config("llama-2-7b"), seed=0)
+    rng = np.random.default_rng(0)
+    w = model.weights["layers.0.q_proj"]
+    x = rng.standard_normal((256, w.shape[1]))
+    gptq = GPTQ(QuantConfig(dtype="int3_asym"))
+    out = run_once(gptq.quantize_weight, "q", w, x)
+    assert out.shape == w.shape
+
+
+def test_booth_encoding_throughput(benchmark):
+    values = list(range(-128, 128))
+
+    def encode_all():
+        return [booth_encode(v, 8) for v in values]
+
+    terms = benchmark(encode_all)
+    assert len(terms) == 256
+
+
+def test_lod_encoding_throughput(benchmark):
+    values = [0.0, 0.5, -1.5, 2.0, -3.0, 4.0, 6.0, -8.0] * 32
+
+    def encode_all():
+        return [fixed_point_decompose(v) for v in values]
+
+    terms = benchmark(encode_all)
+    assert len(terms) == 256
+
+
+def test_pe_group_dot(benchmark):
+    rng = np.random.default_rng(0)
+    pe = BitMoDPE()
+    codes = rng.integers(-31, 32, size=128)
+    acts = rng.standard_normal(128).astype(np.float16)
+    terms = [booth_encode(int(c), 6) for c in codes]
+    res = benchmark(pe.group_dot, terms, acts)
+    assert res.cycles == 96
+
+
+def test_pack_tensor_throughput(benchmark, big_weights):
+    """Serialize a 4M-element BitMoD tensor to its DRAM image."""
+    from repro.quant.packing import pack_tensor
+
+    packed = benchmark(pack_tensor, big_weights, QuantConfig(dtype="bitmod_fp4"))
+    assert packed.bits_per_weight < 4.5
+
+
+def test_functional_gemm_small(benchmark, run_once):
+    """Bit-accurate GEMM through the PE datapath (small, exhaustive)."""
+    from repro.hw.functional import FunctionalGemm
+
+    rng = np.random.default_rng(0)
+    w = rng.standard_normal((2, 128))
+    x = rng.standard_normal((2, 128)).astype(np.float16)
+    res = run_once(FunctionalGemm(QuantConfig(dtype="bitmod_fp3")).run, x, w)
+    assert res.output.shape == (2, 2)

@@ -1,0 +1,41 @@
+"""Simulate the BitMoD accelerator against FP16 / ANT / OliVe baselines.
+
+Reproduces, for one model, the workflow behind Figs. 7 and 8: iso-area
+accelerators, measured-quality weight-precision policy, latency and
+energy breakdown.
+
+Run:  python examples/accelerator_sim.py [model-name]
+"""
+
+import sys
+
+from repro.experiments.policy import choose_weight_bits
+from repro.hw import make_accelerator, simulate
+from repro.models import get_model_config
+
+model_name = sys.argv[1] if len(sys.argv) > 1 else "llama-2-7b"
+config = get_model_config(model_name)
+
+accels = {name: make_accelerator(name) for name in ("fp16", "ant", "olive", "bitmod")}
+print(f"Model: {config.name}   (iso-compute-area accelerators)")
+for name, accel in accels.items():
+    print(f"  {name:7s}: {accel.arch.n_pes} PEs, "
+          f"{accel.arch.compute_area_um2() / 1e6:.2f} mm^2")
+
+for task in ("discriminative", "generative"):
+    print(f"\n== {task} (prompt 256{', generate 256' if task == 'generative' else ''}) ==")
+    base = simulate(config, accels["fp16"], task, 16)
+    print(f"  {'accel':16s} {'bits':>4s} {'latency':>10s} {'speedup':>8s} "
+          f"{'energy':>9s} {'E-ratio':>8s}")
+    print(f"  {'fp16':16s} {16:4d} {base.time_ms:9.1f}ms {1.0:7.2f}x "
+          f"{base.energy.total_uj / 1e3:8.1f}mJ {1.0:7.2f}x")
+    configs = [("ant", False), ("olive", False),
+               ("bitmod-lossless", True), ("bitmod-lossy", False)]
+    for label, lossless in configs:
+        accel_name = label.split("-")[0]
+        bits = choose_weight_bits(accel_name, config.name, task, lossless=lossless)
+        r = simulate(config, accels[accel_name], task, bits)
+        print(f"  {label:16s} {bits:4d} {r.time_ms:9.1f}ms "
+              f"{base.cycles / r.cycles:7.2f}x "
+              f"{r.energy.total_uj / 1e3:8.1f}mJ "
+              f"{base.energy.total_uj / r.energy.total_uj:7.2f}x")

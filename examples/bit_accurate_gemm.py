@@ -1,0 +1,41 @@
+"""End-to-end bit-accurate pipeline: quantize -> pack -> decode -> PE GEMM.
+
+This walks one layer's weights through the exact path a deployed
+BitMoD accelerator would use:
+
+1. Algorithm 1 quantizes the weights (per-group special values).
+2. The tensor is serialized to its DRAM image (bit-packed codes,
+   INT8 scaling factors, 2-bit SV selectors).
+3. The term generator decodes each group into bit-serial terms.
+4. The bit-accurate PE computes the GEMM, dequantizing per-group
+   partial sums with the 8-cycle shift-add unit.
+
+Run:  python examples/bit_accurate_gemm.py
+"""
+
+import numpy as np
+
+from repro.hw.functional import FunctionalGemm
+from repro.quant import QuantConfig, quantize_tensor
+from repro.quant.packing import pack_tensor
+
+rng = np.random.default_rng(0)
+weights = rng.standard_normal((8, 512))
+acts = rng.standard_normal((4, 512)).astype(np.float16)
+
+for dtype in ("int6_sym", "bitmod_fp4", "bitmod_fp3"):
+    cfg = QuantConfig(dtype=dtype)
+
+    packed = pack_tensor(weights, cfg)
+    print(f"{dtype}: DRAM image {packed.total_bytes} bytes "
+          f"({packed.bits_per_weight:.3f} bits/weight, "
+          f"fp16 would be {weights.size * 2} bytes)")
+
+    result = FunctionalGemm(cfg).run(acts, weights)
+    reference = acts.astype(np.float64) @ quantize_tensor(weights, cfg).w_deq.T
+    err = np.max(np.abs(result.output - reference)) / np.max(np.abs(reference))
+    print(f"  GEMM through bit-accurate PEs: max rel err {err:.2e}, "
+          f"{result.pe_cycles} PE-cycles over {result.groups_processed} groups\n")
+
+print("The INT6/FP4 PE-cycle ratio is 3:2 — the bit-serial throughput")
+print("trade-off of Section IV-B, observed in actual datapath execution.")

@@ -1,0 +1,33 @@
+"""Drop BitMoD datatypes into AWQ / OmniQuant / SmoothQuant (Table XI/XII).
+
+The software methods only decide *how weights are presented* to the
+quantizer; the datatype is pluggable.  This example swaps INT-Asym for
+the BitMoD datatypes inside each method, on one model.
+
+Run:  python examples/combine_methods.py
+"""
+
+from repro.eval import PerplexityEvaluator
+from repro.methods import AWQ, OmniQuant, RTN, SmoothQuant, collect_calibration
+from repro.models import get_model_config
+from repro.quant import QuantConfig
+
+config = get_model_config("llama-2-7b")
+ev = PerplexityEvaluator(config, "wikitext")
+calib = collect_calibration(ev.model)
+print(f"Model {config.name}, FP16 wikitext ppl = {ev.fp16_ppl:.2f}\n")
+
+print(f"{'method':14s} {'int3_asym':>10s} {'bitmod_fp3':>11s}")
+for label, factory in (("RTN", RTN), ("AWQ", AWQ), ("OmniQuant", OmniQuant)):
+    row = [f"{label:14s}"]
+    for dtype in ("int3_asym", "bitmod_fp3"):
+        method = factory(QuantConfig(dtype=dtype))
+        ppl = ev.evaluate_model(method.quantize_model(ev.model, calib)).ppl
+        row.append(f"{ppl:10.2f}")
+    print(" ".join(row))
+
+print("\nWith SmoothQuant INT8 activations (Table XII):")
+for dtype in ("int3_asym", "bitmod_fp3"):
+    sq = SmoothQuant(QuantConfig(dtype=dtype), act_bits=8)
+    ppl = ev.evaluate_model(sq.quantize_model(ev.model, calib)).ppl
+    print(f"  {dtype:12s} ppl = {ppl:.2f}")

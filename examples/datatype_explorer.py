@@ -1,0 +1,49 @@
+"""Explore the datatype zoo and program custom special values.
+
+The BitMoD decoder keeps its special values in a programmable register
+file (Section IV-A), so the datatype family is open-ended.  This
+example prints the level grids of the built-in datatypes and then
+searches for the best special-value set on a custom weight
+distribution — the workflow a user would follow to tune BitMoD for a
+new model family.
+
+Run:  python examples/datatype_explorer.py
+"""
+
+import numpy as np
+
+from repro.dtypes import BitMoDType, get_dtype
+from repro.quant import QuantConfig, quantize_tensor
+
+# ----------------------------------------------------------------------
+# 1. The built-in grids.
+# ----------------------------------------------------------------------
+print("Built-in datatype grids (code space):")
+for name in ("fp3", "fp4", "flint4", "ant3"):
+    dt = get_dtype(name)
+    levels = ", ".join(f"{v:g}" for v in dt.grid)
+    print(f"  {name:8s} [{levels}]")
+
+bm = get_dtype("bitmod_fp3")
+print(f"  bitmod_fp3 = fp3 + one of {bm.special_values} per group "
+      f"({bm.selector_bits:.0f} selector bits)")
+
+# ----------------------------------------------------------------------
+# 2. Search custom special-value pairs for a skewed weight distribution.
+# ----------------------------------------------------------------------
+rng = np.random.default_rng(7)
+weights = rng.standard_t(5, size=(128, 1024))
+weights += np.repeat(rng.normal(0, 0.6, size=(128, 8)), 128, axis=1)  # skewed groups
+
+print("\nCustom FP3 special-value search on skewed weights (lower = better):")
+results = []
+for sv in (3.0, 4.0, 5.0, 6.0, 7.0, 8.0):
+    dtype = BitMoDType(bits=3, special_values=(-3.0, 3.0, -sv, sv),
+                       name=f"fp3_sv{sv:g}")
+    mse = quantize_tensor(weights, QuantConfig(dtype=dtype)).mse
+    results.append((mse, sv))
+    print(f"  {{+-3, +-{sv:g}}}: mse = {mse:.5f}")
+
+best = min(results)
+print(f"\nBest asymmetric extension for this distribution: +-{best[1]:g}")
+print("(The paper lands on +-6 for its LLM suite — Fig. 3 / Table IX.)")

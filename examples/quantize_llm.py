@@ -1,0 +1,38 @@
+"""Quantize a full (substrate) LLM and evaluate perplexity + accuracy.
+
+Reproduces, for one model, the workflow behind the paper's Tables VI
+and VII: quantize every decoder linear with a given datatype and
+evaluate on generative (perplexity proxy) and discriminative tasks.
+
+Run:  python examples/quantize_llm.py [model-name]
+"""
+
+import sys
+
+from repro.eval import DiscriminativeEvaluator, PerplexityEvaluator
+from repro.models import get_model_config
+from repro.quant import QuantConfig, quantize_tensor
+
+model_name = sys.argv[1] if len(sys.argv) > 1 else "llama-2-7b"
+config = get_model_config(model_name)
+print(f"Model: {config.name} ({config.params_billions:.1f}B params full-size, "
+      f"simulated at hidden={config.sim_hidden})")
+
+wiki = PerplexityEvaluator(config, "wikitext")
+hella = DiscriminativeEvaluator(config, "hellaswag", n_items=96)
+print(f"FP16: wikitext ppl={wiki.fp16_ppl:.2f}, "
+      f"hellaswag acc={hella.fp16_accuracy * 100:.1f}%\n")
+
+print(f"{'dtype':12s} {'wiki_ppl':>9s} {'hella_acc':>10s}")
+for dtype in ("int6_sym", "int4_asym", "bitmod_fp4", "int3_asym", "bitmod_fp3"):
+    qcfg = QuantConfig(dtype=dtype, group_size=128)
+
+    def quantizer(_name, w):
+        return quantize_tensor(w, qcfg).w_deq
+
+    ppl = wiki.evaluate_quantizer(quantizer).ppl
+    acc = hella.evaluate_quantizer(quantizer)
+    print(f"{dtype:12s} {ppl:9.2f} {acc:9.1f}%")
+
+print("\nBitMoD holds quality at 3 bits where integer quantization slips —")
+print("the paper's Table VI/VII result, on the synthetic substrate.")

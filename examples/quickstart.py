@@ -1,0 +1,56 @@
+"""Quickstart: quantize a weight tensor with BitMoD and inspect the result.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import QuantConfig, quantize_tensor
+from repro.hw import BitMoDPE, booth_encode, fixed_point_decompose
+
+# ----------------------------------------------------------------------
+# 1. Quantize a weight matrix with several datatypes and compare error.
+# ----------------------------------------------------------------------
+rng = np.random.default_rng(0)
+weights = rng.standard_t(4, size=(256, 1024))  # heavy-tailed, LLM-like
+
+print("Per-group (G=128) weight quantization, mean squared error:")
+for dtype in ("int4_sym", "int4_asym", "fp4", "bitmod_fp4",
+              "int3_asym", "fp3", "bitmod_fp3"):
+    result = quantize_tensor(weights, QuantConfig(dtype=dtype, group_size=128))
+    print(f"  {dtype:12s} mse={result.mse:.5f}  "
+          f"bits/weight={result.bits_per_weight:.3f}")
+
+# ----------------------------------------------------------------------
+# 2. Look at the per-group special values Algorithm 1 selected.
+# ----------------------------------------------------------------------
+result = quantize_tensor(weights, QuantConfig(dtype="bitmod_fp3"))
+values, counts = np.unique(result.special_values, return_counts=True)
+print("\nBitMoD-FP3 special-value usage across groups:")
+for v, c in zip(values, counts):
+    share = 100 * c / result.special_values.size
+    print(f"  SV {v:+.0f}: {share:.1f}% of groups")
+
+# ----------------------------------------------------------------------
+# 3. Decompose weights into the unified bit-serial representation and
+#    run the bit-accurate PE against a float reference.
+# ----------------------------------------------------------------------
+print("\nBit-serial decomposition examples:")
+for value, kind in ((-93, "int8"), (6.0, "fp4"), (-1.5, "fp4")):
+    terms = (booth_encode(value, 8) if kind == "int8"
+             else fixed_point_decompose(value))
+    parts = " + ".join(
+        f"({'-' if t.sign else '+'}{t.man}*2^{t.exp + t.bsig})" for t in terms
+    )
+    print(f"  {value:>6} -> {parts}")
+
+pe = BitMoDPE()
+codes = rng.integers(-31, 32, size=128)
+acts = rng.standard_normal(128).astype(np.float16)
+res = pe.group_dot([booth_encode(int(c), 6) for c in codes], acts)
+ref = float(np.dot(codes, acts.astype(np.float64)))
+print(f"\nPE 128-weight INT6 group dot product: {res.value:.4f} "
+      f"(reference {ref:.4f}, {res.cycles} cycles)")
+deq = pe.dequantize(res, sf_code=173)
+print(f"Bit-serial dequantization x173: {deq.value:.2f} "
+      f"(reference {ref * 173:.2f}, {deq.cycles} extra cycles)")

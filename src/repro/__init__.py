@@ -1,0 +1,45 @@
+"""BitMoD reproduction: bit-serial mixture-of-datatype LLM acceleration.
+
+This package is a from-scratch reproduction of the HPCA 2025 paper
+"BitMoD: Bit-serial Mixture-of-Datatype LLM Acceleration".
+
+Subpackages
+-----------
+``repro.dtypes``
+    The numerical datatype zoo: integer, floating-point, the BitMoD
+    extended FP3/FP4 families, and the baseline datatypes of ANT
+    (Flint), OliVe (outlier-victim), and Microscaling (MX).
+``repro.quant``
+    The quantization engine: granularity handling, linear and
+    non-linear quantizers, the fine-grained datatype adaptation of
+    Algorithm 1 and second-level scaling-factor quantization.
+``repro.models``
+    A numpy transformer substrate standing in for the HuggingFace
+    models used by the paper.
+``repro.eval``
+    Perplexity / accuracy / memory-footprint evaluation harnesses.
+``repro.methods``
+    Software-only PTQ methods (RTN, AWQ, GPTQ, OmniQuant, SmoothQuant,
+    QuaRot) re-implemented so BitMoD datatypes can be dropped in.
+``repro.hw``
+    The BitMoD accelerator model: unified bit-serial representation,
+    bit-accurate processing element, cycle-level simulator, and
+    area/power/energy models, plus the baseline accelerators.
+``repro.experiments``
+    One module per paper table/figure.
+"""
+
+from repro.dtypes import DataType, get_dtype, list_dtypes
+from repro.quant import QuantConfig, QuantResult, quantize_tensor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DataType",
+    "get_dtype",
+    "list_dtypes",
+    "QuantConfig",
+    "QuantResult",
+    "quantize_tensor",
+    "__version__",
+]

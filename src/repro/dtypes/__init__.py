@@ -1,0 +1,63 @@
+"""Datatype zoo for the BitMoD reproduction."""
+
+from repro.dtypes.base import (
+    DataType,
+    GridDataType,
+    grid_absmax,
+    quantize_to_grid,
+    snap_indices,
+)
+from repro.dtypes.extended import (
+    FP3_SPECIAL_VALUES,
+    FP4_SPECIAL_VALUES,
+    BitMoDType,
+    ExtendedFloat,
+    make_extended_float,
+)
+from repro.dtypes.flint import AntAdaptiveType, flint_values, make_flint_type
+from repro.dtypes.floating import (
+    FP3_VALUES,
+    FP4_VALUES,
+    FP6_E2M3_VALUES,
+    FP6_E3M2_VALUES,
+    float_grid,
+    fp16_compose,
+    fp16_decompose,
+    make_float_type,
+)
+from repro.dtypes.integer import IntegerType, int_symmetric_levels
+from repro.dtypes.mx import MXType
+from repro.dtypes.olive import OliveType, abfloat_values
+from repro.dtypes.registry import get_dtype, list_dtypes, register_dtype
+
+__all__ = [
+    "DataType",
+    "GridDataType",
+    "quantize_to_grid",
+    "snap_indices",
+    "grid_absmax",
+    "BitMoDType",
+    "ExtendedFloat",
+    "make_extended_float",
+    "FP3_SPECIAL_VALUES",
+    "FP4_SPECIAL_VALUES",
+    "AntAdaptiveType",
+    "flint_values",
+    "make_flint_type",
+    "float_grid",
+    "make_float_type",
+    "FP3_VALUES",
+    "FP4_VALUES",
+    "FP6_E2M3_VALUES",
+    "FP6_E3M2_VALUES",
+    "fp16_decompose",
+    "fp16_compose",
+    "IntegerType",
+    "int_symmetric_levels",
+    "MXType",
+    "OliveType",
+    "abfloat_values",
+    "get_dtype",
+    "list_dtypes",
+    "register_dtype",
+]

@@ -1,0 +1,142 @@
+"""BitMoD extended floating-point datatypes (paper Section III-A).
+
+The sign-magnitude representation of a basic float wastes one encoding
+on the redundant negative zero.  BitMoD repurposes that encoding as a
+*special value* (SV), producing two families per precision:
+
+========  =============================  ==================
+Datatype  Basic values                   Special value
+========  =============================  ==================
+FP3-ER    0, +-1, +-2, +-4               -3 or +3
+FP3-EA    0, +-1, +-2, +-4               -6 or +6
+FP4-ER    0, +-0.5 .. +-6 (basic FP4)    -5 or +5
+FP4-EA    0, +-0.5 .. +-6 (basic FP4)    -8 or +8
+========  =============================  ==================
+
+(Table IV of the paper.)  "ER" = extra resolution: the SV falls inside
+the basic range, densifying the grid while keeping it symmetric-ish.
+"EA" = extra asymmetry: the SV falls outside the range, extending the
+absolute maximum on one side only.
+
+A *weight group* is quantized with the basic values plus exactly one
+special value; the full BitMoD datatype lets every group pick its own
+SV from the family's four candidates (Algorithm 1, implemented in
+:mod:`repro.quant.adaptive`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dtypes.base import DataType, GridDataType
+from repro.dtypes.floating import FP3_VALUES, FP4_VALUES
+
+__all__ = [
+    "ExtendedFloat",
+    "BitMoDType",
+    "FP3_SPECIAL_VALUES",
+    "FP4_SPECIAL_VALUES",
+    "make_extended_float",
+]
+
+#: The BitMoD special-value sets of Table IV: {ER pair, EA pair}.
+FP3_SPECIAL_VALUES = (-3.0, 3.0, -6.0, 6.0)
+FP4_SPECIAL_VALUES = (-5.0, 5.0, -8.0, 8.0)
+
+_BASIC = {3: FP3_VALUES, 4: FP4_VALUES}
+
+
+@dataclass
+class ExtendedFloat(GridDataType):
+    """A basic FP3/FP4 grid extended with a *fixed* special value.
+
+    Instances of this class represent one (dtype, SV) combination, e.g.
+    "FP3 with special value +6".  They are the candidates that
+    Algorithm 1 searches over; :class:`BitMoDType` bundles a family of
+    them.
+    """
+
+    special_value: float = 0.0
+    base_bits: int = 3
+
+    def memory_bits_per_weight(self, group_size: int) -> float:
+        # 8-bit INT scaling factor + 2-bit SV selector per group
+        # (Section III-C memory overhead analysis).
+        return self.base_bits + (8.0 + 2.0) / group_size
+
+
+def make_extended_float(bits: int, special_value: float) -> ExtendedFloat:
+    """Basic FP3/FP4 grid plus one special value.
+
+    ``special_value`` may be any float — the paper's accelerator keeps
+    the allowed SVs in a programmable register file, so the datatype
+    definition does not restrict them to Table IV's defaults.
+    """
+    if bits not in _BASIC:
+        raise ValueError(f"extended floats exist for 3 and 4 bits, not {bits}")
+    basic = _BASIC[bits]
+    grid = np.union1d(basic, [float(special_value)])
+    sv_txt = f"{special_value:+g}"
+    return ExtendedFloat(
+        name=f"fp{bits}_sv{sv_txt}",
+        bits=bits,
+        values=grid,
+        special_value=float(special_value),
+        base_bits=bits,
+        description=f"FP{bits} extended with special value {sv_txt}",
+    )
+
+
+@dataclass
+class BitMoDType(DataType):
+    """The BitMoD per-group adaptive datatype family.
+
+    A family holds ``N`` candidate special values (the paper uses
+    ``N = 4`` so the per-group selector costs 2 bits).  Quantizing a
+    tensor with this datatype runs Algorithm 1: every group tries every
+    candidate and keeps the SV with the lowest group MSE.
+
+    Restricting ``special_values`` to a subset yields the paper's
+    ablation datatypes:
+
+    * ``FP4-ER``  = ``BitMoDType(4, (-5.0, 5.0))``
+    * ``FP4-EA``  = ``BitMoDType(4, (-8.0, 8.0))``
+    * ``FP3-ER``  = ``BitMoDType(3, (-3.0, 3.0))``
+    * ``FP3-EA``  = ``BitMoDType(3, (-6.0, 6.0))``
+    * full BitMoD = all four SVs per precision.
+    """
+
+    bits: int = 4
+    special_values: tuple = ()
+    name: str = ""
+    nonlinear: bool = True
+    candidates: list = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.bits not in _BASIC:
+            raise ValueError("BitMoD datatypes exist for 3 and 4 bits")
+        if not self.special_values:
+            defaults = {3: FP3_SPECIAL_VALUES, 4: FP4_SPECIAL_VALUES}
+            self.special_values = defaults[self.bits]
+        self.special_values = tuple(float(v) for v in self.special_values)
+        if not self.name:
+            self.name = f"bitmod_fp{self.bits}"
+        self.candidates = [
+            make_extended_float(self.bits, sv) for sv in self.special_values
+        ]
+
+    @property
+    def basic_values(self) -> np.ndarray:
+        """Basic FP values shared by every candidate (Algo. 1 line 2)."""
+        return _BASIC[self.bits]
+
+    @property
+    def selector_bits(self) -> float:
+        """Bits needed to encode which SV a group selected."""
+        n = len(self.special_values)
+        return float(np.ceil(np.log2(n))) if n > 1 else 0.0
+
+    def memory_bits_per_weight(self, group_size: int) -> float:
+        return self.bits + (8.0 + self.selector_bits) / group_size

@@ -1,0 +1,139 @@
+"""The Flint datatype of ANT (MICRO 2022), used as a baseline.
+
+Flint is a hybrid float/int format: the position of the leading one in
+the magnitude field selects between an integer-like dense region near
+zero and a float-like wide-dynamic-range region for large values.  We
+reproduce its defining property — *wider dynamic range* than FP/INT of
+the same width, with sparse large values and dense small ones — with a
+budgeted construction:
+
+* the magnitude set always contains powers of two up to ``2**bits``
+  (one octave more dynamic range than the same-width float), and
+* remaining encodings are spent on mantissa refinements of the lowest
+  octaves first.
+
+Resulting grids (code space):
+
+* ``flint4``: 0, +-1, +-1.5, +-2, +-3, +-4, +-6, +-8
+* ``flint3``: 0, +-1, +-2, +-8
+
+Flint helps per-channel quantization (wide range covers in-channel
+outliers) and hurts per-group quantization — the paper's Table I
+observation that Flint never wins at per-group granularity.
+
+ANT selects the datatype *adaptively* among {int, float, flint, pot}.
+The BitMoD paper extends ANT to per-group granularity for its Table VI
+comparison; :class:`AntAdaptiveType` mirrors that: each group picks,
+by MSE, among the symmetric candidate grids the ANT decoder supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dtypes.base import DataType, GridDataType
+from repro.dtypes.floating import float_grid
+from repro.dtypes.integer import int_symmetric_levels
+
+__all__ = ["flint_values", "make_flint_type", "AntAdaptiveType"]
+
+
+def flint_values(bits: int) -> np.ndarray:
+    """Value set of a ``bits``-wide Flint number (sign-magnitude).
+
+    The budget is ``2**(bits-1) - 1`` non-zero magnitudes.  Powers of
+    two ``2**0 .. 2**bits`` come first (keeping the lowest exponents
+    and the top one if the budget is tight); leftover encodings add
+    mantissa refinements, shallowest depth and smallest exponent first.
+    """
+    if bits < 3:
+        raise ValueError("flint needs at least 3 bits")
+    budget = 2 ** (bits - 1) - 1
+    # One extra octave of dynamic range relative to the same-width
+    # float; at 3 bits the format is all range (its per-group downfall).
+    emax = bits if bits == 3 else bits - 1
+    powers = [2.0**e for e in range(emax + 1)]
+    if len(powers) > budget:
+        # Keep the dense low end plus the top exponent: flint's whole
+        # point is dynamic range.
+        mags = powers[: budget - 1] + [powers[-1]]
+    else:
+        mags = list(powers)
+        refinements = []
+        for depth in (1, 2, 3):
+            for e in range(emax):
+                for k in range(1, 2**depth, 2):
+                    value = 2.0**e * (1.0 + k / 2.0**depth)
+                    refinements.append((depth, e, value))
+        for _depth, _e, value in sorted(refinements):
+            if len(mags) >= budget:
+                break
+            if value not in mags:
+                mags.append(value)
+    values = [0.0]
+    for mag in mags:
+        values.extend([mag, -mag])
+    return np.unique(np.asarray(values, dtype=np.float64))
+
+
+def make_flint_type(bits: int) -> GridDataType:
+    """A :class:`GridDataType` for the ``bits``-wide Flint format."""
+    return GridDataType(
+        name=f"flint{bits}",
+        bits=bits,
+        values=flint_values(bits),
+        description=f"ANT flint, {bits} bits",
+    )
+
+
+@dataclass
+class AntAdaptiveType(DataType):
+    """ANT's adaptive datatype selection, extended to per-group.
+
+    Every group is quantized with each candidate grid (flint and, from
+    4 bits up, float and PoT) and keeps the lowest-MSE result,
+    mirroring how the BitMoD paper extends ANT for its Table VI
+    comparison.  All candidates are symmetric — ANT has no zero-point —
+    which is exactly why it loses to asymmetric integer at per-group
+    granularity.
+    """
+
+    bits: int = 4
+    name: str = ""
+    nonlinear: bool = True
+    candidates: list = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"ant{self.bits}"
+        cands = [make_flint_type(self.bits)]
+        if self.bits >= 4:
+            cands.append(
+                GridDataType(
+                    name=f"fp{self.bits}_ant",
+                    bits=self.bits,
+                    values=float_grid(2, self.bits - 3, bias=1),
+                )
+            )
+            # Power-of-two (PoT) grid.
+            pot = [0.0]
+            for e in range(2 ** (self.bits - 1) - 1):
+                pot.extend([2.0**e, -(2.0**e)])
+            cands.append(
+                GridDataType(name=f"pot{self.bits}", bits=self.bits, values=pot)
+            )
+        if self.bits >= 5:
+            cands.append(
+                GridDataType(
+                    name=f"int{self.bits}_ant",
+                    bits=self.bits,
+                    values=int_symmetric_levels(self.bits),
+                )
+            )
+        self.candidates = cands
+
+    def memory_bits_per_weight(self, group_size: int) -> float:
+        selector = float(np.ceil(np.log2(len(self.candidates))))
+        return self.bits + (8.0 + selector) / group_size

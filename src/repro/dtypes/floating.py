@@ -1,0 +1,122 @@
+"""Floating-point datatypes and FP16 bit-level helpers.
+
+Low-precision floats are represented as explicit level grids (they are
+non-linear datatypes).  :func:`float_grid` generates the value set of a
+generic ``FPb-EeMm`` format with IEEE-style subnormals and *no*
+inf/NaN encodings — the convention used by quantization work, where
+every encoding is spent on a finite value.
+
+The FP16 helpers at the bottom decompose IEEE half-precision numbers
+into (sign, exponent, mantissa-with-hidden-bit) triples; the
+bit-accurate PE model in :mod:`repro.hw.pe` consumes these.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.base import GridDataType
+
+__all__ = [
+    "float_grid",
+    "make_float_type",
+    "FP3_VALUES",
+    "FP4_VALUES",
+    "FP6_E2M3_VALUES",
+    "FP6_E3M2_VALUES",
+    "fp16_decompose",
+    "fp16_compose",
+    "FP16_MANTISSA_BITS",
+]
+
+
+def float_grid(exp_bits: int, man_bits: int, bias: int | None = None) -> np.ndarray:
+    """All values of a sign/exponent/mantissa minifloat format.
+
+    Parameters
+    ----------
+    exp_bits, man_bits:
+        Field widths.  Total storage is ``1 + exp_bits + man_bits``.
+    bias:
+        Exponent bias.  Defaults to ``2**(exp_bits-1) - 1`` except for
+        the tiny formats used in the paper (FP3/FP4/FP6-E2M3) which
+        conventionally use bias 1 so that their value sets match the
+        paper's Table IV.
+
+    The exponent field value 0 denotes subnormals ``m / 2**man_bits *
+    2**(1-bias)``; all other exponent values are normal numbers.  No
+    encodings are reserved for inf/NaN.
+    """
+    if exp_bits < 1 or man_bits < 0:
+        raise ValueError("need exp_bits >= 1 and man_bits >= 0")
+    if bias is None:
+        bias = max(2 ** (exp_bits - 1) - 1, 1)
+    values = [0.0]
+    for e in range(2**exp_bits):
+        for m in range(2**man_bits):
+            if e == 0:
+                mag = (m / 2**man_bits) * 2.0 ** (1 - bias)
+            else:
+                mag = (1.0 + m / 2**man_bits) * 2.0 ** (e - bias)
+            if mag > 0.0:
+                values.extend([mag, -mag])
+    return np.unique(np.asarray(values, dtype=np.float64))
+
+
+#: Basic FP3 (1 sign, 2 exponent, 0 mantissa, bias 1): {0, +-1, +-2, +-4}.
+FP3_VALUES = float_grid(2, 0, bias=1)
+
+#: Basic FP4 (E2M1, bias 1): {0, +-0.5, +-1, +-1.5, +-2, +-3, +-4, +-6}.
+FP4_VALUES = float_grid(2, 1, bias=1)
+
+#: FP6 with 2 exponent / 3 mantissa bits (bias 1).
+FP6_E2M3_VALUES = float_grid(2, 3, bias=1)
+
+#: FP6 with 3 exponent / 2 mantissa bits (default bias 3).
+FP6_E3M2_VALUES = float_grid(3, 2)
+
+
+def make_float_type(name: str, exp_bits: int, man_bits: int, bias: int | None = None) -> GridDataType:
+    """Construct a :class:`GridDataType` for a minifloat format."""
+    bits = 1 + exp_bits + man_bits
+    return GridDataType(
+        name=name,
+        bits=bits,
+        values=float_grid(exp_bits, man_bits, bias=bias),
+        description=f"FP{bits}-E{exp_bits}M{man_bits}",
+    )
+
+
+# ----------------------------------------------------------------------
+# FP16 bit-level helpers (used by the hardware PE model).
+# ----------------------------------------------------------------------
+
+#: Explicit mantissa bits of IEEE FP16.
+FP16_MANTISSA_BITS = 10
+
+
+def fp16_decompose(x: np.ndarray):
+    """Decompose FP16 values into (sign, exponent, mantissa) fields.
+
+    Returns integer arrays ``(sign, exp, man)`` where the value is
+    ``(-1)**sign * man * 2**(exp - 15 - 10)`` and ``man`` includes the
+    hidden bit (11 bits for normal numbers).  Subnormals are returned
+    with ``exp == 1`` and no hidden bit, matching IEEE semantics.
+    """
+    h = np.asarray(x, dtype=np.float16)
+    bits = h.view(np.uint16).astype(np.int64)
+    sign = (bits >> 15) & 0x1
+    exp_field = (bits >> 10) & 0x1F
+    frac = bits & 0x3FF
+    is_normal = exp_field > 0
+    man = np.where(is_normal, frac + (1 << FP16_MANTISSA_BITS), frac)
+    exp = np.where(is_normal, exp_field, 1)
+    return sign, exp, man
+
+
+def fp16_compose(sign: np.ndarray, exp: np.ndarray, man: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`fp16_decompose` (via arithmetic, not bit packing)."""
+    sign = np.asarray(sign, dtype=np.float64)
+    exp = np.asarray(exp, dtype=np.float64)
+    man = np.asarray(man, dtype=np.float64)
+    return ((-1.0) ** sign) * man * 2.0 ** (exp - 15 - FP16_MANTISSA_BITS)

@@ -1,0 +1,118 @@
+"""Integer datatypes: symmetric and asymmetric, arbitrary bit width.
+
+Symmetric integer quantization (paper Eq. 1)::
+
+    delta = absmax(W) / (2**(b-1) - 1)
+    Wq    = round(W / delta)            in [-(2**(b-1)-1), 2**(b-1)-1]
+    Wdq   = Wq * delta
+
+Asymmetric integer quantization (paper Eq. 2)::
+
+    delta = (max(W) - min(W)) / (2**b - 1)
+    z     = round(-min(W) / delta)
+    Wq    = round(W / delta) + z        in [0, 2**b - 1]
+    Wdq   = (Wq - z) * delta
+
+Both are linear quantizers, so they are implemented directly rather
+than via a level grid (which would be equivalent but slower).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dtypes.base import DataType
+
+__all__ = ["IntegerType", "int_symmetric_levels"]
+
+
+def int_symmetric_levels(bits: int) -> np.ndarray:
+    """The symmetric integer code grid, e.g. ``[-7 .. 7]`` for 4 bits.
+
+    Note the symmetric range drops the most negative two's complement
+    code (``-2**(b-1)``), the convention used by the paper and by every
+    framework it compares against.
+    """
+    qmax = 2 ** (bits - 1) - 1
+    return np.arange(-qmax, qmax + 1, dtype=np.float64)
+
+
+@dataclass
+class IntegerType(DataType):
+    """A ``bits``-wide integer datatype.
+
+    Parameters
+    ----------
+    bits:
+        Total storage bits, including sign.
+    asymmetric:
+        Select asymmetric (scale + zero-point) quantization.
+    """
+
+    bits: int = 4
+    asymmetric: bool = False
+    nonlinear: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bits < 2:
+            raise ValueError("integer quantization needs at least 2 bits")
+        mode = "asym" if self.asymmetric else "sym"
+        self.name = f"int{self.bits}_{mode}"
+
+    @property
+    def qmax_symmetric(self) -> int:
+        return 2 ** (self.bits - 1) - 1
+
+    @property
+    def qmax_asymmetric(self) -> int:
+        return 2**self.bits - 1
+
+    def memory_bits_per_weight(self, group_size: int) -> float:
+        if self.asymmetric:
+            # Software-style asymmetric quantization stores a 16-bit
+            # scale and an 8-bit zero point per group (Section III-C,
+            # memory overhead analysis).
+            return self.bits + (16.0 + 8.0) / group_size
+        return self.bits + 8.0 / group_size
+
+    # ------------------------------------------------------------------
+    # Row-wise quantization.  ``w`` has shape (n_groups, group_size) and
+    # each row is quantized independently.
+    # ------------------------------------------------------------------
+    def quantize_rows(self, w: np.ndarray):
+        """Quantize each row of ``w`` independently.
+
+        Returns
+        -------
+        (w_deq, codes, scales, zeros)
+            ``zeros`` is ``None`` for symmetric quantization.
+        """
+        w = np.asarray(w, dtype=np.float64)
+        if w.ndim != 2:
+            raise ValueError("quantize_rows expects a 2-D array")
+        if self.asymmetric:
+            return self._quantize_rows_asym(w)
+        return self._quantize_rows_sym(w)
+
+    def _quantize_rows_sym(self, w: np.ndarray):
+        qmax = self.qmax_symmetric
+        absmax = np.max(np.abs(w), axis=1, keepdims=True)
+        scales = absmax / qmax
+        # Guard all-zero rows: any positive scale dequantizes 0 -> 0.
+        scales = np.where(scales == 0.0, 1.0, scales)
+        codes = np.clip(np.round(w / scales), -qmax, qmax)
+        w_deq = codes * scales
+        return w_deq, codes, scales, None
+
+    def _quantize_rows_asym(self, w: np.ndarray):
+        qmax = self.qmax_asymmetric
+        wmin = np.min(w, axis=1, keepdims=True)
+        wmax = np.max(w, axis=1, keepdims=True)
+        scales = (wmax - wmin) / qmax
+        scales = np.where(scales == 0.0, 1.0, scales)
+        zeros = np.round(-wmin / scales)
+        codes = np.clip(np.round(w / scales) + zeros, 0, qmax)
+        w_deq = (codes - zeros) * scales
+        return w_deq, codes, scales, zeros

@@ -1,0 +1,161 @@
+"""The OliVe outlier-victim-pair datatype (ISCA 2023), used as a baseline.
+
+OliVe quantizes "normal" values with a symmetric integer grid and
+protects *outliers* — the few values whose magnitude far exceeds the
+rest — by re-encoding them in an "adaptive biased float" (abfloat)
+format whose exponent bias places a sparse high-magnitude grid over
+the outlier range.  Because the hardware fetches weights in pairs, an
+outlier steals the encoding slot of its adjacent *victim*, which is
+pruned to zero.
+
+Reproduced behaviours:
+
+* normals use an ``INTb-Sym`` grid scaled by the *non-outlier* absmax,
+  so outliers no longer inflate the scaling factor;
+* outliers snap to an abfloat grid ``(1 + m/2) * 2**(e + bias)`` with
+  1 mantissa bit and a fixed exponent bias equal to the element width
+  (at 4 bits: {16, 24, ..., 192}, the range quoted in the BitMoD
+  paper) — a deliberately huge range whose sparseness is OliVe's
+  per-group weakness;
+* each outlier forces one adjacent weight (its pair partner) to zero;
+* the number of outliers per group is chosen adaptively (including
+  zero) by minimizing group MSE, which is the most favourable
+  per-group extension of OliVe's per-channel scheme.
+
+OliVe shines under per-channel quantization, where a channel really
+does mix outliers with small values.  Under per-group quantization the
+outliers are already tamed by the group scale, so sacrificing victims
+buys little — the paper's explanation for OliVe's Table VI numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dtypes.base import DataType, quantize_to_grid
+from repro.dtypes.integer import IntegerType
+
+__all__ = ["abfloat_values", "OliveType"]
+
+
+def abfloat_values(bits: int, bias: int = 0) -> np.ndarray:
+    """Outlier (abfloat) magnitudes for a ``bits``-wide OliVe format.
+
+    A minifloat with 1 mantissa bit and ``2**(bits-2)`` exponent
+    levels, all shifted by ``bias``: magnitudes
+    ``(1 + m/2) * 2**(e + bias)``.
+    """
+    if bits < 3:
+        raise ValueError("abfloat needs at least 3 bits")
+    n_exp = 2 ** (bits - 2)
+    mags = []
+    for e in range(n_exp):
+        for m in (0, 1):
+            mags.append((1.0 + 0.5 * m) * 2.0 ** (e + bias))
+    return np.asarray(sorted(mags), dtype=np.float64)
+
+
+@dataclass
+class OliveType(DataType):
+    """OliVe outlier-victim-pair quantization at ``bits`` precision.
+
+    Parameters
+    ----------
+    bits:
+        Element precision for both normals and outliers.
+    outlier_counts:
+        Candidate numbers of outliers per group; each group keeps the
+        count with the lowest MSE.  The default, a fixed two outliers
+        per group, mirrors the per-group extension evaluated by the
+        BitMoD paper: the outlier-victim mechanism is structural in
+        OliVe's encoding, so groups pay for it whether or not they
+        contain real outliers.  Include 0 to let groups opt out
+        entirely (more favourable than the paper's extension).
+    """
+
+    bits: int = 4
+    outlier_counts: tuple = (2,)
+    name: str = ""
+    asymmetric: bool = False
+    nonlinear: bool = True
+    int_type: IntegerType = field(init=False, repr=False)
+    _outlier_grid: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"olive{self.bits}"
+        self.int_type = IntegerType(bits=self.bits, asymmetric=False)
+        # Fixed exponent bias places the outlier grid just above the
+        # integer range ({8..96} at 4 bits), reaching toward the ~192
+        # top end the BitMoD paper quotes.  Being fixed (not per-group
+        # fitted) is what leaves the grid sparse where moderate
+        # per-group outliers actually live.
+        self._outlier_grid = abfloat_values(self.bits, bias=self.bits - 1)
+
+    def memory_bits_per_weight(self, group_size: int) -> float:
+        # Outlier-victim pairs are encoded in-place; the identifier bit
+        # pattern lives inside the victim's slot, so storage stays at
+        # ``bits`` per weight plus the group scale.
+        return self.bits + 8.0 / group_size
+
+    # ------------------------------------------------------------------
+    def quantize_rows(self, w: np.ndarray):
+        """Outlier-victim-pair quantization of each row of ``w``.
+
+        Returns ``(w_deq, scales)``.  Rows are weight groups.
+        """
+        w = np.asarray(w, dtype=np.float64)
+        if w.ndim != 2:
+            raise ValueError("quantize_rows expects a 2-D array")
+        n_rows, group_size = w.shape
+        qmax = self.int_type.qmax_symmetric
+
+        order = np.argsort(np.abs(w), axis=1)  # ascending magnitude
+        row_idx = np.arange(n_rows)[:, None]
+
+        best_deq = None
+        best_scale = None
+        best_err = np.full(n_rows, np.inf)
+
+        for k in self.outlier_counts:
+            if k >= group_size:
+                continue
+            if k == 0:
+                deq, _codes, scale, _z = self.int_type.quantize_rows(w)
+                scale = scale.copy()
+            else:
+                out_pos = order[:, group_size - k:]  # (n_rows, k)
+                normal_absmax = np.abs(
+                    w[row_idx[:, 0], order[:, group_size - k - 1]]
+                )[:, None]
+                scale = np.where(normal_absmax > 0, normal_absmax / qmax, 1.0)
+                deq = np.clip(np.round(w / scale), -qmax, qmax) * scale
+
+                # Outliers: snap |w|/scale onto the abfloat grid with a
+                # per-row adaptive bias covering the largest outlier.
+                out_vals = w[row_idx, out_pos]
+                out_mag = np.abs(out_vals) / scale
+                snapped = quantize_to_grid(out_mag, self._outlier_grid)
+                deq[row_idx, out_pos] = np.sign(out_vals) * snapped * scale
+
+                # Victims: the pair partner of each outlier is pruned,
+                # unless that partner is itself an outlier.
+                vic_pos = out_pos ^ 1
+                is_out = np.zeros((n_rows, group_size), dtype=bool)
+                is_out[row_idx, out_pos] = True
+                vic_is_out = is_out[row_idx, vic_pos]
+                vic_rows, vic_cols = np.nonzero(~vic_is_out)
+                deq[vic_rows, vic_pos[vic_rows, vic_cols]] = 0.0
+
+            err = np.sum((deq - w) ** 2, axis=1)
+            improved = err < best_err
+            if best_deq is None:
+                best_deq, best_scale, best_err = deq, scale, err
+            elif improved.any():
+                best_deq[improved] = deq[improved]
+                best_scale[improved] = scale[improved]
+                best_err[improved] = err[improved]
+
+        return best_deq, best_scale

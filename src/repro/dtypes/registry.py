@@ -1,0 +1,131 @@
+"""Datatype registry: string name -> datatype instance.
+
+The registry names mirror the paper's tables so experiment code reads
+like the paper:
+
+======================  ==========================================
+Name                    Datatype
+======================  ==========================================
+``int{b}_sym``          symmetric integer, b in 2..8
+``int{b}_asym``         asymmetric integer, b in 2..8
+``fp3`` / ``fp4``       basic FP3 / FP4 (E2M0 / E2M1)
+``fp6_e2m3``            FP6 with 2 exponent bits
+``fp6_e3m2``            FP6 with 3 exponent bits
+``fp3_er`` ...          BitMoD families restricted to the ER pair
+``fp3_ea`` ...          ... or the EA pair
+``bitmod_fp3``          full BitMoD 3-bit (4 special values)
+``bitmod_fp4``          full BitMoD 4-bit (4 special values)
+``flint{b}``            ANT flint grid
+``ant{b}``              ANT adaptive per-group selection
+``olive{b}``            OliVe outlier-victim pair
+``mx_fp{b}``            Microscaling, block size 32
+======================  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.dtypes.base import DataType, GridDataType
+from repro.dtypes.extended import BitMoDType
+from repro.dtypes.flint import AntAdaptiveType, flint_values, make_flint_type
+from repro.dtypes.floating import (
+    FP3_VALUES,
+    FP4_VALUES,
+    FP6_E2M3_VALUES,
+    FP6_E3M2_VALUES,
+)
+from repro.dtypes.integer import IntegerType
+from repro.dtypes.mx import MXType
+from repro.dtypes.olive import OliveType
+
+__all__ = ["get_dtype", "list_dtypes", "register_dtype"]
+
+_FACTORIES: Dict[str, Callable[[], DataType]] = {}
+
+
+def register_dtype(name: str, factory: Callable[[], DataType]) -> None:
+    """Register a datatype factory under ``name``."""
+    if name in _FACTORIES:
+        raise ValueError(f"datatype {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def _populate() -> None:
+    for bits in range(2, 9):
+        register_dtype(
+            f"int{bits}_sym",
+            lambda b=bits: IntegerType(bits=b, asymmetric=False),
+        )
+        register_dtype(
+            f"int{bits}_asym",
+            lambda b=bits: IntegerType(bits=b, asymmetric=True),
+        )
+    register_dtype(
+        "fp3", lambda: GridDataType(name="fp3", bits=3, values=FP3_VALUES)
+    )
+    register_dtype(
+        "fp4", lambda: GridDataType(name="fp4", bits=4, values=FP4_VALUES)
+    )
+    register_dtype(
+        "fp6_e2m3",
+        lambda: GridDataType(name="fp6_e2m3", bits=6, values=FP6_E2M3_VALUES),
+    )
+    register_dtype(
+        "fp6_e3m2",
+        lambda: GridDataType(name="fp6_e3m2", bits=6, values=FP6_E3M2_VALUES),
+    )
+    register_dtype(
+        "fp3_er",
+        lambda: BitMoDType(bits=3, special_values=(-3.0, 3.0), name="fp3_er"),
+    )
+    register_dtype(
+        "fp3_ea",
+        lambda: BitMoDType(bits=3, special_values=(-6.0, 6.0), name="fp3_ea"),
+    )
+    register_dtype(
+        "fp4_er",
+        lambda: BitMoDType(bits=4, special_values=(-5.0, 5.0), name="fp4_er"),
+    )
+    register_dtype(
+        "fp4_ea",
+        lambda: BitMoDType(bits=4, special_values=(-8.0, 8.0), name="fp4_ea"),
+    )
+    register_dtype("bitmod_fp3", lambda: BitMoDType(bits=3))
+    register_dtype("bitmod_fp4", lambda: BitMoDType(bits=4))
+    for bits in (3, 4, 5, 6):
+        register_dtype(f"flint{bits}", lambda b=bits: make_flint_type(b))
+        # "ant{b}" follows the BitMoD paper's per-group extension of
+        # ANT, which applies the Flint grid per group (their Table I
+        # Flint rows equal their Table VI ANT rows).  ANT's original
+        # per-tensor adaptive selection is "ant_adaptive{b}".
+        register_dtype(
+            f"ant{bits}",
+            lambda b=bits: GridDataType(
+                name=f"ant{b}", bits=b, values=flint_values(b)
+            ),
+        )
+        register_dtype(
+            f"ant_adaptive{bits}", lambda b=bits: AntAdaptiveType(bits=b)
+        )
+        register_dtype(f"olive{bits}", lambda b=bits: OliveType(bits=b))
+    for bits in (3, 4, 5, 6, 8):
+        register_dtype(f"mx_fp{bits}", lambda b=bits: MXType(bits=b))
+
+
+_populate()
+
+
+def get_dtype(name: str) -> DataType:
+    """Instantiate the datatype registered under ``name``."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise KeyError(f"unknown datatype {name!r}; known: {known}") from None
+    return factory()
+
+
+def list_dtypes() -> list:
+    """Sorted list of registered datatype names."""
+    return sorted(_FACTORIES)

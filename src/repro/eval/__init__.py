@@ -1,0 +1,25 @@
+"""Evaluation harnesses: perplexity proxy, tasks, memory, statistics."""
+
+from repro.eval.memory import MemoryProfile, profile_memory
+from repro.eval.perplexity import (
+    SENSITIVITY,
+    PerplexityEvaluator,
+    PerplexityResult,
+    kl_divergence_mean,
+)
+from repro.eval.stats import GranularityStats, profile_granularity
+from repro.eval.tasks import TASKS, DiscriminativeEvaluator, TaskSpec
+
+__all__ = [
+    "PerplexityEvaluator",
+    "PerplexityResult",
+    "kl_divergence_mean",
+    "SENSITIVITY",
+    "DiscriminativeEvaluator",
+    "TASKS",
+    "TaskSpec",
+    "MemoryProfile",
+    "profile_memory",
+    "GranularityStats",
+    "profile_granularity",
+]

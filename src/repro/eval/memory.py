@@ -1,0 +1,95 @@
+"""Memory-access profiling (paper Fig. 1 and the DRAM traffic model).
+
+Analytic model of total off-chip memory traffic for running a model on
+one request, split into weight accesses and activation accesses.  The
+paper's setting: batch size 1; discriminative tasks consume a
+256-token prompt and emit one token; generative tasks emit 256 tokens,
+refetching all weights for every generated token.
+
+Activation traffic counts reads+writes of layer inputs/outputs and the
+KV-cache, all in FP16 for the Fig. 1 baseline.  The model assumes
+weights do not fit on chip (true for multi-GB LLMs vs the 512 KB
+buffers of Section V-A) so every use refetches from DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+
+__all__ = ["MemoryProfile", "profile_memory"]
+
+_FP16_BYTES = 2.0
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Traffic (bytes) of one request."""
+
+    model: str
+    task: str
+    weight_bytes: float
+    activation_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.weight_bytes + self.activation_bytes
+
+    @property
+    def weight_fraction(self) -> float:
+        return self.weight_bytes / self.total_bytes
+
+
+def _activation_bytes_pass(cfg: ModelConfig, m: int, context: int) -> float:
+    """Activation reads+writes of one forward pass over ``m`` tokens
+    with ``context`` total tokens of KV-cache (FP16)."""
+    h = cfg.hidden
+    kv_dim = cfg.n_kv_heads * cfg.head_dim
+    per_layer = 0.0
+    # Block input read + output write.
+    per_layer += 2 * m * h
+    # Q/K/V produced, attention output, MLP intermediate traffic.
+    per_layer += m * (2 * h + 2 * kv_dim)
+    if cfg.gated_mlp:
+        per_layer += 3 * m * cfg.intermediate
+    else:
+        per_layer += 2 * m * cfg.intermediate
+    # KV-cache: write m new entries, read the whole context.
+    per_layer += 2 * kv_dim * (m + context)
+    total = cfg.n_layers * per_layer
+    # Embedding out + final logits write.
+    total += m * h + m * cfg.vocab
+    return total * _FP16_BYTES
+
+
+def profile_memory(
+    cfg: ModelConfig,
+    task: str = "generative",
+    prompt_len: int = 256,
+    gen_len: int = 256,
+    weight_bits: float = 16.0,
+) -> MemoryProfile:
+    """Fig. 1 memory model.
+
+    ``task`` is ``"discriminative"`` (prompt -> 1 token) or
+    ``"generative"`` (prompt -> ``gen_len`` tokens, one weight refetch
+    per generated token).
+    """
+    if task not in ("discriminative", "generative"):
+        raise ValueError("task must be 'discriminative' or 'generative'")
+    wbytes_once = cfg.weight_bytes(weight_bits)
+
+    act = _activation_bytes_pass(cfg, prompt_len, prompt_len)
+    if task == "discriminative":
+        weights = wbytes_once
+    else:
+        weights = wbytes_once * (1 + gen_len)
+        for t in range(gen_len):
+            act += _activation_bytes_pass(cfg, 1, prompt_len + t + 1)
+    return MemoryProfile(
+        model=cfg.name,
+        task=task,
+        weight_bytes=weights,
+        activation_bytes=act,
+    )

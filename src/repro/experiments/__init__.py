@@ -1,0 +1,18 @@
+"""Experiment harness: one module per paper table/figure.
+
+See ``repro.experiments.runner.EXPERIMENTS`` for the index, or run
+``bitmod-repro --list``.
+"""
+
+from repro.experiments.common import ExperimentResult, format_table
+from repro.experiments.compare import ComparisonReport, compare_table06
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "EXPERIMENTS",
+    "run_experiment",
+    "ComparisonReport",
+    "compare_table06",
+]

@@ -1,0 +1,106 @@
+"""Paper-vs-measured comparison engine.
+
+Runs a reproduced experiment and lines its numbers up against the
+paper's published values (:mod:`repro.experiments.paper_reference`),
+reporting both the cell-level deltas and whether the paper's *claimed
+orderings* (who beats whom) hold in the reproduction — the honest
+yardstick for a synthetic-substrate reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.experiments import paper_reference as ref
+from repro.experiments.common import ExperimentResult, format_table
+from repro.experiments.runner import run_experiment
+
+__all__ = ["OrderingCheck", "ComparisonReport", "compare_table06", "ordering_holds"]
+
+
+@dataclass
+class OrderingCheck:
+    """Did one paper-claimed ordering hold in the reproduction?"""
+
+    claim: str
+    paper: Tuple[float, float]
+    measured: Tuple[float, float]
+    holds: bool
+
+
+@dataclass
+class ComparisonReport:
+    """Paper-vs-measured summary for one experiment."""
+
+    experiment: str
+    rows: List[list] = field(default_factory=list)
+    orderings: List[OrderingCheck] = field(default_factory=list)
+
+    @property
+    def orderings_held(self) -> int:
+        return sum(1 for o in self.orderings if o.holds)
+
+    def __str__(self) -> str:
+        table = format_table(
+            f"Paper vs measured: {self.experiment}",
+            ["quantity", "paper", "measured"],
+            self.rows,
+        )
+        lines = [table, "", "Ordering checks:"]
+        for o in self.orderings:
+            mark = "OK " if o.holds else "DEV"
+            lines.append(f"  [{mark}] {o.claim}")
+        lines.append(
+            f"  {self.orderings_held}/{len(self.orderings)} paper orderings hold"
+        )
+        return "\n".join(lines)
+
+
+def ordering_holds(
+    claim: str, paper_pair: Tuple[float, float], measured_pair: Tuple[float, float]
+) -> OrderingCheck:
+    """Check that measured values preserve the paper pair's order."""
+    paper_lt = paper_pair[0] < paper_pair[1]
+    measured_lt = measured_pair[0] < measured_pair[1]
+    return OrderingCheck(
+        claim=claim,
+        paper=paper_pair,
+        measured=measured_pair,
+        holds=paper_lt == measured_lt,
+    )
+
+
+def compare_table06(result: ExperimentResult = None, quick: bool = False) -> ComparisonReport:
+    """Compare the reproduced Table VI against the paper."""
+    if result is None:
+        result = run_experiment("table06", quick=quick)
+    report = ComparisonReport(experiment="table06")
+
+    measured_mean: Dict[str, float] = {row[0]: row[-1] for row in result.rows}
+    for dtype, paper_mean in ref.TABLE_VI_MEAN_DPPL.items():
+        if dtype not in measured_mean:
+            continue
+        report.rows.append([f"mean dPPL {dtype}", paper_mean, measured_mean[dtype]])
+
+    claims = [
+        ("BitMoD-4b beats INT4-Asym", "bitmod_fp4", "int4_asym"),
+        ("BitMoD-4b beats OliVe-4b", "bitmod_fp4", "olive4"),
+        ("BitMoD-4b beats ANT-4b", "bitmod_fp4", "ant4"),
+        ("BitMoD-4b beats MX-FP4", "bitmod_fp4", "mx_fp4"),
+        ("BitMoD-3b beats INT3-Asym", "bitmod_fp3", "int3_asym"),
+        ("BitMoD-3b beats ANT-3b", "bitmod_fp3", "ant3"),
+        ("BitMoD-3b beats MX-FP3", "bitmod_fp3", "mx_fp3"),
+        ("BitMoD-3b beats OliVe-3b", "bitmod_fp3", "olive3"),
+        ("INT4-Asym beats ANT-4b", "int4_asym", "ant4"),
+    ]
+    for claim, a, b in claims:
+        if a in measured_mean and b in measured_mean:
+            report.orderings.append(
+                ordering_holds(
+                    claim,
+                    (ref.TABLE_VI_MEAN_DPPL[a], ref.TABLE_VI_MEAN_DPPL[b]),
+                    (measured_mean[a], measured_mean[b]),
+                )
+            )
+    return report

@@ -1,0 +1,43 @@
+"""Fig. 1 — weight vs activation memory access, four LLMs, two tasks."""
+
+from __future__ import annotations
+
+from repro.eval.memory import profile_memory
+from repro.experiments.common import ExperimentResult
+from repro.models.zoo import FIG1_MODELS, get_model_config
+
+__all__ = ["run", "main"]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    models = FIG1_MODELS[:2] if quick else FIG1_MODELS
+    result = ExperimentResult(
+        experiment="fig01",
+        title="Fig. 1: total memory access (GB), batch 1",
+        columns=["model", "task", "weights_gb", "activations_gb", "ratio"],
+        notes=(
+            "Discriminative = 256:1 tokens, generative = 256:256. "
+            "Weight access dominates by 1-2 orders of magnitude, more so "
+            "for generative tasks (weights refetched per output token)."
+        ),
+    )
+    for name in models:
+        cfg = get_model_config(name)
+        for task in ("discriminative", "generative"):
+            p = profile_memory(cfg, task)
+            result.add_row(
+                name,
+                task,
+                p.weight_bytes / 1e9,
+                p.activation_bytes / 1e9,
+                p.weight_bytes / p.activation_bytes,
+            )
+    return result
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Fig. 2 — normalized max value / range per quantization granularity."""
+
+from __future__ import annotations
+
+from repro.eval.stats import profile_granularity
+from repro.experiments.common import ExperimentResult
+from repro.models.zoo import FIG1_MODELS, get_model_config
+
+__all__ = ["run", "main"]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    models = FIG1_MODELS[:2] if quick else FIG1_MODELS
+    result = ExperimentResult(
+        experiment="fig02",
+        title="Fig. 2: max value and range normalized to sigma (group=128)",
+        columns=["model", "granularity", "norm_max", "norm_range"],
+        notes="Per-group granularity has the lowest normalized extremes.",
+    )
+    for name in models:
+        cfg = get_model_config(name)
+        for gran, stats in profile_granularity(cfg).items():
+            result.add_row(name, gran, stats.norm_max, stats.norm_range)
+    return result
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

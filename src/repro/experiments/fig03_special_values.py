@@ -1,0 +1,65 @@
+"""Fig. 3 — per-group quantization error of FP3 + one special value.
+
+For each candidate special value the normalized quantization error
+(MSE of the extended grid / MSE of basic FP3) is averaged over all
+weight groups of the model — the experiment behind Table IV's choice
+of {+-3, +-6}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.extended import make_extended_float
+from repro.dtypes.registry import get_dtype
+from repro.experiments.common import ALL_MODELS, ExperimentResult
+from repro.models.transformer import CausalLM
+from repro.models.zoo import get_model_config
+from repro.quant.granularity import to_rows
+from repro.quant.quantizer import quantize_rows_grid
+
+__all__ = ["run", "main", "SPECIAL_VALUES"]
+
+SPECIAL_VALUES = [3.0, 5.0, 6.0, 8.0]
+
+
+def _model_error(model_name: str, dtypes) -> list:
+    model = CausalLM(get_model_config(model_name), seed=0)
+    totals = np.zeros(len(dtypes))
+    base_total = 0.0
+    base = get_dtype("fp3")
+    for w in model.named_linears().values():
+        rows, _ = to_rows(w, "group", 128)
+        base_total += float(np.sum(quantize_rows_grid(rows, base).sq_error))
+        for i, dt in enumerate(dtypes):
+            # Best of the +v / -v pair per group, as in Algo. 1.
+            neg = quantize_rows_grid(rows, dt[0]).sq_error
+            pos = quantize_rows_grid(rows, dt[1]).sq_error
+            totals[i] += float(np.sum(np.minimum(neg, pos)))
+    return list(totals / base_total)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    models = ALL_MODELS[:2] if quick else ALL_MODELS
+    dtypes = [
+        (make_extended_float(3, -sv), make_extended_float(3, sv))
+        for sv in SPECIAL_VALUES
+    ]
+    result = ExperimentResult(
+        experiment="fig03",
+        title="Fig. 3: normalized FP3 quantization error per special value",
+        columns=["model"] + [f"SV +-{int(sv)}" for sv in SPECIAL_VALUES],
+        notes="Error normalized to basic FP3.  +-6 is lowest overall, "
+        "hence FP3-EA = +-6 (Table IV).",
+    )
+    for name in models:
+        result.add_row(name, *_model_error(name, dtypes))
+    return result
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Fig. 7 — speedup of ANT / OliVe / BitMoD over the FP16 baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ALL_MODELS, ExperimentResult
+from repro.experiments.policy import choose_weight_bits
+from repro.hw.baselines import make_accelerator
+from repro.hw.simulator import simulate
+from repro.models.zoo import get_model_config
+
+__all__ = ["run", "main"]
+
+_CONFIGS = [
+    ("ant", False),
+    ("olive", False),
+    ("bitmod-lossless", True),
+    ("bitmod-lossy", False),
+]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    models = ["opt-1.3b", "llama-2-7b"] if quick else ALL_MODELS
+    result = ExperimentResult(
+        experiment="fig07",
+        title="Fig. 7: speedup over the FP16 baseline (iso-compute area)",
+        columns=["config", "task"] + models + ["geomean"],
+        notes="Weight precision per accelerator/model follows the "
+        "measured quality policy (see experiments.policy).",
+    )
+    accels = {n: make_accelerator(n) for n in ("fp16", "ant", "olive", "bitmod")}
+    for label, lossless in _CONFIGS:
+        accel_name = label.split("-")[0]
+        accel = accels[accel_name]
+        for task in ("discriminative", "generative"):
+            speedups = []
+            for m in models:
+                cfg = get_model_config(m)
+                base = simulate(cfg, accels["fp16"], task, 16)
+                bits = choose_weight_bits(accel_name, m, task, lossless=lossless)
+                r = simulate(cfg, accel, task, bits)
+                speedups.append(base.cycles / r.cycles)
+            geo = float(np.exp(np.mean(np.log(speedups))))
+            result.add_row(label, task, *speedups, geo)
+    return result
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Fig. 8 — normalized energy breakdown (on-chip compute vs DRAM)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ALL_MODELS, ExperimentResult
+from repro.experiments.policy import choose_weight_bits
+from repro.hw.baselines import make_accelerator
+from repro.hw.simulator import simulate
+from repro.models.zoo import get_model_config
+
+__all__ = ["run", "main"]
+
+_CONFIGS = [
+    ("fp16", False),
+    ("ant", False),
+    ("olive", False),
+    ("bitmod-lossless", True),
+    ("bitmod-lossy", False),
+]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    models = ["opt-1.3b", "llama-2-7b"] if quick else ALL_MODELS
+    result = ExperimentResult(
+        experiment="fig08",
+        title="Fig. 8: energy, normalized to the FP16 baseline",
+        columns=["model", "task", "config", "onchip_norm", "dram_norm", "total_norm"],
+        notes="'LL' = lossless (INT6), 'LY' = lossy (4/3-bit) BitMoD. "
+        "DRAM dominates generative energy; weight precision drives it.",
+    )
+    accels = {n: make_accelerator(n) for n in ("fp16", "ant", "olive", "bitmod")}
+    for m in models:
+        cfg = get_model_config(m)
+        for task in ("discriminative", "generative"):
+            base = simulate(cfg, accels["fp16"], task, 16)
+            for label, lossless in _CONFIGS:
+                accel_name = label.split("-")[0]
+                bits = choose_weight_bits(accel_name, m, task, lossless=lossless)
+                r = simulate(cfg, accels[accel_name], task, bits)
+                result.add_row(
+                    m,
+                    task,
+                    label,
+                    r.energy.onchip_uj / base.energy.total_uj,
+                    r.energy.dram_uj / base.energy.total_uj,
+                    r.energy.total_uj / base.energy.total_uj,
+                )
+    return result
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Fig. 9 — perplexity vs energy-delay-product Pareto plot.
+
+For Phi-2B and Llama-2-7B, every accelerator is swept across its
+weight precisions; each point pairs the measured Wikitext perplexity
+of the accelerator's datatype (at its native granularity) with the
+simulated EDP of the generative workload.  BitMoD's points sit on the
+Pareto frontier.
+"""
+
+from __future__ import annotations
+
+from repro.eval.perplexity import PerplexityEvaluator
+from repro.experiments.common import ExperimentResult
+from repro.hw.baselines import make_accelerator
+from repro.hw.simulator import simulate
+from repro.models.zoo import get_model_config
+from repro.quant.config import QuantConfig
+
+__all__ = ["run", "main", "SWEEPS"]
+
+#: accelerator -> [(bits, dtype, granularity)]
+SWEEPS = {
+    "ant": [
+        (3, "ant3", "channel"),
+        (4, "ant4", "channel"),
+        (5, "flint5", "channel"),
+        (6, "flint6", "channel"),
+        (8, "int8_sym", "channel"),
+    ],
+    "olive": [
+        (3, "olive3", "channel"),
+        (4, "olive4", "channel"),
+        (5, "olive5", "channel"),
+        (6, "olive6", "channel"),
+        (8, "int8_sym", "channel"),
+    ],
+    "bitmod": [
+        (3, "bitmod_fp3", "group"),
+        (4, "bitmod_fp4", "group"),
+        (5, "int5_asym", "group"),
+        (6, "int6_sym", "group"),
+        (8, "int8_sym", "group"),
+    ],
+}
+
+_MODELS = ["phi-2b", "llama-2-7b"]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    models = _MODELS[:1] if quick else _MODELS
+    result = ExperimentResult(
+        experiment="fig09",
+        title="Fig. 9: Wikitext PPL vs EDP (normalized to FP16 baseline)",
+        columns=["model", "accelerator", "bits", "ppl", "edp_norm"],
+        notes="Lower-left is better; BitMoD sits on the Pareto frontier.",
+    )
+    fp16 = make_accelerator("fp16")
+    for m in models:
+        cfg = get_model_config(m)
+        ev = PerplexityEvaluator(cfg, "wikitext")
+        base = simulate(cfg, fp16, "generative", 16)
+        for accel_name, sweep in SWEEPS.items():
+            accel = make_accelerator(accel_name)
+            points = sweep if not quick else sweep[:3]
+            for bits, dtype, gran in points:
+                ppl = ev.evaluate_config(
+                    QuantConfig(dtype=dtype, granularity=gran)
+                ).ppl
+                r = simulate(cfg, accel, "generative", bits)
+                result.add_row(m, accel_name, bits, ppl, r.edp / base.edp)
+    return result
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

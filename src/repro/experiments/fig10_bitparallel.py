@@ -1,0 +1,60 @@
+"""Fig. 10 — mixed-precision bit-parallel PEs vs the BitMoD PE.
+
+A FIGNA-style FP16xINT8 PE is small, but making it *decomposable*
+(two FP16xINT4 ops per cycle) duplicates the accumulator and output
+register, ending up larger than the plain FP16 PE — while the
+bit-serial BitMoD PE supports every precision with one accumulator.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.hw.energy import (
+    bit_parallel_pe_cost,
+    bitmod_pe_tile_cost,
+    fp16_fp16_pe_cost,
+)
+
+__all__ = ["run", "main"]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    fp_fp = fp16_fp16_pe_cost()
+    result = ExperimentResult(
+        experiment="fig10",
+        title="Fig. 10: PE area/power normalized to the FP16-FP16 PE",
+        columns=["pe", "area_norm", "power_norm", "weight_precisions"],
+        notes="The decomposable bit-parallel PE pays two accumulators "
+        "and output registers; BitMoD needs one for any precision.",
+    )
+    result.add_row("fp16-fp16", 1.0, 1.0, "fp16")
+    fp_int8 = bit_parallel_pe_cost(8)
+    result.add_row(
+        "fp16-int8",
+        fp_int8["area_um2"] / fp_fp["area_um2"],
+        fp_int8["power_mw"] / fp_fp["power_mw"],
+        "int8",
+    )
+    dual = bit_parallel_pe_cost(8, dual_issue=True)
+    result.add_row(
+        "fp16-int8/dual-int4",
+        dual["area_um2"] / fp_fp["area_um2"],
+        dual["power_mw"] / fp_fp["power_mw"],
+        "int8, 2x int4",
+    )
+    bitmod = bitmod_pe_tile_cost()
+    result.add_row(
+        "bitmod (bit-serial)",
+        bitmod.area_per_pe / fp_fp["area_um2"],
+        (bitmod.total_power / bitmod.n_pes) / fp_fp["power_mw"],
+        "int8/6/5, fp4/3 + SVs",
+    )
+    return result
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Weight-precision policy for the accelerator comparison (Fig. 7/8).
+
+The paper's framing: ANT and OliVe "must adopt a higher weight
+precision to compensate for the significant degradation in perplexity"
+because their datatypes cannot hold per-group quality at low
+precision, while BitMoD runs lossless at INT6 or lossy at 4/3 bits.
+
+We make that policy *measured*: an accelerator may use its lowest
+supported precision only if its own datatype, at its native
+granularity, keeps the Wikitext perplexity increase under a quality
+threshold on that model; otherwise it falls back to the next supported
+precision.  ANT and OliVe natively support per-channel quantization
+only (no dequantization hardware for per-group scales — Table III).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.eval.perplexity import PerplexityEvaluator
+from repro.models.zoo import get_model_config
+from repro.quant.config import QuantConfig
+
+__all__ = ["choose_weight_bits", "QUALITY_THRESHOLD_DPPL"]
+
+#: Acceptable perplexity increase over FP16 for a "lossy" deployment.
+QUALITY_THRESHOLD_DPPL = 1.0
+
+
+@lru_cache(maxsize=None)
+def _delta_ppl(model: str, dtype: str, granularity: str) -> float:
+    ev = PerplexityEvaluator(get_model_config(model), "wikitext")
+    r = ev.evaluate_config(QuantConfig(dtype=dtype, granularity=granularity))
+    return r.ppl - ev.fp16_ppl
+
+
+def choose_weight_bits(
+    accel: str,
+    model: str,
+    task: str,
+    lossless: bool = False,
+    threshold: float = QUALITY_THRESHOLD_DPPL,
+) -> int:
+    """Weight precision an accelerator uses on a model/task.
+
+    * ``fp16`` — always 16.
+    * ``bitmod`` lossless — INT6 (near-zero loss per Table II).
+    * ``bitmod`` lossy — 4-bit (discriminative) / 3-bit (generative),
+      the paper's Section V-C configuration.
+    * ``ant`` / ``olive`` — 4-bit when their own per-channel datatype
+      stays within ``threshold`` perplexity increase, else 8-bit.
+    """
+    if accel == "fp16":
+        return 16
+    if accel == "bitmod":
+        if lossless:
+            return 6
+        return 4 if task == "discriminative" else 3
+    if accel in ("ant", "olive"):
+        dtype = f"{accel}4"
+        if _delta_ppl(model, dtype, "channel") <= threshold:
+            return 4
+        return 8
+    raise KeyError(f"unknown accelerator {accel!r}")

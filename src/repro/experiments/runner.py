@@ -1,0 +1,92 @@
+"""CLI for regenerating any paper table or figure.
+
+Usage::
+
+    bitmod-repro table06            # one experiment
+    bitmod-repro --all              # everything
+    bitmod-repro --all --quick      # trimmed versions (CI-friendly)
+    bitmod-repro --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Dict
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+EXPERIMENTS: Dict[str, str] = {
+    "fig01": "repro.experiments.fig01_memory",
+    "fig02": "repro.experiments.fig02_granularity",
+    "table01": "repro.experiments.table01_granularity_ppl",
+    "table02": "repro.experiments.table02_6bit",
+    "fig03": "repro.experiments.fig03_special_values",
+    "table05": "repro.experiments.table05_scale_precision",
+    "table06": "repro.experiments.table06_main_ppl",
+    "table07": "repro.experiments.table07_discriminative",
+    "table08": "repro.experiments.table08_er_ea_ablation",
+    "table09": "repro.experiments.table09_sv_ablation",
+    "table10": "repro.experiments.table10_tile_area",
+    "fig07": "repro.experiments.fig07_speedup",
+    "fig08": "repro.experiments.fig08_energy",
+    "fig09": "repro.experiments.fig09_pareto",
+    "fig10": "repro.experiments.fig10_bitparallel",
+    "table11": "repro.experiments.table11_methods",
+    "table12": "repro.experiments.table12_smoothquant",
+    # Extensions beyond the paper's own evaluation (DESIGN.md §6).
+    "ablation_group_size": "repro.experiments.ablation_group_size",
+    "ablation_encoding": "repro.experiments.ablation_encoding",
+}
+
+
+def run_experiment(name: str, quick: bool = False):
+    """Run one experiment by name and return its ExperimentResult."""
+    try:
+        module_name = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+    module = importlib.import_module(module_name)
+    return module.run(quick=quick)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bitmod-repro",
+        description="Regenerate tables/figures of the BitMoD paper.",
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment ids (e.g. table06)")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--quick", action="store_true", help="trimmed versions")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="after table06, print the paper-vs-measured comparison",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    names = list(EXPERIMENTS) if args.all else args.experiments
+    if not names:
+        parser.print_help()
+        return 1
+    for name in names:
+        result = run_experiment(name, quick=args.quick)
+        print(result)
+        print()
+        if args.compare and name == "table06":
+            from repro.experiments.compare import compare_table06
+
+            print(compare_table06(result))
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

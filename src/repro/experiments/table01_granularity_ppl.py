@@ -1,0 +1,45 @@
+"""Table I — Wikitext-2 perplexity, per-channel vs per-group, 4-bit."""
+
+from __future__ import annotations
+
+from repro.eval.perplexity import PerplexityEvaluator
+from repro.experiments.common import ExperimentResult
+from repro.models.zoo import TABLE1_MODELS, get_model_config
+from repro.quant.config import QuantConfig
+
+__all__ = ["run", "main", "DTYPES"]
+
+DTYPES = ["int4_sym", "int4_asym", "fp4", "flint4"]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    models = TABLE1_MODELS[:2] if quick else TABLE1_MODELS
+    cols = ["dtype"]
+    for m in models:
+        cols += [f"{m}/PC", f"{m}/PG"]
+    result = ExperimentResult(
+        experiment="table01",
+        title="Table I: Wikitext-2 PPL by granularity and 4-bit datatype",
+        columns=cols,
+        notes="PC = per-channel, PG = per-group (group size 128).",
+    )
+    evals = {m: PerplexityEvaluator(get_model_config(m), "wikitext") for m in models}
+    result.add_row("fp16", *[v for m in models for v in (evals[m].fp16_ppl,) * 2])
+    for dt in DTYPES:
+        row = [dt]
+        for m in models:
+            pc = evals[m].evaluate_config(
+                QuantConfig(dtype=dt, granularity="channel")
+            )
+            pg = evals[m].evaluate_config(QuantConfig(dtype=dt, granularity="group"))
+            row += [pc.ppl, pg.ppl]
+        result.add_row(*row)
+    return result
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Table II — Wikitext-2 and C4 perplexity for 6-bit datatypes."""
+
+from __future__ import annotations
+
+from repro.eval.perplexity import PerplexityEvaluator
+from repro.experiments.common import ExperimentResult
+from repro.models.zoo import TABLE1_MODELS, get_model_config
+
+__all__ = ["run", "main", "DTYPES"]
+
+DTYPES = ["int6_sym", "int6_asym", "fp6_e2m3", "fp6_e3m2"]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    models = TABLE1_MODELS[:2] if quick else TABLE1_MODELS
+    datasets = ["wikitext"] if quick else ["wikitext", "c4"]
+    cols = ["dtype"] + [f"{m}/{d}" for m in models for d in datasets]
+    result = ExperimentResult(
+        experiment="table02",
+        title="Table II: 6-bit datatype PPL (per-group, group 128)",
+        columns=cols,
+        notes="All 6-bit datatypes are near-lossless, motivating INT6 "
+        "as BitMoD's lossless configuration.",
+    )
+    evals = {
+        (m, d): PerplexityEvaluator(get_model_config(m), d)
+        for m in models
+        for d in datasets
+    }
+    result.add_row(
+        "fp16", *[evals[(m, d)].fp16_ppl for m in models for d in datasets]
+    )
+    for dt in DTYPES:
+        row = [dt]
+        for m in models:
+            for d in datasets:
+                row.append(evals[(m, d)].evaluate_config(dt).ppl)
+        result.add_row(*row)
+    return result
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

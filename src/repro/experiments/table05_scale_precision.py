@@ -1,0 +1,49 @@
+"""Table V — perplexity vs per-group scaling-factor precision."""
+
+from __future__ import annotations
+
+from repro.eval.perplexity import PerplexityEvaluator
+from repro.experiments.common import ExperimentResult
+from repro.models.zoo import TABLE1_MODELS, get_model_config
+from repro.quant.config import QuantConfig
+
+__all__ = ["run", "main", "SF_BITS"]
+
+SF_BITS = [None, 8, 6, 4, 2]  # None = FP16 scales
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    models = TABLE1_MODELS[:2] if quick else TABLE1_MODELS
+    datasets = ["wikitext"] if quick else ["wikitext", "c4"]
+    cols = ["sf_bits"] + [f"{m}/{d}" for m in models for d in datasets]
+    result = ExperimentResult(
+        experiment="table05",
+        title="Table V: PPL vs scaling-factor precision (INT4-grid weights)",
+        columns=cols,
+        notes="INT8 scaling factors are lossless vs FP16; INT2 is not. "
+        "BitMoD therefore uses INT8 (Section III-C).",
+    )
+    evals = {
+        (m, d): PerplexityEvaluator(get_model_config(m), d)
+        for m in models
+        for d in datasets
+    }
+    for sf in SF_BITS:
+        label = "fp16" if sf is None else f"int{sf}"
+        row = [label]
+        for m in models:
+            for d in datasets:
+                # A symmetric-grid 4-bit datatype exercises the
+                # second-level scale quantization path end to end.
+                cfg = QuantConfig(dtype="fp4", scale_bits=sf)
+                row.append(evals[(m, d)].evaluate_config(cfg).ppl)
+        result.add_row(*row)
+    return result
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

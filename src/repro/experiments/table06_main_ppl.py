@@ -1,0 +1,51 @@
+"""Table VI — the headline comparison: 4-bit and 3-bit PPL across
+ANT, OliVe, MX, INT-Asym, and BitMoD on six LLMs."""
+
+from __future__ import annotations
+
+from repro.eval.perplexity import PerplexityEvaluator
+from repro.experiments.common import ALL_MODELS, ExperimentResult
+from repro.models.zoo import get_model_config
+
+__all__ = ["run", "main", "DTYPES_4BIT", "DTYPES_3BIT"]
+
+DTYPES_4BIT = ["ant4", "olive4", "mx_fp4", "int4_asym", "bitmod_fp4"]
+DTYPES_3BIT = ["ant3", "olive3", "mx_fp3", "int3_asym", "bitmod_fp3"]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    models = ["opt-1.3b", "llama-2-7b"] if quick else ALL_MODELS
+    datasets = ["wikitext"] if quick else ["wikitext", "c4"]
+    cols = ["dtype"] + [f"{m}/{d}" for m in models for d in datasets] + ["mean_dppl"]
+    result = ExperimentResult(
+        experiment="table06",
+        title="Table VI: per-group weight quantization PPL (4-bit / 3-bit)",
+        columns=cols,
+        notes="MX uses its native 32-element blocks; everything else "
+        "group size 128.  mean_dppl = mean perplexity increase over FP16.",
+    )
+    evals = {
+        (m, d): PerplexityEvaluator(get_model_config(m), d)
+        for m in models
+        for d in datasets
+    }
+    fp16 = [evals[(m, d)].fp16_ppl for m in models for d in datasets]
+    result.add_row("fp16", *fp16, 0.0)
+    for dtypes in (DTYPES_4BIT, DTYPES_3BIT):
+        for dt in dtypes:
+            vals = [
+                evals[(m, d)].evaluate_config(dt).ppl
+                for m in models
+                for d in datasets
+            ]
+            mean_delta = sum(v - f for v, f in zip(vals, fp16)) / len(vals)
+            result.add_row(dt, *vals, mean_delta)
+    return result
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

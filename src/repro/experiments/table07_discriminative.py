@@ -1,0 +1,53 @@
+"""Table VII — zero-shot accuracy: INT-Asym vs BitMoD at 4/3 bits."""
+
+from __future__ import annotations
+
+from repro.eval.tasks import DiscriminativeEvaluator
+from repro.experiments.common import ALL_MODELS, ExperimentResult
+from repro.models.zoo import get_model_config
+from repro.quant.config import QuantConfig, quantize_tensor
+
+__all__ = ["run", "main", "TASK_NAMES"]
+
+TASK_NAMES = ["hellaswag", "winogrande", "piqa"]
+
+
+def _acc(ev: DiscriminativeEvaluator, dtype: str) -> float:
+    cfg = QuantConfig(dtype=dtype)
+
+    def quantize(_name, w):
+        return quantize_tensor(w, cfg).w_deq
+
+    return ev.evaluate_quantizer(quantize)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    models = ["opt-1.3b", "llama-2-7b"] if quick else ALL_MODELS
+    tasks = TASK_NAMES[:1] if quick else TASK_NAMES
+    n_items = 64 if quick else 128
+    cols = ["dtype"] + [f"{m}/{t[:5]}" for m in models for t in tasks] + ["mean_dacc"]
+    result = ExperimentResult(
+        experiment="table07",
+        title="Table VII: discriminative accuracy (%), per-group weights",
+        columns=cols,
+        notes="mean_dacc = mean accuracy change vs FP16 (percentage points).",
+    )
+    evals = {
+        (m, t): DiscriminativeEvaluator(get_model_config(m), t, n_items=n_items)
+        for m in models
+        for t in tasks
+    }
+    fp16 = [evals[(m, t)].fp16_accuracy * 100 for m in models for t in tasks]
+    result.add_row("fp16", *fp16, 0.0)
+    for dt in ("int4_asym", "bitmod_fp4", "int3_asym", "bitmod_fp3"):
+        vals = [_acc(evals[(m, t)], dt) for m in models for t in tasks]
+        result.add_row(dt, *vals, sum(v - f for v, f in zip(vals, fp16)) / len(vals))
+    return result
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

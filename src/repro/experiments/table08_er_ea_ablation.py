@@ -1,0 +1,52 @@
+"""Table VIII — ER/EA datatype ablation on the Llama models.
+
+The paper's crossover: at 4-bit, extra resolution (ER) beats extra
+asymmetry (EA); at 3-bit, EA beats ER; full BitMoD beats both.
+"""
+
+from __future__ import annotations
+
+from repro.eval.perplexity import PerplexityEvaluator
+from repro.experiments.common import LLAMA_MODELS, ExperimentResult
+from repro.models.zoo import get_model_config
+
+__all__ = ["run", "main", "DTYPES"]
+
+DTYPES = {
+    4: ["fp4", "fp4_er", "fp4_ea", "bitmod_fp4"],
+    3: ["fp3", "fp3_er", "fp3_ea", "bitmod_fp3"],
+}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    models = LLAMA_MODELS[:1] if quick else LLAMA_MODELS
+    datasets = ["wikitext"] if quick else ["wikitext", "c4"]
+    cols = ["dtype"] + [f"{m}/{d}" for m in models for d in datasets]
+    result = ExperimentResult(
+        experiment="table08",
+        title="Table VIII: extended-datatype ablation (Llama models)",
+        columns=cols,
+        notes="ER wins at 4-bit, EA wins at 3-bit, BitMoD (adaptive over "
+        "both) wins everywhere.",
+    )
+    evals = {
+        (m, d): PerplexityEvaluator(get_model_config(m), d)
+        for m in models
+        for d in datasets
+    }
+    for bits in (4, 3):
+        for dt in DTYPES[bits]:
+            row = [dt]
+            for m in models:
+                for d in datasets:
+                    row.append(evals[(m, d)].evaluate_config(dt).ppl)
+            result.add_row(*row)
+    return result
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

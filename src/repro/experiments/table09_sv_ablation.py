@@ -1,0 +1,60 @@
+"""Table IX — FP3 special-value-set ablation.
+
+The BitMoD decoder's special-value register file can hold arbitrary
+values; this experiment compares three candidate sets and confirms
+{+-3, +-6} (ER + EA) is the best default.
+"""
+
+from __future__ import annotations
+
+from repro.dtypes.extended import BitMoDType
+from repro.eval.perplexity import PerplexityEvaluator
+from repro.experiments.common import ExperimentResult
+from repro.models.zoo import get_model_config
+from repro.quant.config import QuantConfig
+
+__all__ = ["run", "main", "SV_SETS"]
+
+SV_SETS = {
+    "{+-5, +-6}": (-5.0, 5.0, -6.0, 6.0),
+    "{+-3, +-5}": (-3.0, 3.0, -5.0, 5.0),
+    "{+-3, +-6}": (-3.0, 3.0, -6.0, 6.0),
+}
+
+_MODELS = ["opt-1.3b", "phi-2b", "llama-2-7b", "llama-3-8b"]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    models = _MODELS[:2] if quick else _MODELS
+    datasets = ["wikitext"] if quick else ["wikitext", "c4"]
+    cols = ["sv_set"] + [f"{m}/{d}" for m in models for d in datasets]
+    result = ExperimentResult(
+        experiment="table09",
+        title="Table IX: FP3 special-value set ablation",
+        columns=cols,
+        notes="The adopted {+-3, +-6} combines symmetric extra resolution "
+        "with the best asymmetric range extension.",
+    )
+    evals = {
+        (m, d): PerplexityEvaluator(get_model_config(m), d)
+        for m in models
+        for d in datasets
+    }
+    for label, svs in SV_SETS.items():
+        dtype = BitMoDType(bits=3, special_values=svs, name="fp3_ablation")
+        row = [label]
+        for m in models:
+            for d in datasets:
+                row.append(
+                    evals[(m, d)].evaluate_config(QuantConfig(dtype=dtype)).ppl
+                )
+        result.add_row(*row)
+    return result
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Table XI — software-method comparison and BitMoD combinations.
+
+QuaRot / GPTQ / AWQ / OmniQuant with asymmetric-integer weights,
+versus AWQ / OmniQuant with the BitMoD datatypes swapped in.
+"""
+
+from __future__ import annotations
+
+from repro.eval.perplexity import PerplexityEvaluator
+from repro.experiments.common import LLAMA_MODELS, ExperimentResult
+from repro.methods import AWQ, GPTQ, OmniQuant, QuaRot, collect_calibration
+from repro.models.zoo import get_model_config
+from repro.quant.config import QuantConfig
+
+__all__ = ["run", "main"]
+
+
+def _method_rows(bits: int):
+    int_dt = f"int{bits}_asym"
+    bm_dt = f"bitmod_fp{bits}"
+    return [
+        ("QuaRot", QuaRot, int_dt),
+        ("GPTQ", GPTQ, int_dt),
+        ("AWQ", AWQ, int_dt),
+        ("OmniQ", OmniQuant, int_dt),
+        ("BitMoD+AWQ", AWQ, bm_dt),
+        ("BitMoD+OmniQ", OmniQuant, bm_dt),
+    ]
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    models = LLAMA_MODELS[:1] if quick else LLAMA_MODELS
+    datasets = ["wikitext"] if quick else ["wikitext", "c4"]
+    bit_list = [3] if quick else [4, 3]
+    cols = (
+        ["bits", "method"]
+        + [f"{m}/{d}" for m in models for d in datasets]
+        + ["mean_dppl"]
+    )
+    result = ExperimentResult(
+        experiment="table11",
+        title="Table XI: quantization strategies on the Llama models",
+        columns=cols,
+        notes="BitMoD composed with AWQ/OmniQuant pushes the frontier "
+        "(Section V-E, 'orthogonal to quantization optimization').",
+    )
+    evals = {}
+    calibs = {}
+    for m in models:
+        for d in datasets:
+            evals[(m, d)] = PerplexityEvaluator(get_model_config(m), d)
+        calibs[m] = collect_calibration(evals[(m, datasets[0])].model)
+
+    fp16 = [evals[(m, d)].fp16_ppl for m in models for d in datasets]
+    result.add_row(16, "fp16", *fp16, 0.0)
+    for bits in bit_list:
+        for label, factory, dtype in _method_rows(bits):
+            vals = []
+            for m in models:
+                method = factory(QuantConfig(dtype=dtype))
+                qmodel = method.quantize_model(
+                    evals[(m, datasets[0])].model, calibs[m]
+                )
+                for d in datasets:
+                    vals.append(evals[(m, d)].evaluate_model(qmodel).ppl)
+            mean_delta = sum(v - f for v, f in zip(vals, fp16)) / len(vals)
+            result.add_row(bits, label, *vals, mean_delta)
+    return result
+
+
+def main() -> None:
+    print(run())
+
+
+if __name__ == "__main__":
+    main()

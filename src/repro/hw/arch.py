@@ -1,0 +1,89 @@
+"""Accelerator architecture description (paper Section IV-C, Fig. 6).
+
+The BitMoD accelerator: a 4x4 grid of PE tiles, each tile 8 rows x 8
+columns of bit-serial PEs; 512 KB input and 512 KB weight buffers;
+output-stationary dataflow with weight terms broadcast down columns
+and inputs broadcast across rows.  All accelerators in the evaluation
+are configured under an *iso-compute-area* constraint, so a design
+with smaller PEs fits proportionally more of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ArchConfig", "BITMOD_ARCH", "BASELINE_FP16_ARCH"]
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """One accelerator configuration.
+
+    ``pe_throughput`` is MACs per cycle per PE for a *bit-parallel* PE
+    (ignored for bit-serial designs, where throughput is
+    ``pe_lanes / terms_per_weight``).
+    """
+
+    name: str
+    #: PE grid (already scaled for iso-area by the factory functions).
+    pe_rows: int = 32
+    pe_cols: int = 32
+    #: 4-way dot-product lanes of a bit-serial PE.
+    pe_lanes: int = 4
+    bit_serial: bool = True
+    frequency_ghz: float = 1.0
+    weight_buffer_kb: int = 512
+    input_buffer_kb: int = 512
+    #: Effective DRAM bandwidth (DDR4-3200 x64 channel).
+    dram_gbps: float = 25.6
+    #: Per-PE area in um^2 (28 nm), used for iso-area scaling.
+    pe_area_um2: float = 1517.0
+    #: Per-PE average power in mW at 1 GHz.
+    pe_power_mw: float = 0.586
+    #: Weight-decoder (bit-serial term generator) area/power per tile.
+    encoder_area_um2: float = 2419.0
+    encoder_power_mw: float = 1.86
+    pes_per_tile: int = 64
+
+    @property
+    def n_pes(self) -> int:
+        return self.pe_rows * self.pe_cols
+
+    def peak_macs_per_cycle(self, terms_per_weight: int = 1) -> float:
+        """Peak MAC throughput of the whole array."""
+        if self.bit_serial:
+            return self.n_pes * self.pe_lanes / terms_per_weight
+        return self.n_pes * 1.0
+
+    def compute_area_um2(self) -> float:
+        area = self.n_pes * self.pe_area_um2
+        n_tiles = self.n_pes / self.pes_per_tile
+        return area + n_tiles * self.encoder_area_um2
+
+
+#: Published Table X numbers: the BitMoD tile has 8x8 PEs in 99,509
+#: um^2 (including encoder); the FP16 baseline tile fits 6x8 PEs in
+#: 95,498 um^2.  Per-PE figures below are those numbers divided out.
+BITMOD_ARCH = ArchConfig(
+    name="bitmod",
+    pe_rows=32,
+    pe_cols=32,
+    bit_serial=True,
+    pe_area_um2=97090.0 / 64,
+    pe_power_mw=37.5 / 64,
+    encoder_area_um2=2419.0,
+    encoder_power_mw=1.86,
+    pes_per_tile=64,
+)
+
+BASELINE_FP16_ARCH = ArchConfig(
+    name="fp16",
+    pe_rows=24,  # 4x4 tiles of 6x8 PEs under iso-area (Table X)
+    pe_cols=32,
+    bit_serial=False,
+    pe_area_um2=95498.0 / 48,
+    pe_power_mw=36.96 / 48,
+    encoder_area_um2=0.0,
+    encoder_power_mw=0.0,
+    pes_per_tile=48,
+)

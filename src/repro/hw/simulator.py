@@ -1,0 +1,143 @@
+"""End-to-end accelerator simulator (drives Figs. 7, 8, 9).
+
+For one (model, accelerator, task, weight-precision) combination the
+simulator walks every GEMM of the workload, computes compute cycles
+from the timing model and memory cycles from the DRAM traffic model,
+takes the max per pass (double-buffered overlap), and accumulates the
+energy breakdown (DRAM / buffers / core+encoder).
+
+Workloads follow Section V-A: batch 1, 256-token prompt; generative
+tasks emit 256 tokens, each refetching all weights.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hw.baselines import AcceleratorSpec
+from repro.hw.dram import TrafficModel
+from repro.hw.energy import (
+    DRAM_ENERGY_PJ_PER_BYTE,
+    EnergyBreakdown,
+    sram_energy_pj_per_byte,
+)
+from repro.hw.timing import gemm_compute_cycles
+from repro.models.config import ModelConfig
+
+__all__ = ["SimResult", "simulate", "simulate_workload"]
+
+
+@dataclass
+class SimResult:
+    """Latency + energy of one workload run."""
+
+    model: str
+    accelerator: str
+    task: str
+    weight_bits: float
+    cycles: float
+    energy: EnergyBreakdown
+
+    @property
+    def time_ms(self) -> float:
+        return self.cycles / 1e9 * 1e3  # 1 GHz
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (uJ * ms)."""
+        return self.energy.total_uj * self.time_ms
+
+
+def _pass_result(
+    cfg: ModelConfig,
+    accel: AcceleratorSpec,
+    weight_bits: float,
+    m: int,
+    context: int,
+) -> tuple:
+    """(cycles, energy) of one forward pass over ``m`` tokens."""
+    arch = accel.arch
+    sram_pj = sram_energy_pj_per_byte(arch.weight_buffer_kb)
+    terms = accel.terms_per_weight(int(round(weight_bits)))
+    kv_terms = accel.terms_per_weight(accel.kv_bits)
+
+    compute_cycles = 0.0
+    active_pe_cycles = 0.0
+    buffer_pj = 0.0
+    gemms = cfg.block_gemms(m) + [cfg.lm_head_gemm(m)]
+    for gemm in gemms:
+        t = gemm_compute_cycles(
+            gemm, arch, terms_per_weight=terms, macs_per_cycle=accel.macs_per_cycle
+        )
+        compute_cycles += t.compute_cycles
+        active_pe_cycles += t.active_pe_cycles
+        w_bytes = gemm.weight_elements * weight_bits / 8.0
+        a_bytes = gemm.m * gemm.k * gemm.count * gemm.repeat * 2.0
+        m_tiles = math.ceil(gemm.m / arch.pe_rows)
+        n_tiles = math.ceil(gemm.n / arch.pe_cols)
+        buffer_pj += (w_bytes * m_tiles + a_bytes * n_tiles) * sram_pj
+
+    # Attention activation-activation GEMMs at KV precision.
+    for gemm in cfg.attention_gemms(m, context):
+        t = gemm_compute_cycles(
+            gemm, arch, terms_per_weight=kv_terms, macs_per_cycle=accel.macs_per_cycle
+        )
+        compute_cycles += t.compute_cycles
+        active_pe_cycles += t.active_pe_cycles
+
+    traffic = TrafficModel(cfg, weight_bits=weight_bits, kv_bits=accel.kv_bits)
+    tr = traffic.pass_traffic(m, context)
+    bytes_per_cycle = arch.dram_gbps / arch.frequency_ghz
+    memory_cycles = tr.total_bytes / bytes_per_cycle
+
+    cycles = max(compute_cycles, memory_cycles)
+
+    pe_pj = active_pe_cycles * arch.pe_power_mw
+    n_tiles_arr = arch.n_pes / arch.pes_per_tile
+    encoder_pj = compute_cycles * n_tiles_arr * arch.encoder_power_mw
+    energy = EnergyBreakdown(
+        dram_uj=tr.total_bytes * DRAM_ENERGY_PJ_PER_BYTE / 1e6,
+        buffer_uj=buffer_pj / 1e6,
+        core_uj=(pe_pj + encoder_pj) / 1e6,
+    )
+    return cycles, energy
+
+
+def simulate(
+    cfg: ModelConfig,
+    accel: AcceleratorSpec,
+    task: str,
+    weight_bits: float,
+    prompt_len: int = 256,
+    gen_len: int = 256,
+) -> SimResult:
+    """Simulate one request of the given task type."""
+    if task == "discriminative":
+        cycles, energy = _pass_result(cfg, accel, weight_bits, prompt_len, prompt_len)
+    elif task == "generative":
+        cycles, energy = _pass_result(cfg, accel, weight_bits, prompt_len, prompt_len)
+        # Decode steps are near-identical; use the average context.
+        avg_ctx = prompt_len + gen_len // 2
+        d_cycles, d_energy = _pass_result(cfg, accel, weight_bits, 1, avg_ctx)
+        cycles += gen_len * d_cycles
+        energy = energy + EnergyBreakdown(
+            dram_uj=gen_len * d_energy.dram_uj,
+            buffer_uj=gen_len * d_energy.buffer_uj,
+            core_uj=gen_len * d_energy.core_uj,
+        )
+    else:
+        raise ValueError("task must be 'discriminative' or 'generative'")
+    return SimResult(
+        model=cfg.name,
+        accelerator=accel.name,
+        task=task,
+        weight_bits=weight_bits,
+        cycles=cycles,
+        energy=energy,
+    )
+
+
+def simulate_workload(cfg, accel, task, weight_bits, **kw) -> SimResult:
+    """Alias kept for the benchmark harness."""
+    return simulate(cfg, accel, task, weight_bits, **kw)

@@ -1,0 +1,76 @@
+"""Cycle-level timing model for weight-stationary GEMMs.
+
+Output-stationary mapping on a ``rows x cols`` PE array (Fig. 6):
+every PE owns one output element of an ``M x N`` tile; weights stream
+along K.  A bit-serial PE retires 4 MACs every ``terms_per_weight``
+cycles; a bit-parallel PE retires ``macs_per_cycle`` every cycle.
+
+The per-group bit-serial dequantization (8 cycles for an 8-bit scaling
+factor) overlaps with the next group's dot product whenever the group
+takes at least 8 cycles — with group size 128, 4 lanes, and >= 2 terms
+the group takes >= 64 cycles, so dequantization never stalls (the
+Section IV-B pipeline argument, asserted in the tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hw.arch import ArchConfig
+from repro.models.config import GEMMShape
+
+__all__ = ["GemmTiming", "gemm_compute_cycles", "dequant_stalls"]
+
+
+@dataclass(frozen=True)
+class GemmTiming:
+    """Cycle count of one GEMM on one accelerator."""
+
+    name: str
+    compute_cycles: float
+    active_pe_cycles: float
+    macs: float
+
+
+def gemm_compute_cycles(
+    gemm: GEMMShape,
+    arch: ArchConfig,
+    terms_per_weight: int = 1,
+    macs_per_cycle: float = 1.0,
+    group_size: int = 128,
+) -> GemmTiming:
+    """Compute cycles for ``gemm`` (already including count/repeat)."""
+    m_tiles = math.ceil(gemm.m / arch.pe_rows)
+    n_tiles = math.ceil(gemm.n / arch.pe_cols)
+    if arch.bit_serial:
+        k_cycles = math.ceil(gemm.k / arch.pe_lanes) * terms_per_weight
+        stalls = dequant_stalls(group_size, arch.pe_lanes, terms_per_weight)
+        k_cycles += stalls * math.ceil(gemm.k / group_size)
+    else:
+        k_cycles = math.ceil(gemm.k / macs_per_cycle)
+    per_instance = m_tiles * n_tiles * k_cycles
+    instances = gemm.count * gemm.repeat
+    cycles = per_instance * instances
+
+    # PEs active in edge tiles: average utilization of the array.
+    util_m = gemm.m / (m_tiles * arch.pe_rows)
+    util_n = gemm.n / (n_tiles * arch.pe_cols)
+    active = cycles * arch.n_pes * util_m * util_n
+    return GemmTiming(
+        name=gemm.name,
+        compute_cycles=float(cycles),
+        active_pe_cycles=float(active),
+        macs=float(gemm.macs),
+    )
+
+
+def dequant_stalls(group_size: int, lanes: int, terms_per_weight: int, sf_bits: int = 8) -> int:
+    """Pipeline stall cycles per group caused by dequantization.
+
+    Zero whenever the group dot product is at least as long as the
+    bit-serial scaling-factor multiply — true for every BitMoD
+    configuration (Section IV-B).
+    """
+    group_cycles = (group_size // lanes) * terms_per_weight
+    return max(0, sf_bits - group_cycles)

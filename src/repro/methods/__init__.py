@@ -1,0 +1,24 @@
+"""Software-only PTQ methods, each composable with any datatype."""
+
+from repro.methods.awq import AWQ
+from repro.methods.base import PTQMethod, collect_calibration, layer_output_mse
+from repro.methods.gptq import GPTQ
+from repro.methods.omniquant import OmniQuant
+from repro.methods.quarot import QuaRot, hadamard_matrix, random_orthogonal
+from repro.methods.rtn import RTN
+from repro.methods.smoothquant import SmoothQuant, smooth_scales
+
+__all__ = [
+    "PTQMethod",
+    "collect_calibration",
+    "layer_output_mse",
+    "RTN",
+    "AWQ",
+    "GPTQ",
+    "OmniQuant",
+    "SmoothQuant",
+    "smooth_scales",
+    "QuaRot",
+    "hadamard_matrix",
+    "random_orthogonal",
+]

@@ -1,0 +1,53 @@
+"""AWQ: activation-aware weight quantization (Lin et al., MLSys 2024).
+
+AWQ's observation: ~1% of weight channels are *salient* because their
+input activations are large; protecting them matters far more than
+protecting large weights.  Its mechanism: scale up weight columns by a
+per-input-channel factor ``s_j`` derived from activation magnitude
+(so they quantize more precisely), and fold ``1/s_j`` into the
+preceding operation.  The scale exponent ``alpha`` in
+
+    s_j = mean(|X_j|) ** alpha   (normalized)
+
+is grid-searched per layer to minimize the layer output error on
+calibration data — the same search the released AWQ performs.
+
+For weight-only evaluation the fold-back is algebraically exact, so
+the effective dequantized weight is ``Q(W * s) / s``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.methods.base import PTQMethod
+from repro.quant.config import quantize_tensor
+
+__all__ = ["AWQ"]
+
+
+class AWQ(PTQMethod):
+    """Activation-aware scale search in front of any datatype."""
+
+    name = "awq"
+
+    def __init__(self, qconfig, alpha_grid=None):
+        super().__init__(qconfig)
+        self.alpha_grid = (
+            tuple(np.linspace(0.0, 1.0, 11)) if alpha_grid is None else tuple(alpha_grid)
+        )
+
+    def quantize_weight(self, name: str, w: np.ndarray, x: np.ndarray) -> np.ndarray:
+        act_mag = np.mean(np.abs(x), axis=0)
+        act_mag = np.maximum(act_mag, 1e-8)
+        # Normalize so alpha=0 reduces to RTN exactly.
+        act_mag = act_mag / np.exp(np.mean(np.log(act_mag)))
+
+        best_w, best_err = None, np.inf
+        for alpha in self.alpha_grid:
+            s = act_mag**alpha
+            w_q = quantize_tensor(w * s[None, :], self.qconfig).w_deq / s[None, :]
+            err = float(np.mean(((w_q - w) @ x.T) ** 2))
+            if err < best_err:
+                best_err, best_w = err, w_q
+        return best_w

@@ -1,0 +1,74 @@
+"""Shared infrastructure for software-only PTQ methods.
+
+Every method follows the same contract: given a :class:`CausalLM`, a
+:class:`QuantConfig` describing the target datatype, and calibration
+activations, produce a quantized copy of the model.  The methods only
+*adjust* how weights are presented to the quantizer (scaling, clipping,
+rotation, error compensation) — the datatype itself is pluggable,
+which is exactly the property the paper exploits to drop BitMoD
+datatypes into AWQ/OmniQuant/SmoothQuant (Section V-E).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+import numpy as np
+
+from repro.models.corpus import sample_tokens
+from repro.models.transformer import CausalLM
+from repro.quant.config import QuantConfig, quantize_tensor
+
+__all__ = ["PTQMethod", "collect_calibration", "layer_output_mse"]
+
+
+def collect_calibration(
+    model: CausalLM, dataset: str = "wikitext", batch: int = 2, seq: int = 64
+) -> Dict[str, np.ndarray]:
+    """Input activations of every block linear on a calibration batch.
+
+    Mirrors the 128-sample calibration sets used by AWQ/GPTQ et al.,
+    scaled to the substrate.
+    """
+    tokens = sample_tokens(dataset, model.config.sim_vocab, batch, seq, seed_offset=997)
+    return model.collect_activations(tokens)
+
+
+def layer_output_mse(x: np.ndarray, w: np.ndarray, w_q: np.ndarray) -> float:
+    """MSE of a linear layer's output under weight perturbation."""
+    delta = (w_q - w) @ x.T if x.shape[0] < w.shape[0] else x @ (w_q - w).T
+    return float(np.mean(delta**2))
+
+
+class PTQMethod(abc.ABC):
+    """A post-training quantization method."""
+
+    name: str = "abstract"
+
+    def __init__(self, qconfig: QuantConfig):
+        self.qconfig = qconfig
+
+    @abc.abstractmethod
+    def quantize_weight(
+        self, name: str, w: np.ndarray, x: np.ndarray
+    ) -> np.ndarray:
+        """Return the dequantized weight for one layer.
+
+        ``x`` is the calibration input activation ``(n_samples, D)``.
+        """
+
+    def quantize_model(
+        self, model: CausalLM, calib: Dict[str, np.ndarray] = None
+    ) -> CausalLM:
+        """Quantize every block linear of ``model``."""
+        if calib is None:
+            calib = collect_calibration(model)
+
+        def fn(layer_name: str, w: np.ndarray) -> np.ndarray:
+            x = calib.get(layer_name)
+            if x is None:
+                return quantize_tensor(w, self.qconfig).w_deq
+            return self.quantize_weight(layer_name, w, x)
+
+        return model.apply_quantizer(fn)

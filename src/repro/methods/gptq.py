@@ -1,0 +1,110 @@
+"""GPTQ: Hessian-based error-compensated quantization (Frantar et al.).
+
+GPTQ quantizes weight columns one at a time and redistributes each
+column's rounding error onto the not-yet-quantized columns using the
+inverse Hessian of the layer's least-squares objective
+(``H = X^T X``).  This is the full OBQ-style algorithm with the
+standard practical choices: Cholesky-based inverse, percdamp damping,
+and per-group scales frozen when the group's first column is reached.
+
+The quantizer for each column is the configured datatype's row
+quantizer, so GPTQ composes with integer *and* grid datatypes
+(including BitMoD families, where the group's special value is chosen
+when the group is frozen).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.base import GridDataType, quantize_to_grid
+from repro.dtypes.extended import BitMoDType
+from repro.dtypes.integer import IntegerType
+from repro.methods.base import PTQMethod
+from repro.quant.adaptive import quantize_rows_bitmod
+from repro.quant.quantizer import quantize_rows_grid
+
+__all__ = ["GPTQ"]
+
+
+class _GroupQuantizer:
+    """Per-group column quantizer with scales frozen at group entry."""
+
+    def __init__(self, dtype, w_group: np.ndarray):
+        """``w_group``: the (out, group_size) slice used to fix scales."""
+        self.dtype = dtype
+        if isinstance(dtype, IntegerType):
+            _, _, self.scales, self.zeros = dtype.quantize_rows(w_group)
+        elif isinstance(dtype, BitMoDType):
+            rq = quantize_rows_bitmod(w_group, dtype)
+            self.scales = rq.scales
+            best = rq.candidate_idx
+            self.grids = [dtype.candidates[i].grid for i in range(len(dtype.candidates))]
+            self.grid_idx = best
+        elif isinstance(dtype, GridDataType):
+            rq = quantize_rows_grid(w_group, dtype)
+            self.scales = rq.scales
+        else:
+            raise TypeError(f"GPTQ does not support datatype {dtype!r}")
+
+    def quantize_column(self, col: np.ndarray) -> np.ndarray:
+        """Quantize one weight column with the frozen group params."""
+        s = self.scales[:, 0]
+        if isinstance(self.dtype, IntegerType):
+            if self.dtype.asymmetric:
+                qmax = self.dtype.qmax_asymmetric
+                z = self.zeros[:, 0]
+                q = np.clip(np.round(col / s) + z, 0, qmax)
+                return (q - z) * s
+            qmax = self.dtype.qmax_symmetric
+            q = np.clip(np.round(col / s), -qmax, qmax)
+            return q * s
+        if isinstance(self.dtype, BitMoDType):
+            out = np.empty_like(col)
+            scaled = col / s
+            for gi, grid in enumerate(self.grids):
+                mask = self.grid_idx == gi
+                if mask.any():
+                    out[mask] = quantize_to_grid(scaled[mask], grid) * s[mask]
+            return out
+        return quantize_to_grid(col / s, self.dtype.grid) * s
+
+
+class GPTQ(PTQMethod):
+    """Error-compensated quantization against the layer Hessian."""
+
+    name = "gptq"
+
+    def __init__(self, qconfig, percdamp: float = 0.01):
+        super().__init__(qconfig)
+        self.percdamp = percdamp
+
+    def quantize_weight(self, name: str, w: np.ndarray, x: np.ndarray) -> np.ndarray:
+        dtype = self.qconfig.resolve_dtype()
+        out_f, in_f = w.shape
+        group = self.qconfig.group_size
+        if self.qconfig.granularity == "channel":
+            group = in_f
+
+        hessian = x.T @ x
+        damp = self.percdamp * float(np.mean(np.diag(hessian))) + 1e-8
+        hessian[np.diag_indices(in_f)] += damp
+        # Upper Cholesky factor of the inverse Hessian (inv(H) = U^T U),
+        # the standard GPTQ trick.  numpy's cholesky returns the lower
+        # factor L with inv(H) = L L^T, so U = L^T.
+        hinv = np.linalg.cholesky(np.linalg.inv(hessian)).T
+
+        w_work = w.astype(np.float64).copy()
+        w_q = np.empty_like(w_work)
+        quantizer = None
+        for j in range(in_f):
+            if j % group == 0:
+                stop = min(j + group, in_f)
+                quantizer = _GroupQuantizer(dtype, w_work[:, j:stop])
+            col = w_work[:, j]
+            q_col = quantizer.quantize_column(col)
+            w_q[:, j] = q_col
+            err = (col - q_col) / hinv[j, j]
+            if j + 1 < in_f:
+                w_work[:, j + 1:] -= np.outer(err, hinv[j, j + 1:])
+        return w_q

@@ -1,0 +1,65 @@
+"""QuaRot: rotation-based outlier removal (Ashkboos et al., 2024).
+
+QuaRot multiplies the residual stream by a random orthogonal
+(Hadamard) matrix, exploiting the computational invariance
+``(W R)(R^T x) = W x``.  The rotation mixes outlier channels into all
+channels, making weights and activations nearly Gaussian — great for
+*activation* quantization, but for weight-only quantization it also
+destroys the per-group asymmetry and the concentrated distributions
+that grouped datatypes exploit, which is why weight-only QuaRot trails
+AWQ/OmniQuant in the paper's Table XI.
+
+For weight-only evaluation the effective dequantized weight is
+``Q(W R) R^T``: the input-side rotation cancels algebraically, so no
+runtime rotation is needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.methods.base import PTQMethod
+from repro.quant.config import quantize_tensor
+
+__all__ = ["QuaRot", "hadamard_matrix", "random_orthogonal"]
+
+
+def hadamard_matrix(n: int) -> np.ndarray:
+    """Normalized Sylvester-Hadamard matrix (``n`` a power of two)."""
+    if n <= 0 or n & (n - 1):
+        raise ValueError("Hadamard size must be a positive power of two")
+    h = np.ones((1, 1))
+    while h.shape[0] < n:
+        h = np.block([[h, h], [h, -h]])
+    return h / np.sqrt(n)
+
+
+def random_orthogonal(n: int, seed: int = 0) -> np.ndarray:
+    """Haar-ish random orthogonal matrix via QR."""
+    rng = np.random.default_rng(seed)
+    q, r = np.linalg.qr(rng.standard_normal((n, n)))
+    return q * np.sign(np.diag(r))
+
+
+class QuaRot(PTQMethod):
+    """Rotate the weight input dimension before quantizing."""
+
+    name = "quarot"
+
+    def __init__(self, qconfig, seed: int = 1234):
+        super().__init__(qconfig)
+        self.seed = seed
+        self._cache = {}
+
+    def _rotation(self, n: int) -> np.ndarray:
+        if n not in self._cache:
+            if n & (n - 1) == 0:
+                self._cache[n] = hadamard_matrix(n)
+            else:
+                self._cache[n] = random_orthogonal(n, self.seed)
+        return self._cache[n]
+
+    def quantize_weight(self, name: str, w: np.ndarray, x: np.ndarray) -> np.ndarray:
+        rot = self._rotation(w.shape[1])
+        w_q = quantize_tensor(w @ rot, self.qconfig).w_deq
+        return w_q @ rot.T

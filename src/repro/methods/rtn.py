@@ -1,0 +1,19 @@
+"""Round-to-nearest (RTN) — the no-optimization baseline method."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.methods.base import PTQMethod
+from repro.quant.config import quantize_tensor
+
+__all__ = ["RTN"]
+
+
+class RTN(PTQMethod):
+    """Plain round-to-nearest quantization with the configured dtype."""
+
+    name = "rtn"
+
+    def quantize_weight(self, name: str, w: np.ndarray, x: np.ndarray) -> np.ndarray:
+        return quantize_tensor(w, self.qconfig).w_deq

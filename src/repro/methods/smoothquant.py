@@ -1,0 +1,108 @@
+"""SmoothQuant: activation-difficulty migration (Xiao et al., ICML 2023).
+
+Activations are harder to quantize than weights because of outlier
+channels; SmoothQuant migrates part of that difficulty to the weights
+with a per-channel factor
+
+    s_j = max|X_j|^alpha / max|W_:,j|^(1-alpha)      (alpha = 0.5)
+
+scaling activations down (``X / s``) and weights up (``W * s``).  The
+division is folded into the preceding normalization gain, so only
+norm-preceded linears (Q/K/V and the MLP input projections) are
+smoothed — the same restriction as the released SmoothQuant.
+
+Two uses here:
+
+* :meth:`SmoothQuant.smooth_model` applies the migration and returns
+  the smoothed-but-unquantized model plus a weight-quantization hook —
+  supporting Table XII, where BitMoD/INT weight datatypes are applied
+  on top of SmoothQuant-calibrated models;
+* ``act_bits=8`` additionally enables INT8 dynamic per-tensor
+  activation quantization inside the returned model (the "SQ8"
+  columns).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.methods.base import PTQMethod, collect_calibration
+from repro.models.transformer import CausalLM
+from repro.quant.config import quantize_tensor
+
+__all__ = ["SmoothQuant", "smooth_scales"]
+
+#: Linears whose input comes straight from a norm, keyed by the norm's
+#: weight suffix.
+_NORM_CONSUMERS = {
+    "attn_norm": ("q_proj", "k_proj", "v_proj"),
+    "mlp_norm": ("gate_proj", "up_proj", "fc1"),
+}
+
+
+def smooth_scales(x: np.ndarray, ws, alpha: float = 0.5) -> np.ndarray:
+    """Per-input-channel migration factors for one norm's consumers."""
+    act_max = np.maximum(np.max(np.abs(x), axis=0), 1e-8)
+    w_max = np.maximum.reduce([np.max(np.abs(w), axis=0) for w in ws])
+    w_max = np.maximum(w_max, 1e-8)
+    s = act_max**alpha / w_max ** (1.0 - alpha)
+    # Normalize to keep overall weight magnitude stable.
+    return s / np.exp(np.mean(np.log(s)))
+
+
+class SmoothQuant(PTQMethod):
+    """Difficulty migration + pluggable weight datatype."""
+
+    name = "smoothquant"
+
+    def __init__(self, qconfig, alpha: float = 0.5, act_bits: Optional[int] = None):
+        super().__init__(qconfig)
+        self.alpha = alpha
+        self.act_bits = act_bits
+
+    # ------------------------------------------------------------------
+    def smooth_model(
+        self, model: CausalLM, calib: Dict[str, np.ndarray] = None
+    ) -> CausalLM:
+        """Return a smoothed (but not yet quantized) copy of ``model``."""
+        if calib is None:
+            calib = collect_calibration(model)
+        weights = dict(model.weights)
+        for layer in range(model.config.sim_layers):
+            for norm_suffix, consumers in _NORM_CONSUMERS.items():
+                names = [
+                    f"layers.{layer}.{c}"
+                    for c in consumers
+                    if f"layers.{layer}.{c}" in weights
+                ]
+                if not names:
+                    continue
+                x = calib[names[0]]
+                s = smooth_scales(x, [weights[n] for n in names], self.alpha)
+                for n in names:
+                    weights[n] = weights[n] * s[None, :]
+                norm_name = f"layers.{layer}.{norm_suffix}"
+                weights[norm_name] = weights[norm_name] / s
+        smoothed = CausalLM(model.config, seed=model.seed, weights=weights)
+        if self.act_bits is not None:
+            smoothed.act_quant_bits = self.act_bits
+        return smoothed
+
+    def quantize_weight(self, name: str, w: np.ndarray, x: np.ndarray) -> np.ndarray:
+        # Migration happens at model level; per-layer step is plain RTN.
+        return quantize_tensor(w, self.qconfig).w_deq
+
+    def quantize_model(
+        self, model: CausalLM, calib: Dict[str, np.ndarray] = None
+    ) -> CausalLM:
+        smoothed = self.smooth_model(model, calib)
+
+        def fn(_name: str, w: np.ndarray) -> np.ndarray:
+            return quantize_tensor(w, self.qconfig).w_deq
+
+        quantized = smoothed.apply_quantizer(fn)
+        if self.act_bits is not None:
+            quantized.act_quant_bits = self.act_bits
+        return quantized

@@ -1,0 +1,31 @@
+"""LLM substrate: model zoo, synthetic weights, numpy transformer."""
+
+from repro.models.config import GEMMShape, ModelConfig, WeightProfile
+from repro.models.corpus import CORPORA, CorpusSpec, make_eval_batch, sample_tokens
+from repro.models.synth import generate_model_weights, generate_weight_matrix
+from repro.models.transformer import CausalLM
+from repro.models.zoo import (
+    FIG1_MODELS,
+    MODEL_ZOO,
+    TABLE1_MODELS,
+    get_model_config,
+    list_models,
+)
+
+__all__ = [
+    "ModelConfig",
+    "WeightProfile",
+    "GEMMShape",
+    "CausalLM",
+    "generate_model_weights",
+    "generate_weight_matrix",
+    "MODEL_ZOO",
+    "FIG1_MODELS",
+    "TABLE1_MODELS",
+    "get_model_config",
+    "list_models",
+    "CORPORA",
+    "CorpusSpec",
+    "sample_tokens",
+    "make_eval_batch",
+]

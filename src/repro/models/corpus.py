@@ -1,0 +1,69 @@
+"""Synthetic evaluation corpora.
+
+Stand-ins for Wikitext-2 and C4: token streams drawn from a seeded
+first-order Markov chain with Zipfian marginals, so consecutive tokens
+are correlated the way natural text is.  The two datasets differ in
+seed, vocabulary concentration, and transition temperature — enough to
+give each its own numerical fingerprint while staying deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CorpusSpec", "CORPORA", "sample_tokens", "make_eval_batch"]
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Parameters of one synthetic corpus."""
+
+    name: str
+    seed: int
+    zipf_alpha: float
+    branching: int  # plausible next-tokens per state
+
+
+CORPORA = {
+    "wikitext": CorpusSpec(name="wikitext", seed=101, zipf_alpha=1.1, branching=48),
+    "c4": CorpusSpec(name="c4", seed=202, zipf_alpha=1.25, branching=64),
+}
+
+
+def _zipf_probs(vocab: int, alpha: float) -> np.ndarray:
+    ranks = np.arange(1, vocab + 1, dtype=np.float64)
+    p = ranks**-alpha
+    return p / p.sum()
+
+
+def sample_tokens(
+    dataset: str, vocab: int, batch: int, seq: int, seed_offset: int = 0
+) -> np.ndarray:
+    """Deterministically sample a ``(batch, seq)`` token array."""
+    try:
+        spec = CORPORA[dataset]
+    except KeyError:
+        known = ", ".join(sorted(CORPORA))
+        raise KeyError(f"unknown dataset {dataset!r}; known: {known}") from None
+    rng = np.random.default_rng(spec.seed + seed_offset)
+    marginal = _zipf_probs(vocab, spec.zipf_alpha)
+
+    # Sparse Markov transitions: every token has `branching` successors
+    # sampled from the marginal, with Zipf-weighted transition probs.
+    successors = rng.choice(vocab, size=(vocab, spec.branching), p=marginal)
+    trans_probs = _zipf_probs(spec.branching, 1.0)
+
+    out = np.empty((batch, seq), dtype=np.int64)
+    state = rng.choice(vocab, size=batch, p=marginal)
+    for t in range(seq):
+        out[:, t] = state
+        picks = rng.choice(spec.branching, size=batch, p=trans_probs)
+        state = successors[state, picks]
+    return out
+
+
+def make_eval_batch(dataset: str, vocab: int, batch: int = 4, seq: int = 128) -> np.ndarray:
+    """The canonical evaluation batch used by the perplexity proxy."""
+    return sample_tokens(dataset, vocab, batch, seq)

@@ -1,0 +1,195 @@
+"""The causal-LM transformer substrate.
+
+:class:`CausalLM` instantiates the sim-scale architecture of a
+:class:`~repro.models.config.ModelConfig` with synthetic weights and
+provides:
+
+* ``logits(tokens)`` — a full forward pass;
+* ``named_linears()`` — the quantizable weight matrices, matching the
+  convention of the PTQ literature (decoder-block linears only;
+  embeddings and the LM head stay FP16);
+* ``apply_quantizer(fn)`` — functional weight replacement, returning a
+  quantized *copy* so the FP16 reference model stays intact.
+
+Architecture per family: OPT/Phi use LayerNorm + GELU MLPs and OPT
+adds sinusoidal positions at the embedding; Llama/Yi use RMSNorm,
+RoPE, gated SiLU MLPs, and (Yi / Llama-3) grouped-query attention.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.models.layers import (
+    apply_rope,
+    causal_attention,
+    gelu,
+    layer_norm,
+    linear,
+    rms_norm,
+    rope_cache,
+    silu,
+)
+from repro.models.synth import generate_model_weights
+
+__all__ = ["CausalLM"]
+
+_LN_FAMILIES = ("opt", "phi")
+
+
+class CausalLM:
+    """A numpy causal language model at sim scale."""
+
+    def __init__(self, config: ModelConfig, seed: int = 0, weights: Optional[dict] = None):
+        self.config = config
+        self.seed = seed
+        self.weights = weights if weights is not None else generate_model_weights(config, seed)
+        self._use_layernorm = config.family in _LN_FAMILIES
+        self._use_rope = config.family != "opt"
+        self._rope = None
+        #: When set (e.g. 8), inputs of every block linear are
+        #: dynamically quantized to this many bits, per-tensor
+        #: symmetric — the SmoothQuant INT8-activation mode.
+        self.act_quant_bits: Optional[int] = None
+
+    def _maybe_quant_act(self, x: np.ndarray) -> np.ndarray:
+        if self.act_quant_bits is None:
+            return x
+        qmax = 2 ** (self.act_quant_bits - 1) - 1
+        absmax = float(np.max(np.abs(x)))
+        if absmax == 0.0:
+            return x
+        scale = absmax / qmax
+        return np.clip(np.round(x / scale), -qmax, qmax) * scale
+
+    # ------------------------------------------------------------------
+    # Weight access for quantizers.
+    # ------------------------------------------------------------------
+    def named_linears(self) -> Dict[str, np.ndarray]:
+        """Quantizable weight matrices: every decoder-block linear."""
+        keys = [
+            k
+            for k in self.weights
+            if k.startswith("layers.") and not k.endswith("_norm")
+        ]
+        return {k: self.weights[k] for k in keys}
+
+    def apply_quantizer(
+        self, quantize: Callable[[str, np.ndarray], np.ndarray]
+    ) -> "CausalLM":
+        """Return a copy whose block linears are ``quantize(name, w)``."""
+        new_weights = dict(self.weights)
+        for name, w in self.named_linears().items():
+            new_weights[name] = quantize(name, w)
+        clone = copy.copy(self)
+        clone.weights = new_weights
+        return clone
+
+    # ------------------------------------------------------------------
+    # Forward pass.
+    # ------------------------------------------------------------------
+    def _positions(self, seq: int, hidden: int) -> np.ndarray:
+        """Sinusoidal position embedding (OPT-style learned-pos stand-in)."""
+        pos = np.arange(seq)[:, None]
+        dim = np.arange(hidden // 2)[None, :]
+        angle = pos / 10000 ** (2 * dim / hidden)
+        out = np.zeros((seq, hidden))
+        out[:, 0::2] = np.sin(angle)
+        out[:, 1::2] = np.cos(angle)
+        return 0.02 * out
+
+    def _norm(self, x: np.ndarray, gain: np.ndarray) -> np.ndarray:
+        if self._use_layernorm:
+            return layer_norm(x, gain)
+        return rms_norm(x, gain)
+
+    def hidden_states(self, tokens: np.ndarray, collect: bool = False):
+        """Run the decoder stack; return final hidden states.
+
+        With ``collect=True`` also returns the *input* activations of
+        every block linear (used by AWQ/GPTQ/SmoothQuant calibration).
+        """
+        cfg = self.config
+        tokens = np.asarray(tokens)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        batch, seq = tokens.shape
+        h = cfg.sim_hidden
+        n_heads, n_kv = cfg.sim_heads, cfg.sim_kv_heads
+        head_dim = cfg.sim_head_dim()
+
+        x = self.weights["embed"][tokens] * np.sqrt(h)
+        if not self._use_rope:
+            x = x + self._positions(seq, h)[None]
+
+        if self._use_rope:
+            if self._rope is None or self._rope[0].shape[0] < seq:
+                self._rope = rope_cache(seq, head_dim)
+            cos, sin = self._rope[0][:seq], self._rope[1][:seq]
+
+        acts: Dict[str, np.ndarray] = {}
+
+        def record(name: str, inp: np.ndarray) -> None:
+            if collect:
+                acts[name] = inp.reshape(-1, inp.shape[-1])
+
+        for layer in range(cfg.sim_layers):
+            w = lambda s: self.weights[f"layers.{layer}.{s}"]  # noqa: E731
+            # --- attention ---
+            xn = self._maybe_quant_act(self._norm(x, w("attn_norm")))
+            record(f"layers.{layer}.q_proj", xn)
+            record(f"layers.{layer}.k_proj", xn)
+            record(f"layers.{layer}.v_proj", xn)
+            q = linear(xn, w("q_proj")).reshape(batch, seq, n_heads, head_dim)
+            k = linear(xn, w("k_proj")).reshape(batch, seq, n_kv, head_dim)
+            v = linear(xn, w("v_proj")).reshape(batch, seq, n_kv, head_dim)
+            q = q.transpose(0, 2, 1, 3)
+            k = k.transpose(0, 2, 1, 3)
+            v = v.transpose(0, 2, 1, 3)
+            if self._use_rope:
+                q = apply_rope(q, cos, sin)
+                k = apply_rope(k, cos, sin)
+            if n_kv != n_heads:
+                rep = n_heads // n_kv
+                k = np.repeat(k, rep, axis=1)
+                v = np.repeat(v, rep, axis=1)
+            attn = causal_attention(q, k, v)
+            attn = attn.transpose(0, 2, 1, 3).reshape(batch, seq, h)
+            attn = self._maybe_quant_act(attn)
+            record(f"layers.{layer}.o_proj", attn)
+            x = x + linear(attn, w("o_proj"))
+
+            # --- MLP ---
+            xn = self._maybe_quant_act(self._norm(x, w("mlp_norm")))
+            if cfg.gated_mlp:
+                record(f"layers.{layer}.gate_proj", xn)
+                record(f"layers.{layer}.up_proj", xn)
+                gate = silu(linear(xn, w("gate_proj")))
+                up = linear(xn, w("up_proj"))
+                inner = self._maybe_quant_act(gate * up)
+                record(f"layers.{layer}.down_proj", inner)
+                x = x + linear(inner, w("down_proj"))
+            else:
+                record(f"layers.{layer}.fc1", xn)
+                inner = self._maybe_quant_act(gelu(linear(xn, w("fc1"))))
+                record(f"layers.{layer}.fc2", inner)
+                x = x + linear(inner, w("fc2"))
+
+        x = self._norm(x, self.weights["final_norm"])
+        if collect:
+            return x, acts
+        return x
+
+    def logits(self, tokens: np.ndarray) -> np.ndarray:
+        """Vocabulary logits, shape ``(batch, seq, vocab)``."""
+        x = self.hidden_states(tokens)
+        return linear(x, self.weights["lm_head"])
+
+    def collect_activations(self, tokens: np.ndarray) -> Dict[str, np.ndarray]:
+        """Input activations of every block linear (calibration data)."""
+        _, acts = self.hidden_states(tokens, collect=True)
+        return acts

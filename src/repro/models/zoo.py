@@ -1,0 +1,235 @@
+"""The six benchmark LLMs of the paper (Section V-A).
+
+Full-size architecture parameters follow the public model cards; FP16
+perplexity and accuracy anchors are the paper's own Table VI / Table
+VII numbers.  Weight profiles encode the per-family distribution
+statistics reported across the quantization literature: OPT has the
+heaviest outlier structure (its 3-bit collapse in Table VI), Llama-2
+the mildest tails, and Llama-3-8B is notoriously quantization
+sensitive (largest 3-bit degradation among the Llamas).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.models.config import ModelConfig, WeightProfile
+
+__all__ = ["MODEL_ZOO", "get_model_config", "list_models", "FIG1_MODELS", "TABLE1_MODELS"]
+
+
+def _opt_1_3b() -> ModelConfig:
+    return ModelConfig(
+        name="opt-1.3b",
+        family="opt",
+        hidden=2048,
+        n_layers=24,
+        n_heads=32,
+        n_kv_heads=32,
+        intermediate=8192,
+        vocab=50272,
+        gated_mlp=False,
+        tied_embeddings=True,
+        sim_hidden=256,
+        sim_layers=4,
+        sim_heads=8,
+        sim_kv_heads=8,
+        sim_intermediate=1024,
+        sim_vocab=2048,
+        profile=WeightProfile(
+            tail_df=2.5,
+            channel_spread=0.5,
+            outlier_rate=0.0015,
+            outlier_mag=8.0,
+            group_shift=0.45,
+            act_outlier_rate=0.03,
+            act_outlier_mag=5.0,
+        ),
+        fp16_ppl={"wikitext": 14.62, "c4": 14.72},
+        fp16_acc={"hellaswag": 53.72, "winogrande": 59.43, "piqa": 72.41},
+    )
+
+
+def _phi_2b() -> ModelConfig:
+    return ModelConfig(
+        name="phi-2b",
+        family="phi",
+        hidden=2560,
+        n_layers=32,
+        n_heads=32,
+        n_kv_heads=32,
+        intermediate=10240,
+        vocab=51200,
+        gated_mlp=False,
+        sim_hidden=256,
+        sim_layers=4,
+        sim_heads=8,
+        sim_kv_heads=8,
+        sim_intermediate=1024,
+        sim_vocab=2048,
+        profile=WeightProfile(
+            tail_df=4.0,
+            channel_spread=0.40,
+            outlier_rate=0.001,
+            outlier_mag=10.0,
+            group_shift=0.25,
+            act_outlier_rate=0.02,
+            act_outlier_mag=4.0,
+        ),
+        fp16_ppl={"wikitext": 9.71, "c4": 12.74},
+        fp16_acc={"hellaswag": 73.74, "winogrande": 75.77, "piqa": 79.22},
+    )
+
+
+def _yi_6b() -> ModelConfig:
+    return ModelConfig(
+        name="yi-6b",
+        family="yi",
+        hidden=4096,
+        n_layers=32,
+        n_heads=32,
+        n_kv_heads=4,
+        intermediate=11008,
+        vocab=64000,
+        gated_mlp=True,
+        sim_hidden=256,
+        sim_layers=4,
+        sim_heads=8,
+        sim_kv_heads=2,
+        sim_intermediate=768,
+        sim_vocab=2048,
+        profile=WeightProfile(
+            tail_df=4.5,
+            channel_spread=0.35,
+            outlier_rate=0.0008,
+            outlier_mag=9.0,
+            group_shift=0.20,
+            act_outlier_rate=0.015,
+            act_outlier_mag=3.5,
+        ),
+        fp16_ppl={"wikitext": 5.84, "c4": 8.91},
+        fp16_acc={"hellaswag": 74.96, "winogrande": 70.72, "piqa": 78.78},
+    )
+
+
+def _llama2_7b() -> ModelConfig:
+    return ModelConfig(
+        name="llama-2-7b",
+        family="llama2",
+        hidden=4096,
+        n_layers=32,
+        n_heads=32,
+        n_kv_heads=32,
+        intermediate=11008,
+        vocab=32000,
+        gated_mlp=True,
+        sim_hidden=256,
+        sim_layers=4,
+        sim_heads=8,
+        sim_kv_heads=8,
+        sim_intermediate=768,
+        sim_vocab=2048,
+        profile=WeightProfile(
+            tail_df=6.0,
+            channel_spread=0.28,
+            outlier_rate=0.0004,
+            outlier_mag=8.0,
+            group_shift=0.18,
+            act_outlier_rate=0.01,
+            act_outlier_mag=3.0,
+        ),
+        fp16_ppl={"wikitext": 5.47, "c4": 6.97},
+        fp16_acc={"hellaswag": 75.98, "winogrande": 69.06, "piqa": 79.11},
+    )
+
+
+def _llama2_13b() -> ModelConfig:
+    return ModelConfig(
+        name="llama-2-13b",
+        family="llama2",
+        hidden=5120,
+        n_layers=40,
+        n_heads=40,
+        n_kv_heads=40,
+        intermediate=13824,
+        vocab=32000,
+        gated_mlp=True,
+        sim_hidden=320,
+        sim_layers=4,
+        sim_heads=8,
+        sim_kv_heads=8,
+        sim_intermediate=960,
+        sim_vocab=2048,
+        profile=WeightProfile(
+            tail_df=7.5,
+            channel_spread=0.22,
+            outlier_rate=0.0003,
+            outlier_mag=7.0,
+            group_shift=0.15,
+            act_outlier_rate=0.008,
+            act_outlier_mag=2.5,
+        ),
+        fp16_ppl={"wikitext": 4.88, "c4": 6.47},
+        fp16_acc={"hellaswag": 79.39, "winogrande": 72.38, "piqa": 80.5},
+    )
+
+
+def _llama3_8b() -> ModelConfig:
+    return ModelConfig(
+        name="llama-3-8b",
+        family="llama3",
+        hidden=4096,
+        n_layers=32,
+        n_heads=32,
+        n_kv_heads=8,
+        intermediate=14336,
+        vocab=128256,
+        gated_mlp=True,
+        sim_hidden=256,
+        sim_layers=4,
+        sim_heads=8,
+        sim_kv_heads=2,
+        sim_intermediate=1024,
+        sim_vocab=2048,
+        profile=WeightProfile(
+            tail_df=3.8,
+            channel_spread=0.38,
+            outlier_rate=0.0008,
+            outlier_mag=8.0,
+            group_shift=0.24,
+            act_outlier_rate=0.015,
+            act_outlier_mag=3.5,
+        ),
+        fp16_ppl={"wikitext": 6.13, "c4": 8.88},
+        fp16_acc={"hellaswag": 79.18, "winogrande": 72.85, "piqa": 80.74},
+    )
+
+
+MODEL_ZOO: Dict[str, ModelConfig] = {
+    cfg.name: cfg
+    for cfg in (
+        _opt_1_3b(),
+        _phi_2b(),
+        _yi_6b(),
+        _llama2_7b(),
+        _llama2_13b(),
+        _llama3_8b(),
+    )
+}
+
+#: The four models of Fig. 1 / Table I / Table II.
+FIG1_MODELS = ["opt-1.3b", "phi-2b", "llama-2-7b", "llama-2-13b"]
+TABLE1_MODELS = FIG1_MODELS
+
+
+def get_model_config(name: str) -> ModelConfig:
+    """Look up a model configuration by name."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_ZOO))
+        raise KeyError(f"unknown model {name!r}; known: {known}") from None
+
+
+def list_models() -> List[str]:
+    return sorted(MODEL_ZOO)

@@ -1,0 +1,56 @@
+"""Quantization engine for the BitMoD reproduction."""
+
+from repro.quant.adaptive import (
+    adaptive_quantize_rows,
+    quantize_rows_ant,
+    quantize_rows_bitmod,
+)
+from repro.quant.config import QuantConfig, QuantResult, quantize_tensor
+from repro.quant.errors import max_abs_error, mse, nmse, rmse
+from repro.quant.granularity import (
+    GRANULARITIES,
+    RowLayout,
+    from_rows,
+    rows_per_channel,
+    to_rows,
+)
+from repro.quant.quantizer import RowQuant, clipped_absmax_scales, quantize_rows_grid
+from repro.quant.kv import KVQuantConfig, quantize_kv
+from repro.quant.packing import (
+    PackedTensor,
+    pack_bits,
+    pack_tensor,
+    unpack_bits,
+    unpack_tensor,
+)
+from repro.quant.scale import ScaleQuant, quantize_scales
+
+__all__ = [
+    "QuantConfig",
+    "QuantResult",
+    "quantize_tensor",
+    "adaptive_quantize_rows",
+    "quantize_rows_bitmod",
+    "quantize_rows_ant",
+    "quantize_rows_grid",
+    "clipped_absmax_scales",
+    "RowQuant",
+    "ScaleQuant",
+    "quantize_scales",
+    "KVQuantConfig",
+    "quantize_kv",
+    "PackedTensor",
+    "pack_tensor",
+    "unpack_tensor",
+    "pack_bits",
+    "unpack_bits",
+    "GRANULARITIES",
+    "RowLayout",
+    "to_rows",
+    "from_rows",
+    "rows_per_channel",
+    "mse",
+    "nmse",
+    "rmse",
+    "max_abs_error",
+]

@@ -1,0 +1,184 @@
+"""Top-level quantization entry point.
+
+:func:`quantize_tensor` glues together granularity handling, the
+per-datatype row quantizers, and second-level scaling-factor
+quantization into the one call the rest of the codebase uses::
+
+    from repro.quant import QuantConfig, quantize_tensor
+
+    cfg = QuantConfig(dtype="bitmod_fp3", group_size=128)
+    result = quantize_tensor(weight, cfg)
+    y = x @ result.w_deq.T          # use dequantized weights
+
+``QuantConfig`` defaults mirror the paper: per-group granularity with
+group size 128 and INT8 second-level scaling factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.dtypes.base import DataType, GridDataType
+from repro.dtypes.extended import BitMoDType
+from repro.dtypes.flint import AntAdaptiveType
+from repro.dtypes.integer import IntegerType
+from repro.dtypes.mx import MXType
+from repro.dtypes.olive import OliveType
+from repro.dtypes.registry import get_dtype
+from repro.quant.adaptive import quantize_rows_ant, quantize_rows_bitmod
+from repro.quant.granularity import RowLayout, from_rows, rows_per_channel, to_rows
+from repro.quant.quantizer import RowQuant, quantize_rows_grid
+from repro.quant.scale import quantize_scales
+
+__all__ = ["QuantConfig", "QuantResult", "quantize_tensor"]
+
+
+@dataclass(frozen=True)
+class QuantConfig:
+    """How to quantize a weight tensor.
+
+    Parameters
+    ----------
+    dtype:
+        Registry name (e.g. ``"bitmod_fp3"``) or a datatype instance.
+    granularity:
+        ``"tensor"``, ``"channel"`` or ``"group"``.
+    group_size:
+        Weights per group at ``"group"`` granularity (paper: 128; MX
+        datatypes override this with their own 32-element block).
+    scale_bits:
+        Second-level scaling-factor precision; ``None`` keeps FP16
+        scales (Table V's baseline).  The paper uses 8.
+    clip_ratio:
+        Multiplies the absmax before computing scales; < 1 clips
+        outliers (used by the OmniQuant integration).
+    """
+
+    dtype: Union[str, DataType] = "bitmod_fp4"
+    granularity: str = "group"
+    group_size: int = 128
+    scale_bits: Optional[int] = 8
+    clip_ratio: float = 1.0
+
+    def resolve_dtype(self) -> DataType:
+        if isinstance(self.dtype, DataType):
+            return self.dtype
+        return get_dtype(self.dtype)
+
+    def with_(self, **kwargs) -> "QuantConfig":
+        """Functional update helper."""
+        return replace(self, **kwargs)
+
+
+@dataclass
+class QuantResult:
+    """Everything produced by quantizing one tensor."""
+
+    w_deq: np.ndarray
+    scales: np.ndarray
+    layout: RowLayout
+    dtype: DataType
+    config: QuantConfig
+    zeros: Optional[np.ndarray] = None
+    special_values: Optional[np.ndarray] = None
+    candidate_idx: Optional[np.ndarray] = None
+    sq_error: Optional[np.ndarray] = None
+
+    @property
+    def mse(self) -> float:
+        """Mean squared error implied by the stored per-row errors."""
+        if self.sq_error is None:
+            return float("nan")
+        k, d = self.layout.shape
+        return float(np.sum(self.sq_error) / (k * d))
+
+    @property
+    def memory_bits(self) -> float:
+        """Total storage bits for this tensor, metadata included."""
+        k, d = self.layout.shape
+        group = self.layout.group_size if self.layout.granularity == "group" else d
+        return self.dtype.memory_bits_per_weight(group) * k * d
+
+    @property
+    def bits_per_weight(self) -> float:
+        k, d = self.layout.shape
+        return self.memory_bits / (k * d)
+
+
+def _requantize_scales(rq: RowQuant, layout: RowLayout, bits: int) -> None:
+    """Replace ``rq``'s scales with their INT-quantized reconstruction
+    and refresh the dequantized weights accordingly."""
+    rpc = rows_per_channel(layout)
+    sq = quantize_scales(rq.scales, bits=bits, rows_per_channel=rpc)
+    old = np.where(rq.scales == 0.0, 1.0, rq.scales)
+    codes = rq.w_deq / old  # grid-space codes are exactly recoverable
+    rq.w_deq = codes * sq.scales
+    rq.scales = sq.scales
+
+
+def quantize_tensor(w: np.ndarray, config: QuantConfig = QuantConfig()) -> QuantResult:
+    """Quantize a ``(K, D)`` weight tensor according to ``config``."""
+    dtype = config.resolve_dtype()
+
+    group_size = config.group_size
+    granularity = config.granularity
+    if isinstance(dtype, MXType):
+        # MX's metadata granularity is its own block size.
+        group_size = dtype.block_size
+        granularity = "group"
+
+    rows, layout = to_rows(w, granularity, group_size)
+
+    zeros = None
+    if isinstance(dtype, IntegerType):
+        clipped = rows
+        if config.clip_ratio != 1.0:
+            # Clip the row range before computing scales, OmniQuant-style.
+            lo = np.min(rows, axis=1, keepdims=True) * config.clip_ratio
+            hi = np.max(rows, axis=1, keepdims=True) * config.clip_ratio
+            clipped = np.clip(rows, lo, hi)
+        w_deq, _codes, scales, zeros = dtype.quantize_rows(clipped)
+        err = np.sum((w_deq - rows) ** 2, axis=1)
+        rq = RowQuant(w_deq=w_deq, scales=scales, zeros=zeros, sq_error=err)
+    elif isinstance(dtype, BitMoDType):
+        rq = quantize_rows_bitmod(rows, dtype, config.clip_ratio)
+    elif isinstance(dtype, AntAdaptiveType):
+        rq = quantize_rows_ant(rows, dtype, config.clip_ratio)
+    elif isinstance(dtype, OliveType):
+        w_deq, scales = dtype.quantize_rows(rows)
+        err = np.sum((w_deq - rows) ** 2, axis=1)
+        rq = RowQuant(w_deq=w_deq, scales=scales, sq_error=err)
+    elif isinstance(dtype, MXType):
+        w_deq, scales = dtype.quantize_rows(rows)
+        err = np.sum((w_deq - rows) ** 2, axis=1)
+        rq = RowQuant(w_deq=w_deq, scales=scales, sq_error=err)
+    elif isinstance(dtype, GridDataType):
+        rq = quantize_rows_grid(rows, dtype, config.clip_ratio)
+    else:  # pragma: no cover - registry only yields the above
+        raise TypeError(f"no quantizer for datatype {dtype!r}")
+
+    # Second-level scaling-factor quantization (Section III-C).  MX
+    # scales are already powers of two; integer-asymmetric follows the
+    # software convention of FP16 scales unless asked otherwise.
+    if (
+        config.scale_bits is not None
+        and not isinstance(dtype, MXType)
+        and not (isinstance(dtype, IntegerType) and zeros is not None)
+    ):
+        _requantize_scales(rq, layout, config.scale_bits)
+        rq.sq_error = np.sum((rq.w_deq - rows) ** 2, axis=1)
+
+    return QuantResult(
+        w_deq=from_rows(rq.w_deq, layout),
+        scales=rq.scales,
+        layout=layout,
+        dtype=dtype,
+        config=config,
+        zeros=rq.zeros,
+        special_values=rq.special_values,
+        candidate_idx=rq.candidate_idx,
+        sq_error=rq.sq_error,
+    )

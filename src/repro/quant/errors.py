@@ -1,0 +1,35 @@
+"""Quantization error metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse", "nmse", "rmse", "max_abs_error"]
+
+
+def mse(original: np.ndarray, quantized: np.ndarray) -> float:
+    """Mean squared error between tensors."""
+    original = np.asarray(original, dtype=np.float64)
+    quantized = np.asarray(quantized, dtype=np.float64)
+    return float(np.mean((original - quantized) ** 2))
+
+
+def nmse(original: np.ndarray, quantized: np.ndarray) -> float:
+    """MSE normalized by signal power (scale-invariant)."""
+    original = np.asarray(original, dtype=np.float64)
+    power = float(np.mean(original**2))
+    if power == 0.0:
+        return 0.0
+    return mse(original, quantized) / power
+
+
+def rmse(original: np.ndarray, quantized: np.ndarray) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(original, quantized)))
+
+
+def max_abs_error(original: np.ndarray, quantized: np.ndarray) -> float:
+    """Largest elementwise absolute error."""
+    original = np.asarray(original, dtype=np.float64)
+    quantized = np.asarray(quantized, dtype=np.float64)
+    return float(np.max(np.abs(original - quantized))) if original.size else 0.0

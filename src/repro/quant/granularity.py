@@ -1,0 +1,98 @@
+"""Quantization granularity: per-tensor, per-channel, per-group.
+
+A weight tensor ``W`` with shape ``(K, D)`` (K output channels, D
+channel size) is reshaped into a 2-D array of *quantization rows*,
+each row being the set of weights that shares one scaling factor:
+
+* per-tensor  -> 1 row of ``K * D`` weights
+* per-channel -> ``K`` rows of ``D`` weights
+* per-group   -> ``K * D/G`` rows of ``G`` weights
+
+:func:`to_rows` / :func:`from_rows` are exact inverses, and every
+quantizer in :mod:`repro.quant` operates on rows, so the granularity
+logic lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GRANULARITIES", "RowLayout", "to_rows", "from_rows", "rows_per_channel"]
+
+GRANULARITIES = ("tensor", "channel", "group")
+
+
+@dataclass(frozen=True)
+class RowLayout:
+    """Bookkeeping needed to undo :func:`to_rows`."""
+
+    shape: tuple
+    granularity: str
+    group_size: int
+    pad: int
+
+    @property
+    def n_rows(self) -> int:
+        k, d = self.shape
+        if self.granularity == "tensor":
+            return 1
+        if self.granularity == "channel":
+            return k
+        return k * ((d + self.pad) // self.group_size)
+
+
+def _effective_group(d: int, granularity: str, group_size: int) -> int:
+    if granularity == "tensor":
+        return 0  # sentinel: whole tensor
+    if granularity == "channel":
+        return d
+    if granularity == "group":
+        if group_size <= 0:
+            raise ValueError("group_size must be positive")
+        return group_size
+    raise ValueError(f"unknown granularity {granularity!r} (expected one of {GRANULARITIES})")
+
+
+def to_rows(w: np.ndarray, granularity: str, group_size: int = 128):
+    """Reshape ``w`` (K, D) into quantization rows.
+
+    Channels whose size is not a multiple of ``group_size`` are
+    zero-padded (the padding is stripped again by :func:`from_rows`;
+    padded zeros quantize to zero and do not perturb group scales
+    because scales come from absolute maxima).
+
+    Returns
+    -------
+    (rows, layout)
+    """
+    w = np.asarray(w, dtype=np.float64)
+    if w.ndim != 2:
+        raise ValueError("weight tensors are 2-D (K output channels x D)")
+    k, d = w.shape
+    g = _effective_group(d, granularity, group_size)
+    if granularity == "tensor":
+        return w.reshape(1, k * d), RowLayout(w.shape, granularity, group_size, 0)
+    pad = (-d) % g
+    if pad:
+        w = np.pad(w, ((0, 0), (0, pad)))
+    rows = w.reshape(k * ((d + pad) // g), g)
+    return rows, RowLayout((k, d), granularity, group_size, pad)
+
+
+def from_rows(rows: np.ndarray, layout: RowLayout) -> np.ndarray:
+    """Inverse of :func:`to_rows`."""
+    k, d = layout.shape
+    full = rows.reshape(k, d + layout.pad)
+    return np.ascontiguousarray(full[:, :d])
+
+
+def rows_per_channel(layout: RowLayout) -> int:
+    """Number of quantization rows per output channel."""
+    if layout.granularity == "tensor":
+        return 1
+    if layout.granularity == "channel":
+        return 1
+    k, d = layout.shape
+    return (d + layout.pad) // layout.group_size

@@ -1,0 +1,55 @@
+"""KV-cache quantization (paper Section IV-B).
+
+The BitMoD PE keeps one attention operand in FP16, so the key and
+value tensors must be low-precision integers.  The paper leans on the
+observation (FlexGen, SmoothQuant, Atom) that keys/values tolerate
+INT8 — and often INT4 — because softmax normalization bounds their
+influence.
+
+Keys and values are quantized **per head** with asymmetric integers
+(the Atom convention): each head's slice gets its own scale/zero so
+head-to-head magnitude differences don't cost precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KVQuantConfig", "quantize_kv"]
+
+
+@dataclass(frozen=True)
+class KVQuantConfig:
+    """How to quantize the KV-cache."""
+
+    bits: int = 8
+    per_head: bool = True
+
+
+def quantize_kv(kv: np.ndarray, config: KVQuantConfig = KVQuantConfig()) -> np.ndarray:
+    """Quantize a key or value tensor.
+
+    ``kv`` has shape ``(batch, heads, seq, head_dim)``.  Returns the
+    dequantized tensor (same shape), asymmetric integer per head (or
+    per tensor with ``per_head=False``).
+    """
+    kv = np.asarray(kv, dtype=np.float64)
+    if kv.ndim != 4:
+        raise ValueError("KV tensors have shape (batch, heads, seq, head_dim)")
+    qmax = 2**config.bits - 1
+    if config.per_head:
+        axes = (0, 2, 3)
+        lo = kv.min(axis=axes, keepdims=True)
+        hi = kv.max(axis=axes, keepdims=True)
+    else:
+        lo = kv.min(keepdims=True)
+        hi = kv.max(keepdims=True)
+        lo = lo.reshape(1, 1, 1, 1)
+        hi = hi.reshape(1, 1, 1, 1)
+    scale = (hi - lo) / qmax
+    scale = np.where(scale == 0.0, 1.0, scale)
+    zero = np.round(-lo / scale)
+    codes = np.clip(np.round(kv / scale) + zero, 0, qmax)
+    return (codes - zero) * scale

@@ -1,0 +1,69 @@
+"""Row quantizers for linear and non-linear (grid) datatypes.
+
+Every quantizer maps a 2-D array of quantization rows to
+
+* ``w_deq`` — the dequantized weights (same shape),
+* ``scales`` — one scaling factor per row, shape ``(n_rows, 1)``,
+* auxiliary metadata (integer zero points, chosen special values...).
+
+Scales follow the paper's convention (Section III-A): for a grid
+datatype, ``delta = absmax(row) / absmax(grid)``, then the scaled row
+is snapped to the nearest grid level.  For linear integer types the
+closed forms of Eq. 1 / Eq. 2 are used instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.dtypes.base import GridDataType, quantize_to_grid
+
+__all__ = ["RowQuant", "quantize_rows_grid", "clipped_absmax_scales"]
+
+
+@dataclass
+class RowQuant:
+    """Result of quantizing a 2-D array of rows."""
+
+    w_deq: np.ndarray
+    scales: np.ndarray
+    zeros: Optional[np.ndarray] = None
+    #: Per-row chosen special value (BitMoD) or NaN when not applicable.
+    special_values: Optional[np.ndarray] = None
+    #: Per-row candidate-grid index (adaptive datatypes).
+    candidate_idx: Optional[np.ndarray] = None
+    #: Per-row squared error sum.
+    sq_error: np.ndarray = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.sq_error is None:
+            self.sq_error = np.zeros((self.w_deq.shape[0],))
+
+
+def clipped_absmax_scales(
+    rows: np.ndarray, grid_absmax: float, clip_ratio: float = 1.0
+) -> np.ndarray:
+    """Per-row scaling factors ``clip_ratio * absmax(row) / grid_absmax``.
+
+    ``clip_ratio`` < 1 implements the clipping used by OmniQuant-style
+    optimizers.  All-zero rows get scale 1 so dequantization stays
+    well-defined.
+    """
+    absmax = np.max(np.abs(rows), axis=1, keepdims=True) * clip_ratio
+    scales = absmax / grid_absmax
+    return np.where(scales == 0.0, 1.0, scales)
+
+
+def quantize_rows_grid(
+    rows: np.ndarray, dtype: GridDataType, clip_ratio: float = 1.0
+) -> RowQuant:
+    """Quantize each row onto ``dtype``'s level grid (NonLinearQuantize)."""
+    rows = np.asarray(rows, dtype=np.float64)
+    scales = clipped_absmax_scales(rows, dtype.absmax, clip_ratio)
+    snapped = quantize_to_grid(rows / scales, dtype.grid)
+    w_deq = snapped * scales
+    err = np.sum((w_deq - rows) ** 2, axis=1)
+    return RowQuant(w_deq=w_deq, scales=scales, sq_error=err)

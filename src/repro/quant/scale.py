@@ -1,0 +1,87 @@
+"""Second-level quantization of per-group scaling factors.
+
+Section III-C of the paper builds on VS-Quant: the ``D/G`` per-group
+scaling factors belonging to one output channel are themselves
+symmetrically quantized to a low-precision integer, so the hardware
+can dequantize group partial sums with a bit-serial integer multiplier
+instead of a floating-point unit.  Table V establishes that INT8
+scaling factors are lossless; BitMoD therefore uses 8 bits.
+
+Scaling factors are non-negative by construction, so "symmetric"
+quantization degenerates to unsigned: ``sf_q = round(sf / Delta2)``
+with ``Delta2 = max(sf_channel) / (2**bits - 1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ScaleQuant", "quantize_scales"]
+
+
+@dataclass
+class ScaleQuant:
+    """Quantized per-group scaling factors.
+
+    Attributes
+    ----------
+    scales:
+        Reconstructed (dequantized) scaling factors, same shape as the
+        input — use these to dequantize weights.
+    codes:
+        Integer codes in ``[0, 2**bits - 1]``, shape like ``scales``.
+    channel_scales:
+        The per-channel second-level factor ``Delta2``.
+    bits:
+        Scaling-factor precision.
+    """
+
+    scales: np.ndarray
+    codes: np.ndarray
+    channel_scales: np.ndarray
+    bits: int
+
+
+def quantize_scales(scales: np.ndarray, bits: int = 8, rows_per_channel: int = 1) -> ScaleQuant:
+    """Quantize per-group scaling factors to ``bits``-wide integers.
+
+    Parameters
+    ----------
+    scales:
+        ``(n_rows, 1)`` per-group scaling factors, grouped so that
+        consecutive blocks of ``rows_per_channel`` rows belong to one
+        output channel (the layout produced by
+        :func:`repro.quant.granularity.to_rows`).
+    bits:
+        Integer precision; the paper uses 8 (Table V shows INT8 is
+        lossless, INT2 is not).
+    rows_per_channel:
+        ``D/G`` — how many groups share one channel, hence one
+        second-level factor.
+    """
+    if bits < 1:
+        raise ValueError("scaling factors need at least 1 bit")
+    flat = np.asarray(scales, dtype=np.float64).reshape(-1)
+    n_rows = flat.size
+    if n_rows % rows_per_channel:
+        raise ValueError(
+            f"{n_rows} rows do not divide into channels of {rows_per_channel}"
+        )
+    per_chan = flat.reshape(-1, rows_per_channel)
+    qmax = 2**bits - 1
+    chan_max = np.max(per_chan, axis=1, keepdims=True)
+    delta2 = np.where(chan_max > 0.0, chan_max / qmax, 1.0)
+    codes = np.clip(np.round(per_chan / delta2), 0, qmax)
+    recon = codes * delta2
+    # A quantized-to-zero scaling factor would collapse a whole group;
+    # clamp to one LSB, mirroring what any sane hardware/driver does.
+    recon = np.where((per_chan > 0.0) & (recon == 0.0), delta2, recon)
+    codes = np.where((per_chan > 0.0) & (codes == 0.0), 1.0, codes)
+    return ScaleQuant(
+        scales=recon.reshape(np.asarray(scales).shape),
+        codes=codes.reshape(np.asarray(scales).shape),
+        channel_scales=delta2,
+        bits=bits,
+    )

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def weights(rng):
+    """A small Gaussian weight matrix with group structure."""
+    return rng.standard_normal((16, 256))
+
+
+@pytest.fixture
+def heavy_weights(rng):
+    """A heavy-tailed weight matrix (outlier-rich)."""
+    w = rng.standard_t(3, size=(16, 256))
+    w[rng.random(w.shape) < 0.003] *= 12.0
+    return w

@@ -1,0 +1,83 @@
+"""Tests for the grid-quantization primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtypes.base import (
+    GridDataType,
+    grid_absmax,
+    quantize_to_grid,
+    snap_indices,
+)
+
+
+class TestSnapIndices:
+    def test_exact_levels_map_to_themselves(self):
+        grid = np.array([-4.0, -2.0, -1.0, 0.0, 1.0, 2.0, 4.0])
+        idx = snap_indices(grid, grid)
+        assert np.array_equal(idx, np.arange(len(grid)))
+
+    def test_midpoint_partition(self):
+        grid = np.array([0.0, 1.0, 2.0])
+        assert snap_indices(np.array([0.49]), grid)[0] == 0
+        assert snap_indices(np.array([0.51]), grid)[0] == 1
+
+    def test_out_of_range_clamps_to_extremes(self):
+        grid = np.array([-1.0, 0.0, 1.0])
+        assert snap_indices(np.array([-100.0]), grid)[0] == 0
+        assert snap_indices(np.array([100.0]), grid)[0] == 2
+
+    @given(
+        st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_snap_is_nearest(self, xs):
+        grid = np.array([-8.0, -4.0, -2.0, -1.0, 0.0, 1.0, 2.0, 4.0, 8.0])
+        x = np.array(xs)
+        snapped = quantize_to_grid(x, grid)
+        for xi, si in zip(x, snapped):
+            best = grid[np.argmin(np.abs(grid - xi))]
+            assert abs(si - xi) <= abs(best - xi) + 1e-12
+
+    def test_preserves_shape(self):
+        grid = np.array([-1.0, 0.0, 1.0])
+        x = np.zeros((3, 4, 5))
+        assert quantize_to_grid(x, grid).shape == (3, 4, 5)
+
+
+class TestGridDataType:
+    def test_grid_sorted_and_unique(self):
+        dt = GridDataType(name="t", bits=3, values=[1, -1, 0, 1, 2, -2])
+        assert np.array_equal(dt.grid, [-2, -1, 0, 1, 2])
+        assert dt.num_levels == 5
+
+    def test_absmax(self):
+        dt = GridDataType(name="t", bits=3, values=[-6, -1, 0, 1, 4])
+        assert dt.absmax == 6.0
+        assert grid_absmax(dt.grid) == 6.0
+
+    def test_symmetry_detection(self):
+        sym = GridDataType(name="s", bits=3, values=[-2, -1, 0, 1, 2])
+        asym = GridDataType(name="a", bits=3, values=[-2, -1, 0, 1, 2, 6])
+        assert sym.is_symmetric_grid()
+        assert not asym.is_symmetric_grid()
+
+    def test_encode_decode_roundtrip(self, rng):
+        dt = GridDataType(name="t", bits=4, values=np.arange(-7, 8.0))
+        x = rng.uniform(-7, 7, size=100)
+        codes = dt.encode(x)
+        assert np.array_equal(dt.decode(codes), dt.quantize(x))
+
+    def test_single_level_grid_rejected(self):
+        with pytest.raises(ValueError):
+            GridDataType(name="bad", bits=1, values=[1.0])
+
+    def test_memory_bits_include_scale(self):
+        dt = GridDataType(name="t", bits=4, values=np.arange(-7, 8.0))
+        assert dt.memory_bits_per_weight(128) == pytest.approx(4 + 8 / 128)

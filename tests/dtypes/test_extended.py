@@ -1,0 +1,84 @@
+"""Tests for the BitMoD extended datatypes (Table IV)."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes.extended import (
+    FP3_SPECIAL_VALUES,
+    FP4_SPECIAL_VALUES,
+    BitMoDType,
+    make_extended_float,
+)
+from repro.dtypes.floating import FP3_VALUES, FP4_VALUES
+
+
+class TestTableIV:
+    """The extended datatype definitions are exactly the paper's."""
+
+    def test_fp3_special_values(self):
+        assert set(FP3_SPECIAL_VALUES) == {-3.0, 3.0, -6.0, 6.0}
+
+    def test_fp4_special_values(self):
+        assert set(FP4_SPECIAL_VALUES) == {-5.0, 5.0, -8.0, 8.0}
+
+    @pytest.mark.parametrize("sv", [-3.0, 3.0])
+    def test_fp3_er_grid(self, sv):
+        dt = make_extended_float(3, sv)
+        assert set(dt.grid) == set(FP3_VALUES) | {sv}
+        # ER keeps the absolute maximum at 4.
+        assert dt.absmax == 4.0 if abs(sv) < 4 else 6.0
+
+    @pytest.mark.parametrize("sv", [-6.0, 6.0])
+    def test_fp3_ea_extends_range(self, sv):
+        dt = make_extended_float(3, sv)
+        assert dt.absmax == 6.0
+        assert not dt.is_symmetric_grid()
+
+    @pytest.mark.parametrize("sv", [-5.0, 5.0, -8.0, 8.0])
+    def test_fp4_extensions(self, sv):
+        dt = make_extended_float(4, sv)
+        assert set(dt.grid) == set(FP4_VALUES) | {sv}
+
+    def test_extended_grid_has_full_level_budget(self):
+        # Repurposing negative zero: 2**b distinct values.
+        assert make_extended_float(3, 6.0).num_levels == 8
+        assert make_extended_float(4, -8.0).num_levels == 16
+
+    def test_unsupported_bits_rejected(self):
+        with pytest.raises(ValueError):
+            make_extended_float(5, 6.0)
+
+
+class TestBitMoDType:
+    def test_default_families(self):
+        bm3 = BitMoDType(bits=3)
+        bm4 = BitMoDType(bits=4)
+        assert bm3.special_values == FP3_SPECIAL_VALUES
+        assert bm4.special_values == FP4_SPECIAL_VALUES
+        assert len(bm3.candidates) == 4
+
+    def test_selector_bits(self):
+        assert BitMoDType(bits=3).selector_bits == 2.0
+        assert BitMoDType(bits=3, special_values=(-6.0, 6.0)).selector_bits == 1.0
+
+    def test_memory_overhead_is_ten_bits_per_group(self):
+        # Section III-C: 8-bit SF + 2-bit selector per 128-group.
+        bm = BitMoDType(bits=4)
+        assert bm.memory_bits_per_weight(128) == pytest.approx(4 + 10 / 128)
+
+    def test_candidates_share_basic_values(self):
+        bm = BitMoDType(bits=3)
+        for cand in bm.candidates:
+            assert set(FP3_VALUES) <= set(cand.grid)
+
+    def test_basic_values_property(self):
+        np.testing.assert_array_equal(BitMoDType(bits=4).basic_values, FP4_VALUES)
+
+    def test_arbitrary_special_values_supported(self):
+        # Section IV-A: the SV register file is programmable.
+        bm = BitMoDType(bits=3, special_values=(-7.0, 7.0))
+        assert any(7.0 in c.grid for c in bm.candidates)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            BitMoDType(bits=6)

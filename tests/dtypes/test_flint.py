@@ -1,0 +1,54 @@
+"""Tests for the ANT Flint baseline datatype."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes.flint import AntAdaptiveType, flint_values, make_flint_type
+
+
+class TestFlintValues:
+    def test_flint4_grid(self):
+        expect = [0, 1, 1.5, 2, 3, 4, 6, 8]
+        expect = sorted(set([-v for v in expect] + expect))
+        np.testing.assert_array_equal(flint_values(4), expect)
+
+    def test_flint3_grid_is_all_range(self):
+        np.testing.assert_array_equal(flint_values(3), [-8, -2, -1, 0, 1, 2, 8])
+
+    @pytest.mark.parametrize("bits", [3, 4, 5, 6])
+    def test_level_budget_respected(self, bits):
+        vals = flint_values(bits)
+        n_magnitudes = (len(vals) - 1) // 2
+        assert n_magnitudes <= 2 ** (bits - 1) - 1
+
+    @pytest.mark.parametrize("bits", [4, 5, 6])
+    def test_wider_dynamic_range_than_float(self, bits):
+        from repro.dtypes.floating import float_grid
+
+        fp = float_grid(2, bits - 3, bias=1)
+        assert flint_values(bits).max() > fp.max()
+
+    def test_symmetric(self):
+        for bits in (3, 4, 5, 6):
+            v = flint_values(bits)
+            np.testing.assert_allclose(np.sort(-v), v)
+
+    def test_too_few_bits(self):
+        with pytest.raises(ValueError):
+            flint_values(2)
+
+
+class TestAntAdaptive:
+    def test_candidate_count_grows_with_bits(self):
+        assert len(AntAdaptiveType(bits=3).candidates) == 1
+        assert len(AntAdaptiveType(bits=4).candidates) == 3
+        assert len(AntAdaptiveType(bits=5).candidates) == 4
+
+    def test_all_candidates_symmetric(self):
+        for cand in AntAdaptiveType(bits=4).candidates:
+            assert cand.is_symmetric_grid()
+
+    def test_make_flint_type(self):
+        dt = make_flint_type(4)
+        assert dt.bits == 4
+        assert dt.name == "flint4"

@@ -1,0 +1,84 @@
+"""Tests for minifloat grids and FP16 helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtypes.floating import (
+    FP3_VALUES,
+    FP4_VALUES,
+    FP6_E2M3_VALUES,
+    FP6_E3M2_VALUES,
+    float_grid,
+    fp16_compose,
+    fp16_decompose,
+    make_float_type,
+)
+
+
+class TestGrids:
+    def test_fp3_matches_paper(self):
+        # Section III-A: FP3 = {0, +-1, +-2, +-4}.
+        np.testing.assert_array_equal(FP3_VALUES, [-4, -2, -1, 0, 1, 2, 4])
+
+    def test_fp4_matches_paper(self):
+        # Table IV basic FP4 values.
+        expect = [0, 0.5, 1, 1.5, 2, 3, 4, 6]
+        expect = sorted(set([-v for v in expect] + expect))
+        np.testing.assert_array_equal(FP4_VALUES, expect)
+
+    def test_fp6_e2m3_range(self):
+        assert FP6_E2M3_VALUES.max() == pytest.approx(7.5)
+        # 1 + (2**2 - 1) * 2**3 magnitudes on each side plus zero.
+        assert len(FP6_E2M3_VALUES) == 2 * 31 + 1
+
+    def test_fp6_e3m2_wider_range_than_e2m3(self):
+        assert FP6_E3M2_VALUES.max() > FP6_E2M3_VALUES.max()
+
+    def test_grids_are_symmetric(self):
+        for grid in (FP3_VALUES, FP4_VALUES, FP6_E2M3_VALUES, FP6_E3M2_VALUES):
+            np.testing.assert_allclose(np.sort(-grid), grid)
+
+    def test_subnormals_present(self):
+        # FP4's 0.5 is a subnormal (exp field 0, man 1).
+        assert 0.5 in FP4_VALUES
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            float_grid(0, 2)
+
+    def test_make_float_type_bits(self):
+        dt = make_float_type("fp5_test", 2, 2, bias=1)
+        assert dt.bits == 5
+        assert dt.num_levels == len(float_grid(2, 2, bias=1))
+
+
+class TestFP16Helpers:
+    @given(
+        st.floats(
+            min_value=-60000,
+            max_value=60000,
+            allow_nan=False,
+            width=16,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_decompose_compose_roundtrip(self, x):
+        sign, exp, man = fp16_decompose(np.array([x], dtype=np.float16))
+        back = fp16_compose(sign, exp, man)[0]
+        assert back == pytest.approx(float(np.float16(x)), rel=0, abs=0)
+
+    def test_hidden_bit_for_normals(self):
+        _, _, man = fp16_decompose(np.array([1.0]))
+        assert man[0] == 1 << 10
+
+    def test_subnormal_no_hidden_bit(self):
+        tiny = np.float16(2**-24)
+        _, exp, man = fp16_decompose(np.array([tiny]))
+        assert exp[0] == 1
+        assert man[0] == 1
+
+    def test_sign_extraction(self):
+        sign, _, _ = fp16_decompose(np.array([-1.5, 1.5]))
+        assert list(sign) == [1, 0]

@@ -1,0 +1,90 @@
+"""Tests for symmetric/asymmetric integer quantization (Eq. 1 / Eq. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtypes.integer import IntegerType, int_symmetric_levels
+
+
+class TestLevels:
+    @pytest.mark.parametrize("bits,expect", [(3, 7), (4, 15), (6, 63), (8, 255)])
+    def test_symmetric_level_count(self, bits, expect):
+        assert len(int_symmetric_levels(bits)) == expect
+
+    def test_symmetric_levels_drop_most_negative(self):
+        levels = int_symmetric_levels(4)
+        assert levels.min() == -7 and levels.max() == 7
+
+
+class TestSymmetric:
+    def test_name(self):
+        assert IntegerType(bits=4).name == "int4_sym"
+
+    def test_exact_representable(self):
+        dt = IntegerType(bits=4)
+        w = np.array([[-7.0, -3.0, 0.0, 3.0, 7.0, 1.0, 2.0, 5.0]])
+        w_deq, codes, scales, zeros = dt.quantize_rows(w)
+        assert zeros is None
+        assert scales[0, 0] == pytest.approx(1.0)
+        np.testing.assert_allclose(w_deq, w)
+
+    def test_scale_from_absmax(self, rng):
+        dt = IntegerType(bits=4)
+        w = rng.standard_normal((8, 64))
+        _, _, scales, _ = dt.quantize_rows(w)
+        np.testing.assert_allclose(
+            scales[:, 0], np.max(np.abs(w), axis=1) / 7.0
+        )
+
+    def test_zero_row_is_stable(self):
+        dt = IntegerType(bits=4)
+        w_deq, _, scales, _ = dt.quantize_rows(np.zeros((2, 8)))
+        assert np.all(w_deq == 0.0)
+        assert np.all(scales == 1.0)
+
+    @given(st.integers(min_value=3, max_value=8))
+    @settings(max_examples=6, deadline=None)
+    def test_error_bounded_by_half_step(self, bits):
+        rng = np.random.default_rng(bits)
+        dt = IntegerType(bits=bits)
+        w = rng.standard_normal((4, 128))
+        w_deq, _, scales, _ = dt.quantize_rows(w)
+        assert np.all(np.abs(w_deq - w) <= scales / 2 + 1e-12)
+
+
+class TestAsymmetric:
+    def test_name(self):
+        assert IntegerType(bits=4, asymmetric=True).name == "int4_asym"
+
+    def test_handles_one_sided_rows_better_than_symmetric(self, rng):
+        w = np.abs(rng.standard_normal((8, 128))) + 0.5  # all positive
+        sym = IntegerType(bits=3)
+        asym = IntegerType(bits=3, asymmetric=True)
+        e_sym = np.mean((sym.quantize_rows(w)[0] - w) ** 2)
+        e_asym = np.mean((asym.quantize_rows(w)[0] - w) ** 2)
+        assert e_asym < e_sym
+
+    def test_codes_in_unsigned_range(self, rng):
+        dt = IntegerType(bits=4, asymmetric=True)
+        w = rng.standard_normal((8, 64)) + 0.3
+        _, codes, _, zeros = dt.quantize_rows(w)
+        assert codes.min() >= 0 and codes.max() <= 15
+        assert zeros is not None
+
+    def test_range_endpoints_exact(self):
+        dt = IntegerType(bits=4, asymmetric=True)
+        w = np.linspace(-3.0, 12.0, 16)[None, :]
+        w_deq, _, _, _ = dt.quantize_rows(w)
+        assert w_deq[0, 0] == pytest.approx(-3.0)
+        assert w_deq[0, -1] == pytest.approx(12.0)
+
+    def test_memory_overhead_higher_than_symmetric(self):
+        sym = IntegerType(bits=4)
+        asym = IntegerType(bits=4, asymmetric=True)
+        assert asym.memory_bits_per_weight(128) > sym.memory_bits_per_weight(128)
+
+    def test_too_few_bits_rejected(self):
+        with pytest.raises(ValueError):
+            IntegerType(bits=1)

@@ -1,0 +1,51 @@
+"""Tests for the Microscaling (MX) baseline datatype."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes.mx import MXType
+
+
+class TestMX:
+    def test_scales_are_powers_of_two(self, rng):
+        dt = MXType(bits=4)
+        w = rng.standard_normal((16, 32))
+        _, scales = dt.quantize_rows(w)
+        log2 = np.log2(scales)
+        np.testing.assert_allclose(log2, np.round(log2))
+
+    def test_block_size_default_is_spec(self):
+        assert MXType(bits=4).block_size == 32
+
+    def test_memory_includes_shared_exponent(self):
+        dt = MXType(bits=4)
+        # 8-bit exponent per 32-block regardless of quantizer group.
+        assert dt.memory_bits_per_weight(128) == pytest.approx(4 + 8 / 32)
+
+    def test_zero_block_stable(self):
+        dt = MXType(bits=4)
+        w_deq, scales = dt.quantize_rows(np.zeros((2, 32)))
+        assert np.all(w_deq == 0) and np.all(scales == 1.0)
+
+    def test_worse_than_exact_scale_on_average(self, rng):
+        """The PoT scale restriction must cost accuracy vs FP4 with an
+        exact per-block scale (the paper's MX critique)."""
+        from repro.dtypes.registry import get_dtype
+        from repro.quant.quantizer import quantize_rows_grid
+
+        w = rng.standard_normal((256, 32))
+        mx_deq, _ = MXType(bits=4).quantize_rows(w)
+        exact = quantize_rows_grid(w, get_dtype("fp4"))
+        assert np.mean((mx_deq - w) ** 2) > np.mean((exact.w_deq - w) ** 2)
+
+    def test_elements_snap_to_fp_grid(self, rng):
+        dt = MXType(bits=3)
+        w = rng.standard_normal((4, 32))
+        w_deq, scales = dt.quantize_rows(w)
+        codes = w_deq / scales
+        for c in np.unique(codes):
+            assert any(abs(c - g) < 1e-12 for g in dt.element_grid)
+
+    def test_unsupported_bits(self):
+        with pytest.raises(ValueError):
+            MXType(bits=7)

@@ -1,0 +1,71 @@
+"""Tests for the OliVe outlier-victim baseline datatype."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes.olive import OliveType, abfloat_values
+
+
+class TestAbfloat:
+    def test_bias4_reaches_192(self):
+        vals = abfloat_values(4, bias=4)
+        assert vals.min() == 16.0 and vals.max() == 192.0
+
+    def test_default_grid_size(self):
+        assert len(abfloat_values(4)) == 2 ** (4 - 2) * 2
+
+    def test_bias_shifts_range(self):
+        np.testing.assert_allclose(abfloat_values(3, 1), 2 * abfloat_values(3, 0))
+
+    def test_too_few_bits(self):
+        with pytest.raises(ValueError):
+            abfloat_values(2)
+
+
+class TestOliveQuantization:
+    def test_outliers_protected(self, rng):
+        dt = OliveType(bits=4)
+        w = rng.standard_normal((8, 128)) * 0.1
+        w[:, 0] = 3.0  # large outlier in every group
+        w_deq, scales = dt.quantize_rows(w)
+        # Without outlier handling the int4 grid tops out at
+        # 7 * (second_max / 7) ~ second max << 3.0.
+        assert np.all(w_deq[:, 0] > 1.0)
+
+    def test_victims_pruned(self, rng):
+        dt = OliveType(bits=4, outlier_counts=(1,))
+        w = np.abs(rng.standard_normal((4, 64))) + 0.5
+        w[:, 10] = 50.0  # outlier at even index -> victim at 11
+        w_deq, _ = dt.quantize_rows(w)
+        np.testing.assert_array_equal(w_deq[:, 11], 0.0)
+
+    def test_scale_excludes_outliers(self, rng):
+        dt = OliveType(bits=4, outlier_counts=(1,))
+        w = rng.uniform(-1, 1, size=(4, 64))
+        w[:, 5] = 100.0
+        _, scales = dt.quantize_rows(w)
+        # Scale reflects the non-outlier absmax (< 1), not 100.
+        assert np.all(scales < 1.0)
+
+    def test_zero_outlier_candidate_matches_int_sym(self, rng):
+        from repro.dtypes.integer import IntegerType
+
+        dt = OliveType(bits=4, outlier_counts=(0,))
+        w = rng.standard_normal((4, 64))
+        w_deq, _ = dt.quantize_rows(w)
+        ref, _, _, _ = IntegerType(bits=4).quantize_rows(w)
+        np.testing.assert_allclose(w_deq, ref)
+
+    def test_forced_pairing_costs_on_gaussian(self, rng):
+        """The paper's per-group OliVe pays for victims on outlier-free
+        groups — fixed counts must not beat the opt-out variant."""
+        w = rng.standard_normal((32, 128))
+        fixed = OliveType(bits=3, outlier_counts=(2,))
+        free = OliveType(bits=3, outlier_counts=(0, 2))
+        e_fixed = np.mean((fixed.quantize_rows(w)[0] - w) ** 2)
+        e_free = np.mean((free.quantize_rows(w)[0] - w) ** 2)
+        assert e_free <= e_fixed
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            OliveType(bits=4).quantize_rows(np.zeros(8))

@@ -1,0 +1,51 @@
+"""Tests for the datatype registry."""
+
+import pytest
+
+from repro.dtypes.registry import get_dtype, list_dtypes, register_dtype
+
+
+class TestRegistry:
+    def test_paper_dtypes_all_registered(self):
+        needed = [
+            "int4_sym", "int4_asym", "int3_asym", "int6_sym", "int6_asym",
+            "int8_sym", "fp3", "fp4", "fp6_e2m3", "fp6_e3m2",
+            "fp3_er", "fp3_ea", "fp4_er", "fp4_ea",
+            "bitmod_fp3", "bitmod_fp4",
+            "flint3", "flint4", "ant3", "ant4", "ant_adaptive4",
+            "olive3", "olive4", "mx_fp3", "mx_fp4",
+        ]
+        names = list_dtypes()
+        for n in needed:
+            assert n in names, n
+
+    def test_every_registered_name_instantiates(self):
+        for name in list_dtypes():
+            dt = get_dtype(name)
+            assert dt.bits >= 2
+            assert dt.memory_bits_per_weight(128) >= dt.bits
+
+    def test_instances_are_fresh(self):
+        assert get_dtype("bitmod_fp4") is not get_dtype("bitmod_fp4")
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_dtype("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_dtype("fp4", lambda: None)
+
+    def test_ant_is_flint_grid(self):
+        import numpy as np
+
+        ant = get_dtype("ant4")
+        flint = get_dtype("flint4")
+        np.testing.assert_array_equal(ant.grid, flint.grid)
+
+    @pytest.mark.parametrize(
+        "name,bits",
+        [("int4_sym", 4), ("fp3", 3), ("bitmod_fp4", 4), ("mx_fp6", 6)],
+    )
+    def test_bits_field(self, name, bits):
+        assert get_dtype(name).bits == bits

@@ -1,0 +1,81 @@
+"""Tests for the perplexity proxy."""
+
+import numpy as np
+import pytest
+
+from repro.eval.perplexity import PerplexityEvaluator, kl_divergence_mean
+from repro.models.zoo import get_model_config
+from repro.quant.config import QuantConfig
+
+
+@pytest.fixture(scope="module")
+def ev():
+    return PerplexityEvaluator(get_model_config("llama-2-7b"), "wikitext")
+
+
+class TestKL:
+    def test_zero_for_identical(self, rng):
+        logits = rng.standard_normal((2, 8, 100))
+        assert kl_divergence_mean(logits, logits) == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_for_different(self, rng):
+        a = rng.standard_normal((2, 8, 100))
+        b = a + rng.standard_normal((2, 8, 100))
+        assert kl_divergence_mean(a, b) > 0
+
+    def test_grows_with_perturbation(self, rng):
+        a = rng.standard_normal((2, 8, 100))
+        noise = rng.standard_normal((2, 8, 100))
+        small = kl_divergence_mean(a, a + 0.1 * noise)
+        large = kl_divergence_mean(a, a + 0.5 * noise)
+        assert large > small
+
+
+class TestEvaluator:
+    def test_fp16_anchor(self, ev):
+        assert ev.fp16_result().ppl == pytest.approx(5.47)
+        assert ev.fp16_result().delta == 0.0
+
+    def test_identity_quantizer_gives_anchor(self, ev):
+        r = ev.evaluate_quantizer(lambda n, w: w)
+        assert r.ppl == pytest.approx(ev.fp16_ppl)
+        assert r.divergence == pytest.approx(0.0, abs=1e-12)
+
+    def test_quantization_increases_ppl(self, ev):
+        r = ev.evaluate_config("int4_asym")
+        assert r.ppl > ev.fp16_ppl
+        assert r.delta > 0
+
+    def test_lower_precision_higher_ppl(self, ev):
+        p6 = ev.evaluate_config("int6_sym").ppl
+        p4 = ev.evaluate_config("int4_sym").ppl
+        p3 = ev.evaluate_config("int3_sym").ppl
+        assert p6 < p4 < p3
+
+    def test_int6_near_lossless(self, ev):
+        """Table II: 6-bit loses almost nothing."""
+        r = ev.evaluate_config("int6_sym")
+        assert r.delta < 0.15
+
+    def test_bitmod_beats_int_asym(self, ev):
+        """The paper's headline result at both precisions."""
+        for bits in (4, 3):
+            bm = ev.evaluate_config(f"bitmod_fp{bits}").ppl
+            ia = ev.evaluate_config(f"int{bits}_asym").ppl
+            assert bm < ia
+
+    def test_accepts_quantconfig(self, ev):
+        r = ev.evaluate_config(QuantConfig(dtype="fp4", granularity="channel"))
+        assert r.ppl > ev.fp16_ppl
+
+    def test_dataset_anchors_differ(self):
+        cfg = get_model_config("llama-2-7b")
+        wiki = PerplexityEvaluator(cfg, "wikitext")
+        c4 = PerplexityEvaluator(cfg, "c4")
+        assert wiki.fp16_ppl != c4.fp16_ppl
+
+    def test_deterministic(self):
+        cfg = get_model_config("phi-2b")
+        a = PerplexityEvaluator(cfg, "wikitext").evaluate_config("int4_asym").ppl
+        b = PerplexityEvaluator(cfg, "wikitext").evaluate_config("int4_asym").ppl
+        assert a == b

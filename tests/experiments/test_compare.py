@@ -1,0 +1,78 @@
+"""Tests for the paper-reference data and the comparison engine."""
+
+import pytest
+
+from repro.experiments import paper_reference as ref
+from repro.experiments.common import ExperimentResult
+from repro.experiments.compare import (
+    ComparisonReport,
+    compare_table06,
+    ordering_holds,
+)
+
+
+class TestReferenceData:
+    def test_table_vi_consistent_width(self):
+        for dtype, vals in ref.TABLE_VI_WIKITEXT.items():
+            assert len(vals) == 6, dtype
+
+    def test_anchor_lookup(self):
+        assert ref.fp16_anchor("llama-2-7b") == 5.47
+        assert ref.fp16_anchor("llama-2-7b", "c4") == 6.97
+
+    def test_anchors_match_zoo(self):
+        """The model zoo's anchors must be the paper's Table VI row."""
+        from repro.models.zoo import MODEL_ZOO
+
+        for model, cfg in MODEL_ZOO.items():
+            assert cfg.fp16_ppl["wikitext"] == ref.fp16_anchor(model, "wikitext")
+            assert cfg.fp16_ppl["c4"] == ref.fp16_anchor(model, "c4")
+
+    def test_paper_bitmod_always_best_at_mean(self):
+        m = ref.TABLE_VI_MEAN_DPPL
+        assert m["bitmod_fp4"] == min(
+            m[d] for d in ("ant4", "olive4", "mx_fp4", "int4_asym", "bitmod_fp4")
+        )
+        assert m["bitmod_fp3"] == min(
+            m[d] for d in ("ant3", "olive3", "mx_fp3", "int3_asym", "bitmod_fp3")
+        )
+
+    def test_table_x_matches_energy_model(self):
+        from repro.hw.energy import bitmod_pe_tile_cost, fp16_pe_tile_cost
+
+        assert ref.TABLE_X["fp16"][1] == fp16_pe_tile_cost().total_area
+        assert ref.TABLE_X["bitmod"][1] == bitmod_pe_tile_cost().total_area
+
+
+class TestOrderingChecks:
+    def test_holds_when_same_direction(self):
+        o = ordering_holds("x < y", (1.0, 2.0), (0.5, 0.7))
+        assert o.holds
+
+    def test_fails_when_flipped(self):
+        o = ordering_holds("x < y", (1.0, 2.0), (0.9, 0.5))
+        assert not o.holds
+
+    def test_report_rendering(self):
+        r = ComparisonReport(experiment="t")
+        r.rows.append(["q", 1.0, 1.1])
+        r.orderings.append(ordering_holds("a < b", (1, 2), (1, 2)))
+        text = str(r)
+        assert "Paper vs measured" in text
+        assert "1/1 paper orderings hold" in text
+
+
+class TestCompareTable06:
+    def test_quick_comparison_orderings(self):
+        report = compare_table06(quick=True)
+        # The headline claims must survive the reproduction.
+        assert report.orderings_held >= len(report.orderings) - 1
+        labels = {o.claim for o in report.orderings}
+        assert "BitMoD-4b beats INT4-Asym" in labels
+
+    def test_accepts_precomputed_result(self):
+        fake = ExperimentResult("table06", "t", ["dtype", "mean_dppl"])
+        fake.add_row("bitmod_fp4", 0.4)
+        fake.add_row("int4_asym", 0.6)
+        report = compare_table06(fake)
+        assert any(o.claim == "BitMoD-4b beats INT4-Asym" for o in report.orderings)

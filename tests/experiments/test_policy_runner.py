@@ -1,0 +1,63 @@
+"""Tests for the precision policy, the CLI runner, and the ablations."""
+
+import pytest
+
+from repro.experiments.policy import choose_weight_bits
+from repro.experiments.runner import main, run_experiment
+
+
+class TestPolicy:
+    def test_fp16_always_16(self):
+        assert choose_weight_bits("fp16", "opt-1.3b", "generative") == 16
+
+    def test_bitmod_configs(self):
+        assert choose_weight_bits("bitmod", "yi-6b", "discriminative") == 4
+        assert choose_weight_bits("bitmod", "yi-6b", "generative") == 3
+        assert choose_weight_bits("bitmod", "yi-6b", "generative", lossless=True) == 6
+
+    def test_ant_olive_fall_back_within_supported(self):
+        for accel in ("ant", "olive"):
+            bits = choose_weight_bits(accel, "llama-2-7b", "generative")
+            assert bits in (4, 8)
+
+    def test_strict_threshold_forces_8bit(self):
+        assert choose_weight_bits("ant", "opt-1.3b", "generative", threshold=0.0) == 8
+
+    def test_loose_threshold_allows_4bit(self):
+        assert choose_weight_bits("ant", "llama-2-13b", "generative", threshold=1e9) == 4
+
+    def test_unknown_accel(self):
+        with pytest.raises(KeyError):
+            choose_weight_bits("gpu", "opt-1.3b", "generative")
+
+
+class TestRunnerCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table06" in out and "fig07" in out
+
+    def test_no_args_prints_help(self, capsys):
+        assert main([]) == 1
+
+    def test_runs_experiment(self, capsys):
+        assert main(["table10"]) == 0
+        assert "Table X" in capsys.readouterr().out
+
+
+class TestAblations:
+    def test_group_size_tradeoff(self):
+        r = run_experiment("ablation_group_size", quick=True)
+        rows = {row[1]: row for row in r.rows}
+        # Smaller groups: better (or equal) PPL, more metadata bits.
+        assert rows[64][2] <= rows[128][2] + 0.05
+        assert rows[64][3] > rows[128][3]
+
+    def test_encoding_booth_fixed_vs_naive_tail(self):
+        r = run_experiment("ablation_encoding", quick=True)
+        for row in r.rows:
+            bits, booth_terms, naive_mean, naive_p99, _ = row
+            assert booth_terms == (bits + 1) // 2
+            # Naive has a data-dependent tail reaching past Booth's
+            # fixed schedule.
+            assert naive_p99 > booth_terms

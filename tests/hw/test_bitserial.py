@@ -1,0 +1,115 @@
+"""Tests for the unified bit-serial representation (Fig. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtypes.extended import FP3_SPECIAL_VALUES, FP4_SPECIAL_VALUES
+from repro.dtypes.floating import FP3_VALUES, FP4_VALUES
+from repro.hw.bitserial import (
+    TERMS_PER_WEIGHT,
+    booth_encode,
+    fixed_point_decompose,
+    terms_for_dtype,
+)
+
+
+class TestBooth:
+    @pytest.mark.parametrize("bits", [4, 5, 6, 8])
+    def test_exhaustive_reconstruction(self, bits):
+        for v in range(-(2 ** (bits - 1)), 2 ** (bits - 1)):
+            terms = booth_encode(v, bits)
+            assert sum(t.value for t in terms) == v
+
+    @pytest.mark.parametrize("bits,n", [(8, 4), (6, 3), (5, 3), (4, 2)])
+    def test_term_counts_match_paper(self, bits, n):
+        assert len(booth_encode(0, bits)) == n
+
+    def test_bsig_spacing_is_two(self):
+        terms = booth_encode(77, 8)
+        assert [t.bsig for t in terms] == [0, 2, 4, 6]
+
+    def test_digits_within_booth_range(self):
+        for v in range(-128, 128):
+            for t in booth_encode(v, 8):
+                # digit magnitude: man * 2**exp in {0, 1, 2}
+                assert t.man * 2**t.exp <= 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            booth_encode(128, 8)
+
+    @given(st.integers(-128, 127))
+    @settings(max_examples=100, deadline=None)
+    def test_term_fields_are_bits(self, v):
+        for t in booth_encode(v, 8):
+            assert t.sign in (0, 1)
+            assert t.exp in (0, 1)
+            assert t.man in (0, 1)
+
+
+class TestLOD:
+    @pytest.mark.parametrize(
+        "value", sorted(set(FP4_VALUES) | set(FP3_VALUES)
+                        | set(FP3_SPECIAL_VALUES) | set(FP4_SPECIAL_VALUES))
+    )
+    def test_every_extended_fp_value_decomposes_exactly(self, value):
+        terms = fixed_point_decompose(value)
+        assert len(terms) == 2  # statically scheduled: always two slots
+        assert sum(t.value for t in terms) == value
+
+    def test_at_most_two_active_terms(self):
+        for v in FP4_VALUES:
+            active = [t for t in fixed_point_decompose(v) if t.man]
+            assert len(active) <= 2
+
+    def test_zero_is_two_null_terms(self):
+        terms = fixed_point_decompose(0.0)
+        assert all(t.man == 0 for t in terms)
+
+    def test_sign_carried(self):
+        terms = fixed_point_decompose(-6.0)
+        assert all(t.sign == 1 for t in terms if t.man)
+
+    def test_special_value_7_uses_signed_digits(self):
+        """Section IV-A: SV 7 decodes as 2^3 - 2^0, still two terms."""
+        terms = fixed_point_decompose(7.0)
+        assert sum(t.value for t in terms) == 7.0
+        assert len(terms) == 2
+        signs = sorted(t.sign for t in terms)
+        assert signs == [0, 1]  # one positive, one negative term
+
+    def test_truly_three_term_values_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_point_decompose(5.5)  # 11 = 0b1011: needs 3 terms
+
+    def test_unrepresentable_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_point_decompose(0.25)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_point_decompose(32.0)
+
+
+class TestTermsForDtype:
+    @pytest.mark.parametrize(
+        "name,n",
+        [
+            ("int8_sym", 4), ("int6_sym", 3), ("int6_asym", 3),
+            ("int5_asym", 3), ("bitmod_fp4", 2), ("bitmod_fp3", 2),
+            ("fp4_er", 2), ("fp3_ea", 2),
+        ],
+    )
+    def test_counts(self, name, n):
+        assert terms_for_dtype(name) == n
+
+    def test_throughput_claim(self):
+        """Paper: 1.33x (INT6) and 2x (FP4/FP3) vs 1 MAC/cycle FP16."""
+        assert 4 / TERMS_PER_WEIGHT["int6"] == pytest.approx(4 / 3)
+        assert 4 / TERMS_PER_WEIGHT["fp4"] == 2.0
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            terms_for_dtype("fp16")

@@ -1,0 +1,133 @@
+"""Tests for the bit-accurate BitMoD PE (Fig. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtypes.floating import FP4_VALUES
+from repro.hw.bitserial import booth_encode, fixed_point_decompose
+from repro.hw.pe import BitMoDPE, PEConfig, _rshift_rne
+
+
+class TestRoundToNearestEven:
+    def test_exact_shift(self):
+        assert _rshift_rne(8, 2) == 2
+
+    def test_round_up(self):
+        assert _rshift_rne(7, 2) == 2  # 1.75 -> 2
+
+    def test_ties_to_even(self):
+        assert _rshift_rne(6, 2) == 2  # 1.5 -> 2 (even)
+        assert _rshift_rne(10, 2) == 2  # 2.5 -> 2 (even)
+
+    def test_negative_values(self):
+        assert _rshift_rne(-7, 2) == -2
+
+    def test_left_shift_passthrough(self):
+        assert _rshift_rne(3, -2) == 12
+
+
+def _reference(codes, acts):
+    return float(np.dot(codes, np.asarray(acts, dtype=np.float64)))
+
+
+class TestGroupDot:
+    @pytest.mark.parametrize("bits", [5, 6, 8])
+    def test_int_weights_match_reference(self, bits, rng):
+        pe = BitMoDPE()
+        codes = rng.integers(-(2 ** (bits - 1) - 1), 2 ** (bits - 1), size=64)
+        acts = rng.standard_normal(64).astype(np.float16)
+        terms = [booth_encode(int(c), bits) for c in codes]
+        res = pe.group_dot(terms, acts)
+        ref = _reference(codes, acts)
+        assert res.value == pytest.approx(ref, rel=1e-3, abs=1e-3)
+
+    def test_fp4_weights_match_reference(self, rng):
+        pe = BitMoDPE()
+        grid = np.concatenate([FP4_VALUES, [8.0, -8.0, 5.0, -5.0]])
+        codes = rng.choice(grid, size=128)
+        acts = rng.standard_normal(128).astype(np.float16)
+        terms = [fixed_point_decompose(float(c)) for c in codes]
+        res = pe.group_dot(terms, acts)
+        assert res.value == pytest.approx(_reference(codes, acts), rel=1e-3, abs=1e-3)
+
+    def test_cycle_counts(self, rng):
+        """Group of 128: (128/4) * terms cycles — Section IV-B."""
+        pe = BitMoDPE()
+        acts = rng.standard_normal(128).astype(np.float16)
+        fp_terms = [fixed_point_decompose(1.0)] * 128
+        assert pe.group_dot(fp_terms, acts).cycles == 64
+        int8_terms = [booth_encode(3, 8)] * 128
+        assert pe.group_dot(int8_terms, acts).cycles == 128
+
+    def test_zero_weights_give_zero(self, rng):
+        pe = BitMoDPE()
+        acts = rng.standard_normal(8).astype(np.float16)
+        terms = [fixed_point_decompose(0.0)] * 8
+        assert pe.group_dot(terms, acts).value == 0.0
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_randomized_int6_accuracy(self, seed):
+        rng = np.random.default_rng(seed)
+        pe = BitMoDPE()
+        codes = rng.integers(-31, 32, size=16)
+        acts = (rng.standard_normal(16) * 4).astype(np.float16)
+        terms = [booth_encode(int(c), 6) for c in codes]
+        res = pe.group_dot(terms, acts)
+        ref = _reference(codes, acts)
+        assert res.value == pytest.approx(ref, rel=1e-2, abs=1e-2)
+
+    def test_group_not_multiple_of_lanes_rejected(self, rng):
+        pe = BitMoDPE()
+        with pytest.raises(ValueError):
+            pe.group_dot([booth_encode(1, 6)] * 6, np.ones(6))
+
+    def test_wrong_lane_count_rejected(self):
+        pe = BitMoDPE()
+        with pytest.raises(ValueError):
+            pe.dot4([booth_encode(1, 6)[0]] * 3, np.ones(3))
+
+
+class TestDequantize:
+    def test_matches_integer_multiply(self, rng):
+        pe = BitMoDPE()
+        acts = rng.standard_normal(32).astype(np.float16)
+        codes = rng.integers(-31, 32, size=32)
+        terms = [booth_encode(int(c), 6) for c in codes]
+        partial = pe.group_dot(terms, acts)
+        for sf in (1, 17, 128, 255):
+            dq = pe.dequantize(partial, sf)
+            assert dq.value == pytest.approx(partial.value * sf, rel=1e-3)
+
+    def test_takes_sf_bits_cycles(self, rng):
+        pe = BitMoDPE()
+        acts = rng.standard_normal(8).astype(np.float16)
+        terms = [booth_encode(3, 6)] * 8
+        partial = pe.group_dot(terms, acts)
+        assert pe.dequantize(partial, 200).cycles == 8
+
+    def test_zero_sf(self, rng):
+        pe = BitMoDPE()
+        acts = rng.standard_normal(8).astype(np.float16)
+        partial = pe.group_dot([booth_encode(5, 6)] * 8, acts)
+        assert pe.dequantize(partial, 0).value == 0.0
+
+    def test_sf_out_of_range(self, rng):
+        pe = BitMoDPE()
+        acts = rng.standard_normal(8).astype(np.float16)
+        partial = pe.group_dot([booth_encode(1, 6)] * 8, acts)
+        with pytest.raises(ValueError):
+            pe.dequantize(partial, 256)
+
+    def test_narrow_accumulator_still_close(self, rng):
+        """A 16-bit accumulator loses precision but stays in the
+        ballpark — the width trade-off Fig. 5 resolves at 24 bits."""
+        pe = BitMoDPE(PEConfig(acc_mantissa_bits=16))
+        codes = rng.integers(-31, 32, size=64)
+        acts = rng.standard_normal(64).astype(np.float16)
+        terms = [booth_encode(int(c), 6) for c in codes]
+        res = pe.group_dot(terms, acts)
+        ref = _reference(codes, acts)
+        assert res.value == pytest.approx(ref, rel=0.05, abs=0.5)

@@ -1,0 +1,109 @@
+"""Tests for the synthetic corpora and the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.models.config import GEMMShape
+from repro.models.corpus import CORPORA, make_eval_batch, sample_tokens
+from repro.models.zoo import MODEL_ZOO, get_model_config, list_models
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        a = sample_tokens("wikitext", 1000, 2, 64)
+        b = sample_tokens("wikitext", 1000, 2, 64)
+        np.testing.assert_array_equal(a, b)
+
+    def test_datasets_differ(self):
+        a = sample_tokens("wikitext", 1000, 2, 64)
+        b = sample_tokens("c4", 1000, 2, 64)
+        assert not np.array_equal(a, b)
+
+    def test_tokens_in_vocab(self):
+        toks = sample_tokens("c4", 500, 4, 128)
+        assert toks.min() >= 0 and toks.max() < 500
+
+    def test_zipfian_concentration(self):
+        toks = sample_tokens("wikitext", 2048, 8, 256)
+        counts = np.bincount(toks.reshape(-1), minlength=2048)
+        top = np.sort(counts)[::-1]
+        assert top[:20].sum() > 0.25 * counts.sum()
+
+    def test_markov_structure(self):
+        """Consecutive tokens repeat transitions more than chance."""
+        toks = sample_tokens("wikitext", 2048, 4, 512)
+        pairs = set()
+        n_pairs = 0
+        for row in toks:
+            for a, b in zip(row[:-1], row[1:]):
+                pairs.add((int(a), int(b)))
+                n_pairs += 1
+        assert len(pairs) < 0.8 * n_pairs  # transitions repeat
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            sample_tokens("pile", 100, 1, 8)
+
+    def test_make_eval_batch_shape(self):
+        assert make_eval_batch("wikitext", 2048, 4, 128).shape == (4, 128)
+
+    def test_both_specs_registered(self):
+        assert set(CORPORA) == {"wikitext", "c4"}
+
+
+class TestZoo:
+    def test_six_models(self):
+        assert len(MODEL_ZOO) == 6
+
+    @pytest.mark.parametrize("name", list_models())
+    def test_anchors_present(self, name):
+        cfg = get_model_config(name)
+        assert set(cfg.fp16_ppl) == {"wikitext", "c4"}
+        assert set(cfg.fp16_acc) == {"hellaswag", "winogrande", "piqa"}
+
+    def test_full_size_parameter_counts(self):
+        """Full-size architectures land near the advertised sizes."""
+        expect = {
+            "opt-1.3b": 1.3,
+            "yi-6b": 6.0,
+            "llama-2-7b": 6.7,
+            "llama-2-13b": 13.0,
+            "llama-3-8b": 8.0,
+        }
+        for name, billions in expect.items():
+            cfg = get_model_config(name)
+            assert cfg.params_billions == pytest.approx(billions, rel=0.15)
+
+    def test_gqa_models(self):
+        assert get_model_config("llama-3-8b").n_kv_heads == 8
+        assert get_model_config("yi-6b").n_kv_heads == 4
+        assert get_model_config("llama-2-7b").n_kv_heads == 32
+
+    def test_block_gemms_cover_architecture(self):
+        cfg = get_model_config("llama-2-7b")
+        names = {g.name for g in cfg.block_gemms(1)}
+        assert names == {
+            "q_proj", "k_proj", "v_proj", "o_proj",
+            "gate_proj", "up_proj", "down_proj",
+        }
+
+    def test_gemm_macs(self):
+        g = GEMMShape("t", m=2, k=3, n=5, count=2, repeat=4)
+        assert g.macs == 2 * 3 * 5 * 2 * 4
+        assert g.weight_elements == 3 * 5 * 2 * 4
+
+    def test_streamed_excludes_embedding(self):
+        cfg = get_model_config("llama-2-7b")
+        assert cfg.streamed_weight_elements < cfg.num_parameters
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="known"):
+            get_model_config("gpt-5")
+
+    def test_opt_heaviest_profile(self):
+        """OPT's documented outlier structure is the strongest."""
+        opt = get_model_config("opt-1.3b").profile
+        l213 = get_model_config("llama-2-13b").profile
+        assert opt.tail_df < l213.tail_df
+        assert opt.act_outlier_rate > l213.act_outlier_rate
+        assert opt.group_shift > l213.group_shift

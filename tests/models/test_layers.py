@@ -1,0 +1,122 @@
+"""Tests for the numpy transformer building blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.layers import (
+    apply_rope,
+    causal_attention,
+    gelu,
+    layer_norm,
+    linear,
+    rms_norm,
+    rope_cache,
+    silu,
+    softmax,
+)
+
+
+class TestNorms:
+    def test_rms_norm_unit_rms(self, rng):
+        x = rng.standard_normal((2, 5, 32)) * 7
+        out = rms_norm(x, np.ones(32))
+        np.testing.assert_allclose(
+            np.sqrt(np.mean(out**2, axis=-1)), 1.0, rtol=1e-5
+        )
+
+    def test_layer_norm_zero_mean_unit_var(self, rng):
+        x = rng.standard_normal((3, 16)) * 4 + 2
+        out = layer_norm(x, np.ones(16))
+        np.testing.assert_allclose(out.mean(-1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.var(-1), 1.0, rtol=1e-4)
+
+    def test_gain_applied(self, rng):
+        x = rng.standard_normal((4, 8))
+        gain = np.full(8, 3.0)
+        np.testing.assert_allclose(rms_norm(x, gain), 3 * rms_norm(x, np.ones(8)))
+
+
+class TestSoftmax:
+    @given(st.lists(st.floats(-50, 50), min_size=2, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_sums_to_one(self, logits):
+        p = softmax(np.array(logits))
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p >= 0)
+
+    def test_shift_invariance(self, rng):
+        x = rng.standard_normal(10)
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0))
+
+    def test_no_overflow_on_large_inputs(self):
+        p = softmax(np.array([1e4, 0.0]))
+        assert np.isfinite(p).all()
+
+
+class TestActivations:
+    def test_gelu_asymptotes(self):
+        assert gelu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-4)
+        assert gelu(np.array([-10.0]))[0] == pytest.approx(0.0, abs=1e-4)
+
+    def test_silu_at_zero(self):
+        assert silu(np.array([0.0]))[0] == 0.0
+
+
+class TestRope:
+    def test_rotation_preserves_norm(self, rng):
+        cos, sin = rope_cache(16, 32)
+        x = rng.standard_normal((1, 2, 16, 32))
+        out = apply_rope(x, cos, sin)
+        np.testing.assert_allclose(
+            np.linalg.norm(out, axis=-1), np.linalg.norm(x, axis=-1), rtol=1e-10
+        )
+
+    def test_position_zero_is_identity(self, rng):
+        cos, sin = rope_cache(4, 8)
+        x = rng.standard_normal((1, 1, 4, 8))
+        out = apply_rope(x, cos, sin)
+        np.testing.assert_allclose(out[..., 0, :], x[..., 0, :])
+
+    def test_relative_property(self, rng):
+        """Dot products depend only on relative positions."""
+        cos, sin = rope_cache(8, 16)
+        q = rng.standard_normal(16)
+        k = rng.standard_normal(16)
+        scores = []
+        for p in (0, 3):
+            qr = apply_rope(q[None, None, None, :], cos[p: p + 1], sin[p: p + 1])
+            kr = apply_rope(k[None, None, None, :], cos[p + 2: p + 3], sin[p + 2: p + 3])
+            scores.append(float(qr.reshape(-1) @ kr.reshape(-1)))
+        assert scores[0] == pytest.approx(scores[1])
+
+    def test_odd_head_dim_rejected(self):
+        with pytest.raises(ValueError):
+            rope_cache(4, 7)
+
+
+class TestAttention:
+    def test_causality(self, rng):
+        """Changing future tokens must not affect past outputs."""
+        q = rng.standard_normal((1, 2, 6, 8))
+        k = rng.standard_normal((1, 2, 6, 8))
+        v = rng.standard_normal((1, 2, 6, 8))
+        out1 = causal_attention(q, k, v)
+        k2, v2 = k.copy(), v.copy()
+        k2[:, :, 4:] += 10.0
+        v2[:, :, 4:] -= 5.0
+        out2 = causal_attention(q, k2, v2)
+        np.testing.assert_allclose(out1[:, :, :4], out2[:, :, :4])
+
+    def test_first_position_copies_v(self, rng):
+        q = rng.standard_normal((1, 1, 3, 4))
+        k = rng.standard_normal((1, 1, 3, 4))
+        v = rng.standard_normal((1, 1, 3, 4))
+        out = causal_attention(q, k, v)
+        np.testing.assert_allclose(out[0, 0, 0], v[0, 0, 0])
+
+    def test_linear_is_x_wt(self, rng):
+        x = rng.standard_normal((3, 8))
+        w = rng.standard_normal((5, 8))
+        np.testing.assert_allclose(linear(x, w), x @ w.T)

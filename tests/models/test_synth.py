@@ -1,0 +1,92 @@
+"""Tests for synthetic weight generation."""
+
+import numpy as np
+import pytest
+
+from repro.models.config import WeightProfile
+from repro.models.synth import generate_model_weights, generate_weight_matrix
+from repro.models.zoo import get_model_config
+
+
+class TestWeightMatrix:
+    def test_shape_and_scale(self, rng):
+        prof = WeightProfile()
+        w = generate_weight_matrix(rng, 64, 256, prof)
+        assert w.shape == (64, 256)
+        assert np.sqrt(np.mean(w**2)) == pytest.approx(1 / np.sqrt(256), rel=1e-6)
+
+    def test_heavier_tails_have_higher_kurtosis(self):
+        heavy = generate_weight_matrix(
+            np.random.default_rng(0), 128, 512, WeightProfile(tail_df=2.5)
+        )
+        light = generate_weight_matrix(
+            np.random.default_rng(0), 128, 512, WeightProfile(tail_df=30.0)
+        )
+
+        def kurt(x):
+            x = x / x.std()
+            return float(np.mean(x**4))
+
+        assert kurt(heavy) > kurt(light)
+
+    def test_group_shift_creates_asymmetric_groups(self):
+        prof = WeightProfile(group_shift=0.8, outlier_rate=0.0)
+        w = generate_weight_matrix(np.random.default_rng(0), 64, 512, prof)
+        groups = w.reshape(-1, 128)
+        means = np.abs(groups.mean(axis=1)) / groups.std(axis=1)
+        prof0 = WeightProfile(group_shift=0.0, outlier_rate=0.0)
+        w0 = generate_weight_matrix(np.random.default_rng(0), 64, 512, prof0)
+        means0 = np.abs(w0.reshape(-1, 128).mean(axis=1)) / w0.reshape(-1, 128).std(axis=1)
+        assert means.mean() > 2 * means0.mean()
+
+    def test_outliers_present(self):
+        prof = WeightProfile(outlier_rate=0.01, outlier_mag=20.0)
+        w = generate_weight_matrix(np.random.default_rng(0), 64, 512, prof)
+        assert np.max(np.abs(w)) / w.std() > 10
+
+    def test_df_at_most_2_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_weight_matrix(rng, 4, 8, WeightProfile(tail_df=2.0))
+
+
+class TestModelWeights:
+    def test_deterministic_across_calls(self):
+        cfg = get_model_config("llama-2-7b")
+        w1 = generate_model_weights(cfg, seed=7)
+        w2 = generate_model_weights(cfg, seed=7)
+        for k in w1:
+            np.testing.assert_array_equal(w1[k], w2[k])
+
+    def test_seed_changes_weights(self):
+        cfg = get_model_config("llama-2-7b")
+        w1 = generate_model_weights(cfg, seed=0)
+        w2 = generate_model_weights(cfg, seed=1)
+        assert not np.array_equal(w1["layers.0.q_proj"], w2["layers.0.q_proj"])
+
+    def test_models_differ_from_each_other(self):
+        a = generate_model_weights(get_model_config("llama-2-7b"), 0)
+        b = generate_model_weights(get_model_config("yi-6b"), 0)
+        assert not np.array_equal(a["layers.0.q_proj"], b["layers.0.q_proj"])
+
+    def test_expected_keys(self):
+        cfg = get_model_config("opt-1.3b")
+        w = generate_model_weights(cfg, 0)
+        assert "embed" in w and "lm_head" in w and "final_norm" in w
+        for layer in range(cfg.sim_layers):
+            for name in ("q_proj", "k_proj", "v_proj", "o_proj", "fc1", "fc2"):
+                assert f"layers.{layer}.{name}" in w
+
+    def test_gated_models_have_gate_proj(self):
+        w = generate_model_weights(get_model_config("llama-2-7b"), 0)
+        assert "layers.0.gate_proj" in w and "layers.0.fc1" not in w
+
+    def test_tied_embeddings(self):
+        w = generate_model_weights(get_model_config("opt-1.3b"), 0)
+        assert w["embed"] is w["lm_head"]
+
+    def test_norm_gains_contain_act_outliers(self):
+        cfg = get_model_config("opt-1.3b")
+        w = generate_model_weights(cfg, 0)
+        gain = w["layers.0.attn_norm"]
+        assert gain.max() > 3.0  # planted activation-outlier channels
+        assert np.median(gain) == 1.0

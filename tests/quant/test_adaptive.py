@@ -1,0 +1,90 @@
+"""Tests for Algorithm 1 (fine-grained datatype adaptation)."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes.extended import BitMoDType
+from repro.dtypes.flint import AntAdaptiveType
+from repro.dtypes.registry import get_dtype
+from repro.quant.adaptive import (
+    adaptive_quantize_rows,
+    quantize_rows_ant,
+    quantize_rows_bitmod,
+)
+from repro.quant.quantizer import quantize_rows_grid
+
+
+class TestAdaptiveSelection:
+    def test_never_worse_than_any_candidate(self, rng):
+        bm = BitMoDType(bits=3)
+        rows = rng.standard_normal((64, 128))
+        best = adaptive_quantize_rows(rows, bm.candidates)
+        for cand in bm.candidates:
+            single = quantize_rows_grid(rows, cand)
+            assert np.all(best.sq_error <= single.sq_error + 1e-12)
+
+    def test_candidate_idx_identifies_winner(self, rng):
+        bm = BitMoDType(bits=4)
+        rows = rng.standard_normal((32, 128))
+        best = adaptive_quantize_rows(rows, bm.candidates)
+        for g in range(32):
+            cand = bm.candidates[best.candidate_idx[g]]
+            single = quantize_rows_grid(rows[g: g + 1], cand)
+            assert best.sq_error[g] == pytest.approx(single.sq_error[0])
+
+    def test_positive_shifted_group_picks_positive_sv(self, rng):
+        """A solely-positive-outlier group should choose +6 (EA logic)."""
+        bm = BitMoDType(bits=3)
+        rows = rng.standard_normal((1, 128)) * 0.5
+        rows[0, :4] = [6.0, 5.5, 4.0, 3.8]  # positive-heavy extremes
+        rq = quantize_rows_bitmod(rows, bm)
+        assert rq.special_values[0] == 6.0
+
+    def test_negative_shifted_group_picks_negative_sv(self, rng):
+        bm = BitMoDType(bits=3)
+        rows = rng.standard_normal((1, 128)) * 0.5
+        rows[0, :4] = [-6.0, -5.5, -4.0, -3.8]
+        rq = quantize_rows_bitmod(rows, bm)
+        assert rq.special_values[0] == -6.0
+
+    def test_special_values_come_from_family(self, rng):
+        bm = BitMoDType(bits=4)
+        rows = rng.standard_normal((64, 128))
+        rq = quantize_rows_bitmod(rows, bm)
+        assert set(np.unique(rq.special_values)) <= set(bm.special_values)
+
+    def test_bitmod_beats_basic_fp(self, rng):
+        """Repurposing the redundant zero must never hurt."""
+        rows = rng.standard_normal((128, 128))
+        for bits in (3, 4):
+            bm = quantize_rows_bitmod(rows, BitMoDType(bits=bits))
+            basic = quantize_rows_grid(rows, get_dtype(f"fp{bits}"))
+            assert bm.sq_error.sum() < basic.sq_error.sum()
+
+    def test_ant_adaptive(self, rng):
+        ant = AntAdaptiveType(bits=4)
+        rows = rng.standard_normal((32, 128))
+        rq = quantize_rows_ant(rows, ant)
+        assert rq.candidate_idx is not None
+        assert rq.sq_error.shape == (32,)
+
+    def test_empty_candidates_rejected(self, rng):
+        with pytest.raises(ValueError):
+            adaptive_quantize_rows(rng.standard_normal((2, 8)), [])
+
+
+class TestPaperCrossover:
+    """Table VIII's ER/EA crossover, reproduced at the MSE level."""
+
+    def test_er_wins_at_4bit_on_gaussian(self, rng):
+        rows = rng.standard_normal((256, 128))
+        er = quantize_rows_bitmod(rows, BitMoDType(4, (-5.0, 5.0)))
+        ea = quantize_rows_bitmod(rows, BitMoDType(4, (-8.0, 8.0)))
+        assert er.sq_error.sum() < ea.sq_error.sum()
+
+    def test_ea_wins_at_3bit_on_shifted_groups(self, rng):
+        rows = rng.standard_normal((256, 128))
+        rows += rng.normal(0, 0.4, size=(256, 1))  # per-group shifts
+        er = quantize_rows_bitmod(rows, BitMoDType(3, (-3.0, 3.0)))
+        ea = quantize_rows_bitmod(rows, BitMoDType(3, (-6.0, 6.0)))
+        assert ea.sq_error.sum() < er.sq_error.sum()

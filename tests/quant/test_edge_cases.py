@@ -1,0 +1,114 @@
+"""Edge-case and robustness tests across the quantization stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtypes.registry import get_dtype, list_dtypes
+from repro.quant.config import QuantConfig, quantize_tensor
+
+_ALL_QUANTIZABLE = [
+    "int4_sym", "int4_asym", "fp4", "fp3", "bitmod_fp4", "bitmod_fp3",
+    "ant4", "ant3", "ant_adaptive4", "olive4", "olive3", "mx_fp4", "mx_fp3",
+    "flint4", "int6_sym", "int8_sym", "int3_asym",
+]
+
+
+class TestDegenerateTensors:
+    @pytest.mark.parametrize("dtype", _ALL_QUANTIZABLE)
+    def test_all_zero_tensor(self, dtype):
+        w = np.zeros((4, 128))
+        r = quantize_tensor(w, QuantConfig(dtype=dtype))
+        np.testing.assert_array_equal(r.w_deq, 0.0)
+
+    @pytest.mark.parametrize("dtype", _ALL_QUANTIZABLE)
+    def test_constant_tensor(self, dtype):
+        w = np.full((4, 128), 0.37)
+        r = quantize_tensor(w, QuantConfig(dtype=dtype))
+        assert np.isfinite(r.w_deq).all()
+        # The constant must be representable within one step.
+        assert np.max(np.abs(r.w_deq - w)) <= 0.37
+
+    @pytest.mark.parametrize("dtype", ["int4_sym", "bitmod_fp4", "mx_fp4"])
+    def test_huge_magnitudes(self, dtype):
+        w = np.full((2, 128), 1e30)
+        w[0, 0] = -1e30
+        r = quantize_tensor(w, QuantConfig(dtype=dtype))
+        assert np.isfinite(r.w_deq).all()
+
+    @pytest.mark.parametrize("dtype", ["int4_sym", "bitmod_fp4", "mx_fp4"])
+    def test_tiny_magnitudes(self, dtype):
+        w = np.full((2, 128), 1e-30)
+        r = quantize_tensor(w, QuantConfig(dtype=dtype))
+        assert np.isfinite(r.w_deq).all()
+
+    def test_single_column_tensor(self):
+        w = np.ones((4, 1))
+        r = quantize_tensor(w, QuantConfig(dtype="int4_sym", group_size=128))
+        np.testing.assert_allclose(r.w_deq, w)
+
+    def test_non_multiple_channel_size(self, rng):
+        w = rng.standard_normal((4, 200))  # pads to 256
+        r = quantize_tensor(w, QuantConfig(dtype="bitmod_fp4", group_size=128))
+        assert r.w_deq.shape == (4, 200)
+
+    def test_single_element_groups_rejected_gracefully(self, rng):
+        w = rng.standard_normal((2, 8))
+        r = quantize_tensor(w, QuantConfig(dtype="int4_sym", group_size=4))
+        assert r.w_deq.shape == w.shape
+
+
+class TestPropertyBased:
+    @given(
+        dtype=st.sampled_from(["int4_sym", "int4_asym", "fp4", "bitmod_fp4"]),
+        seed=st.integers(0, 2**16),
+        scale=st.floats(1e-3, 1e3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_error_bounded_by_row_range(self, dtype, seed, scale):
+        """Quantization error never exceeds the row's value range."""
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal((2, 128)) * scale
+        r = quantize_tensor(w, QuantConfig(dtype=dtype))
+        span = w.max() - w.min()
+        assert np.max(np.abs(r.w_deq - w)) <= span
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_scaling_equivariance(self, seed):
+        """Quantizing c*W gives c * (quantized W) for scale-only dtypes."""
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal((2, 128))
+        cfg = QuantConfig(dtype="fp4", scale_bits=None)
+        a = quantize_tensor(w, cfg).w_deq
+        b = quantize_tensor(w * 8.0, cfg).w_deq
+        np.testing.assert_allclose(b, a * 8.0, rtol=1e-10)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_sign_flip_equivariance_symmetric(self, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal((2, 128))
+        cfg = QuantConfig(dtype="int4_sym", scale_bits=None)
+        a = quantize_tensor(w, cfg).w_deq
+        b = quantize_tensor(-w, cfg).w_deq
+        np.testing.assert_allclose(b, -a)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_bitmod_at_least_as_good_as_basic_fp(self, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal((4, 128))
+        bm = quantize_tensor(w, QuantConfig(dtype="bitmod_fp3", scale_bits=None))
+        fp = quantize_tensor(w, QuantConfig(dtype="fp3", scale_bits=None))
+        assert bm.mse <= fp.mse + 1e-15
+
+
+class TestEveryRegisteredDtype:
+    @pytest.mark.parametrize("name", list_dtypes())
+    def test_quantize_smoke(self, name, rng):
+        w = rng.standard_normal((2, 128))
+        r = quantize_tensor(w, QuantConfig(dtype=name))
+        assert np.isfinite(r.w_deq).all()
+        assert r.mse >= 0.0

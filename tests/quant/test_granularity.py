@@ -1,0 +1,67 @@
+"""Tests for granularity reshaping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.granularity import from_rows, rows_per_channel, to_rows
+
+
+class TestToRows:
+    def test_tensor_granularity(self, weights):
+        rows, layout = to_rows(weights, "tensor")
+        assert rows.shape == (1, weights.size)
+        assert layout.n_rows == 1
+
+    def test_channel_granularity(self, weights):
+        rows, layout = to_rows(weights, "channel")
+        assert rows.shape == (weights.shape[0], weights.shape[1])
+
+    def test_group_granularity(self, weights):
+        rows, layout = to_rows(weights, "group", 128)
+        k, d = weights.shape
+        assert rows.shape == (k * d // 128, 128)
+
+    def test_rows_preserve_values(self, weights):
+        rows, _ = to_rows(weights, "group", 64)
+        assert rows.sum() == pytest.approx(weights.sum())
+
+    @given(
+        k=st.integers(1, 8),
+        d=st.integers(1, 300),
+        g=st.sampled_from([16, 32, 128]),
+        gran=st.sampled_from(["tensor", "channel", "group"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, k, d, g, gran):
+        rng = np.random.default_rng(k * 1000 + d)
+        w = rng.standard_normal((k, d))
+        rows, layout = to_rows(w, gran, g)
+        np.testing.assert_array_equal(from_rows(rows, layout), w)
+
+    def test_padding_with_non_multiple_channel(self):
+        w = np.ones((2, 100))
+        rows, layout = to_rows(w, "group", 64)
+        assert rows.shape == (4, 64)
+        assert layout.pad == 28
+        np.testing.assert_array_equal(from_rows(rows, layout), w)
+
+    def test_rows_per_channel(self):
+        w = np.ones((4, 256))
+        _, layout = to_rows(w, "group", 128)
+        assert rows_per_channel(layout) == 2
+        _, layout = to_rows(w, "channel")
+        assert rows_per_channel(layout) == 1
+
+    def test_bad_granularity(self, weights):
+        with pytest.raises(ValueError, match="granularity"):
+            to_rows(weights, "block")
+
+    def test_bad_group_size(self, weights):
+        with pytest.raises(ValueError):
+            to_rows(weights, "group", 0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            to_rows(np.zeros(8), "group")

@@ -1,0 +1,68 @@
+"""Tests for the grid row quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes.registry import get_dtype
+from repro.quant.quantizer import clipped_absmax_scales, quantize_rows_grid
+
+
+class TestScales:
+    def test_absmax_scaling(self, rng):
+        rows = rng.standard_normal((8, 64))
+        scales = clipped_absmax_scales(rows, grid_absmax=4.0)
+        np.testing.assert_allclose(
+            scales[:, 0], np.max(np.abs(rows), axis=1) / 4.0
+        )
+
+    def test_clip_ratio_shrinks_scales(self, rng):
+        rows = rng.standard_normal((8, 64))
+        full = clipped_absmax_scales(rows, 4.0, 1.0)
+        clipped = clipped_absmax_scales(rows, 4.0, 0.8)
+        np.testing.assert_allclose(clipped, 0.8 * full)
+
+    def test_zero_rows_get_unit_scale(self):
+        scales = clipped_absmax_scales(np.zeros((3, 8)), 4.0)
+        assert np.all(scales == 1.0)
+
+
+class TestGridQuantization:
+    def test_max_maps_to_grid_max(self, rng):
+        dt = get_dtype("fp4")
+        rows = rng.standard_normal((8, 64))
+        rq = quantize_rows_grid(rows, dt)
+        idx = np.argmax(np.abs(rows), axis=1)
+        snapped = rq.w_deq[np.arange(8), idx] / rq.scales[:, 0]
+        np.testing.assert_allclose(np.abs(snapped), dt.absmax)
+
+    def test_all_outputs_on_grid(self, rng):
+        dt = get_dtype("fp3")
+        rows = rng.standard_normal((4, 32))
+        rq = quantize_rows_grid(rows, dt)
+        codes = rq.w_deq / rq.scales
+        for c in np.unique(np.round(codes, 10)):
+            assert any(abs(c - g) < 1e-9 for g in dt.grid)
+
+    def test_sq_error_matches_recomputation(self, rng):
+        dt = get_dtype("fp4")
+        rows = rng.standard_normal((4, 32))
+        rq = quantize_rows_grid(rows, dt)
+        np.testing.assert_allclose(
+            rq.sq_error, np.sum((rq.w_deq - rows) ** 2, axis=1)
+        )
+
+    def test_denser_grid_has_lower_error(self, rng):
+        rows = rng.standard_normal((16, 128))
+        e3 = quantize_rows_grid(rows, get_dtype("fp3")).sq_error.sum()
+        e4 = quantize_rows_grid(rows, get_dtype("fp4")).sq_error.sum()
+        e6 = quantize_rows_grid(rows, get_dtype("fp6_e2m3")).sq_error.sum()
+        assert e6 < e4 < e3
+
+    def test_moderate_clipping_can_help_heavy_tails(self, heavy_weights):
+        dt = get_dtype("fp3")
+        full = quantize_rows_grid(heavy_weights, dt).sq_error.sum()
+        best_clipped = min(
+            quantize_rows_grid(heavy_weights, dt, clip_ratio=r).sq_error.sum()
+            for r in (0.9, 0.8, 0.7)
+        )
+        assert best_clipped < full

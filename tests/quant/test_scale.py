@@ -1,0 +1,61 @@
+"""Tests for second-level scaling-factor quantization (VS-Quant)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.scale import quantize_scales
+
+
+class TestScaleQuant:
+    def test_int8_error_within_half_step(self, rng):
+        scales = rng.uniform(0.01, 1.0, size=(64, 1))
+        sq = quantize_scales(scales, bits=8, rows_per_channel=8)
+        half_step = np.repeat(sq.channel_scales / 2.0, 8).reshape(64, 1)
+        assert np.all(np.abs(sq.scales - scales) <= half_step + 1e-15)
+
+    def test_error_monotone_in_bits(self, rng):
+        scales = rng.uniform(0.01, 1.0, size=(64, 1))
+        errs = []
+        for bits in (2, 4, 6, 8):
+            sq = quantize_scales(scales, bits=bits, rows_per_channel=8)
+            errs.append(float(np.mean((sq.scales - scales) ** 2)))
+        assert errs == sorted(errs, reverse=True)
+
+    def test_codes_in_range(self, rng):
+        scales = rng.uniform(0.0, 5.0, size=(32, 1))
+        sq = quantize_scales(scales, bits=4, rows_per_channel=4)
+        assert sq.codes.min() >= 0 and sq.codes.max() <= 15
+
+    def test_channel_max_is_exact(self, rng):
+        scales = rng.uniform(0.01, 1.0, size=(16, 1))
+        sq = quantize_scales(scales, bits=8, rows_per_channel=4)
+        per_chan = scales.reshape(-1, 4)
+        recon = sq.scales.reshape(-1, 4)
+        np.testing.assert_allclose(
+            recon.max(axis=1), per_chan.max(axis=1), rtol=1e-12
+        )
+
+    def test_positive_scales_never_collapse_to_zero(self):
+        # A tiny scale in a channel with a large one must stay nonzero.
+        scales = np.array([[1.0], [1e-6]])
+        sq = quantize_scales(scales, bits=8, rows_per_channel=2)
+        assert sq.scales[1, 0] > 0.0
+
+    @given(bits=st.integers(2, 10), rpc=st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=30, deadline=None)
+    def test_shape_preserved(self, bits, rpc):
+        rng = np.random.default_rng(bits)
+        scales = rng.uniform(0.1, 2.0, size=(16, 1))
+        sq = quantize_scales(scales, bits=bits, rows_per_channel=rpc)
+        assert sq.scales.shape == scales.shape
+        assert sq.bits == bits
+
+    def test_mismatched_channel_grouping_rejected(self, rng):
+        with pytest.raises(ValueError):
+            quantize_scales(rng.uniform(size=(10, 1)), rows_per_channel=3)
+
+    def test_zero_bits_rejected(self, rng):
+        with pytest.raises(ValueError):
+            quantize_scales(rng.uniform(size=(4, 1)), bits=0)

@@ -1,0 +1,97 @@
+"""Cross-module integration tests: the full pipelines a user runs."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes.registry import get_dtype
+from repro.eval.perplexity import PerplexityEvaluator
+from repro.hw.baselines import make_accelerator
+from repro.hw.bitserial import booth_encode, fixed_point_decompose
+from repro.hw.pe import BitMoDPE
+from repro.hw.simulator import simulate
+from repro.methods import AWQ, collect_calibration
+from repro.models.transformer import CausalLM
+from repro.models.zoo import get_model_config
+from repro.quant.config import QuantConfig, quantize_tensor
+from repro.quant.granularity import to_rows
+from repro.quant.scale import quantize_scales
+
+
+class TestQuantizeToHardware:
+    """Weights quantized by the algorithm execute exactly on the PE."""
+
+    def test_bitmod_codes_run_on_pe(self, rng):
+        w = rng.standard_normal((1, 128))
+        result = quantize_tensor(w, QuantConfig(dtype="bitmod_fp4", scale_bits=8))
+        codes = (result.w_deq / result.scales[0, 0]).reshape(-1)
+
+        pe = BitMoDPE()
+        acts = rng.standard_normal(128).astype(np.float16)
+        terms = [fixed_point_decompose(float(c)) for c in codes]
+        res = pe.group_dot(terms, acts)
+        ref = float(codes @ acts.astype(np.float64))
+        assert res.value == pytest.approx(ref, rel=1e-3, abs=1e-3)
+
+    def test_int6_pipeline_with_dequant(self, rng):
+        """Quantize -> decompose -> PE dot -> bit-serial dequant equals
+        the dequantized-weight matmul."""
+        w = rng.standard_normal((1, 128))
+        result = quantize_tensor(w, QuantConfig(dtype="int6_sym", scale_bits=8))
+        scale = result.scales[0, 0]
+        codes = np.round(result.w_deq / scale).astype(int).reshape(-1)
+
+        # Second-level factors: scale = sf_code * channel_scale.
+        rows, layout = to_rows(w, "group", 128)
+        raw = np.max(np.abs(rows), axis=1, keepdims=True) / 31.0
+        sq = quantize_scales(raw, bits=8, rows_per_channel=1)
+        sf_code = int(sq.codes[0, 0])
+
+        pe = BitMoDPE()
+        acts = rng.standard_normal(128).astype(np.float16)
+        partial = pe.group_dot([booth_encode(int(c), 6) for c in codes], acts)
+        deq = pe.dequantize(partial, sf_code)
+        final = deq.value * float(sq.channel_scales[0, 0])
+        ref = float(result.w_deq.reshape(-1) @ acts.astype(np.float64))
+        assert final == pytest.approx(ref, rel=1e-3, abs=1e-3)
+
+
+class TestMethodToEvaluation:
+    def test_awq_improves_model_ppl(self):
+        cfg = get_model_config("llama-2-7b")
+        ev = PerplexityEvaluator(cfg, "wikitext")
+        calib = collect_calibration(ev.model)
+        rtn_ppl = ev.evaluate_config("int3_asym").ppl
+        awq = AWQ(QuantConfig(dtype="int3_asym"))
+        awq_ppl = ev.evaluate_model(awq.quantize_model(ev.model, calib)).ppl
+        assert awq_ppl < rtn_ppl
+
+    def test_quantized_model_memory_budget(self):
+        """The memory accounting matches the quantized tensor sizes."""
+        cfg = get_model_config("opt-1.3b")
+        model = CausalLM(cfg, seed=0)
+        dt = get_dtype("bitmod_fp3")
+        total_weights = sum(w.size for w in model.named_linears().values())
+        bits = dt.memory_bits_per_weight(128) * total_weights
+        assert bits / total_weights == pytest.approx(3 + 10 / 128)
+
+
+class TestAlgoHardwareCoDesign:
+    def test_quality_policy_feeds_simulator(self):
+        """The full co-design loop: measured per-channel quality picks
+        precision, which drives simulated latency."""
+        from repro.experiments.policy import choose_weight_bits
+
+        model = "llama-2-7b"
+        cfg = get_model_config(model)
+        ant = make_accelerator("ant")
+        bits = choose_weight_bits("ant", model, "generative")
+        assert bits in (4, 8)
+        r = simulate(cfg, ant, "generative", bits)
+        assert r.cycles > 0
+
+    def test_bitmod_lossy_always_3bit_generative(self):
+        from repro.experiments.policy import choose_weight_bits
+
+        assert choose_weight_bits("bitmod", "opt-1.3b", "generative") == 3
+        assert choose_weight_bits("bitmod", "opt-1.3b", "discriminative") == 4
+        assert choose_weight_bits("bitmod", "opt-1.3b", "generative", lossless=True) == 6
