@@ -27,6 +27,11 @@ Subpackages
     area/power/energy models, plus the baseline accelerators.
 ``repro.experiments``
     One module per paper table/figure.
+``repro.serve``
+    The deployment path: on-disk packed-model artifacts, an
+    incremental-decode inference engine, continuous batching, an
+    asyncio serving front-end, and the bridge replaying served
+    traffic through the accelerator model.
 """
 
 from repro.dtypes import DataType, get_dtype, list_dtypes

@@ -24,6 +24,7 @@ Name                    Datatype
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable, Dict
 
 from repro.dtypes.base import DataType, GridDataType
@@ -117,12 +118,25 @@ _populate()
 
 
 def get_dtype(name: str) -> DataType:
-    """Instantiate the datatype registered under ``name``."""
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
-        known = ", ".join(sorted(_FACTORIES))
-        raise KeyError(f"unknown datatype {name!r}; known: {known}") from None
+    """Instantiate the datatype registered under ``name``.
+
+    Lookup is case-insensitive; an unknown name raises with the
+    closest registered spellings instead of the full registry.
+    """
+    factory = _FACTORIES.get(name)
+    if factory is None and isinstance(name, str):
+        folded = name.lower()
+        factory = _FACTORIES.get(folded)
+        if factory is None:
+            close = difflib.get_close_matches(folded, _FACTORIES, n=3, cutoff=0.6)
+            hint = (
+                f"did you mean {' or '.join(repr(c) for c in close)}?"
+                if close
+                else "see list_dtypes() for the registry"
+            )
+            raise KeyError(f"unknown datatype {name!r}; {hint}") from None
+    elif factory is None:
+        raise KeyError(f"unknown datatype {name!r}; see list_dtypes() for the registry")
     return factory()
 
 

@@ -3,7 +3,7 @@
 from repro.models.config import GEMMShape, ModelConfig, WeightProfile
 from repro.models.corpus import CORPORA, CorpusSpec, make_eval_batch, sample_tokens
 from repro.models.synth import generate_model_weights, generate_weight_matrix
-from repro.models.transformer import CausalLM
+from repro.models.transformer import CausalLM, KVCache
 from repro.models.zoo import (
     FIG1_MODELS,
     MODEL_ZOO,
@@ -17,6 +17,7 @@ __all__ = [
     "WeightProfile",
     "GEMMShape",
     "CausalLM",
+    "KVCache",
     "generate_model_weights",
     "generate_weight_matrix",
     "MODEL_ZOO",

@@ -81,16 +81,20 @@ def apply_rope(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
 
 
 def causal_attention(
-    q: np.ndarray, k: np.ndarray, v: np.ndarray
+    q: np.ndarray, k: np.ndarray, v: np.ndarray, past_len: int = 0
 ) -> np.ndarray:
     """Scaled dot-product attention with a causal mask.
 
     All of ``q, k, v`` have shape ``(batch, heads, seq, head_dim)``
     (key/value heads already broadcast to the query head count).
+
+    With ``past_len > 0`` the keys/values cover ``past_len`` cached
+    positions followed by the new ones, while ``q`` covers only the
+    new positions: query ``i`` may attend to keys ``<= past_len + i``.
     """
     head_dim = q.shape[-1]
     scores = q @ np.swapaxes(k, -1, -2) / np.sqrt(head_dim)
-    seq = q.shape[-2]
-    mask = np.triu(np.full((seq, seq), -np.inf), k=1)
+    q_len, kv_len = q.shape[-2], k.shape[-2]
+    mask = np.triu(np.full((q_len, kv_len), -np.inf), k=1 + past_len)
     probs = softmax(scores + mask, axis=-1)
     return probs @ v

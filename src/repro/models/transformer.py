@@ -5,6 +5,10 @@
 provides:
 
 * ``logits(tokens)`` — a full forward pass;
+* ``prefill(tokens)`` / ``decode_step(tokens, cache)`` — the stateful
+  serving path: run the prompt once, then extend one token at a time
+  against a :class:`KVCache` (optionally quantized via
+  :mod:`repro.quant.kv`) instead of recomputing the whole sequence;
 * ``named_linears()`` — the quantizable weight matrices, matching the
   convention of the PTQ literature (decoder-block linears only;
   embeddings and the LM head stay FP16);
@@ -19,7 +23,7 @@ RoPE, gated SiLU MLPs, and (Yi / Llama-3) grouped-query attention.
 from __future__ import annotations
 
 import copy
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -35,10 +39,64 @@ from repro.models.layers import (
     silu,
 )
 from repro.models.synth import generate_model_weights
+from repro.quant.kv import KVQuantConfig, quantize_kv
 
-__all__ = ["CausalLM"]
+__all__ = ["CausalLM", "KVCache"]
 
 _LN_FAMILIES = ("opt", "phi")
+
+
+class KVCache:
+    """Per-layer key/value cache for incremental decode.
+
+    Entries hold the *pre-GQA-broadcast* key/value tensors of shape
+    ``(batch, kv_heads, seq, head_dim)``; the attention layer repeats
+    them to the query head count on use.  With ``quant`` set, every
+    appended segment is quantized (and stored dequantized) the moment
+    it enters the cache — matching a deployment where past KV lives in
+    low-precision memory and is never re-quantized.
+    """
+
+    def __init__(self, n_layers: int, quant: Optional[KVQuantConfig] = None):
+        self.quant = quant
+        self._keys: List[Optional[np.ndarray]] = [None] * n_layers
+        self._values: List[Optional[np.ndarray]] = [None] * n_layers
+
+    @property
+    def n_layers(self) -> int:
+        return len(self._keys)
+
+    @property
+    def seq_len(self) -> int:
+        """Number of cached positions (0 for a fresh cache)."""
+        first = self._keys[0]
+        return 0 if first is None else first.shape[2]
+
+    def append(
+        self, layer: int, k: np.ndarray, v: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Add new-position K/V for ``layer``; return the full tensors."""
+        if self.quant is not None:
+            k = quantize_kv(k, self.quant)
+            v = quantize_kv(v, self.quant)
+        if self._keys[layer] is None:
+            self._keys[layer] = k
+            self._values[layer] = v
+        else:
+            self._keys[layer] = np.concatenate([self._keys[layer], k], axis=2)
+            self._values[layer] = np.concatenate([self._values[layer], v], axis=2)
+        return self._keys[layer], self._values[layer]
+
+    @property
+    def memory_bytes(self) -> int:
+        """Cache footprint at the stored (post-quantization) precision."""
+        bits = 16 if self.quant is None else self.quant.bits
+        elements = sum(
+            k.size + v.size
+            for k, v in zip(self._keys, self._values)
+            if k is not None
+        )
+        return elements * bits // 8
 
 
 class CausalLM:
@@ -107,12 +165,24 @@ class CausalLM:
             return layer_norm(x, gain)
         return rms_norm(x, gain)
 
-    def hidden_states(self, tokens: np.ndarray, collect: bool = False):
+    def hidden_states(
+        self,
+        tokens: np.ndarray,
+        collect: bool = False,
+        cache: Optional[KVCache] = None,
+    ):
         """Run the decoder stack; return final hidden states.
 
         With ``collect=True`` also returns the *input* activations of
         every block linear (used by AWQ/GPTQ/SmoothQuant calibration).
+
+        With ``cache`` set, ``tokens`` are treated as *new* positions
+        following the cached context: attention reads the cached K/V,
+        the new K/V are appended, and only the new positions are
+        computed — the incremental prefill/decode path.
         """
+        if collect and cache is not None:
+            raise ValueError("calibration collection needs a full forward pass")
         cfg = self.config
         tokens = np.asarray(tokens)
         if tokens.ndim == 1:
@@ -121,15 +191,20 @@ class CausalLM:
         h = cfg.sim_hidden
         n_heads, n_kv = cfg.sim_heads, cfg.sim_kv_heads
         head_dim = cfg.sim_head_dim()
+        past = cache.seq_len if cache is not None else 0
+        total = past + seq
 
         x = self.weights["embed"][tokens] * np.sqrt(h)
         if not self._use_rope:
-            x = x + self._positions(seq, h)[None]
+            x = x + self._positions(total, h)[None, past:]
 
         if self._use_rope:
-            if self._rope is None or self._rope[0].shape[0] < seq:
-                self._rope = rope_cache(seq, head_dim)
-            cos, sin = self._rope[0][:seq], self._rope[1][:seq]
+            if self._rope is None or self._rope[0].shape[0] < total:
+                # Grow with slack so per-token decode doesn't rebuild
+                # the table every step (amortized O(1) per position).
+                grown = total if self._rope is None else max(total, 2 * self._rope[0].shape[0])
+                self._rope = rope_cache(grown, head_dim)
+            cos, sin = self._rope[0][past:total], self._rope[1][past:total]
 
         acts: Dict[str, np.ndarray] = {}
 
@@ -153,11 +228,13 @@ class CausalLM:
             if self._use_rope:
                 q = apply_rope(q, cos, sin)
                 k = apply_rope(k, cos, sin)
+            if cache is not None:
+                k, v = cache.append(layer, k, v)
             if n_kv != n_heads:
                 rep = n_heads // n_kv
                 k = np.repeat(k, rep, axis=1)
                 v = np.repeat(v, rep, axis=1)
-            attn = causal_attention(q, k, v)
+            attn = causal_attention(q, k, v, past_len=past)
             attn = attn.transpose(0, 2, 1, 3).reshape(batch, seq, h)
             attn = self._maybe_quant_act(attn)
             record(f"layers.{layer}.o_proj", attn)
@@ -184,10 +261,50 @@ class CausalLM:
             return x, acts
         return x
 
-    def logits(self, tokens: np.ndarray) -> np.ndarray:
-        """Vocabulary logits, shape ``(batch, seq, vocab)``."""
-        x = self.hidden_states(tokens)
+    def logits(
+        self, tokens: np.ndarray, cache: Optional[KVCache] = None
+    ) -> np.ndarray:
+        """Vocabulary logits, shape ``(batch, seq, vocab)``.
+
+        With ``cache`` set, ``seq`` covers only the new positions
+        (incremental decode); the cache is updated in place.
+        """
+        x = self.hidden_states(tokens, cache=cache)
         return linear(x, self.weights["lm_head"])
+
+    # ------------------------------------------------------------------
+    # Stateful serving path.
+    # ------------------------------------------------------------------
+    def prefill(
+        self,
+        tokens: np.ndarray,
+        kv_quant: Optional[KVQuantConfig] = None,
+    ) -> Tuple[np.ndarray, KVCache]:
+        """Run the prompt once, filling a fresh :class:`KVCache`.
+
+        Returns ``(logits, cache)`` where ``logits`` covers every
+        prompt position (so the caller can sample the first generated
+        token from the last row).
+        """
+        cache = KVCache(self.config.sim_layers, quant=kv_quant)
+        return self.logits(tokens, cache=cache), cache
+
+    def decode_step(self, tokens: np.ndarray, cache: KVCache) -> np.ndarray:
+        """Logits for one new token per sequence, shape ``(batch, vocab)``.
+
+        ``tokens`` holds the single newest token of each sequence
+        (shape ``(batch,)`` or ``(batch, 1)``); the cache provides all
+        earlier context, so the cost per step is O(1) forwards instead
+        of re-running the full sequence.
+        """
+        tokens = np.asarray(tokens)
+        if tokens.ndim == 0:
+            tokens = tokens[None]
+        if tokens.ndim == 1:
+            tokens = tokens[:, None]
+        if tokens.shape[1] != 1:
+            raise ValueError("decode_step consumes exactly one new token per sequence")
+        return self.logits(tokens, cache=cache)[:, -1]
 
     def collect_activations(self, tokens: np.ndarray) -> Dict[str, np.ndarray]:
         """Input activations of every block linear (calibration data)."""

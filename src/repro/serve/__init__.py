@@ -1,0 +1,60 @@
+"""Batched quantized-inference serving for the BitMoD reproduction.
+
+The deployment path the paper motivates, end to end:
+
+``artifact``
+    A versioned on-disk container holding every bit-packed
+    :class:`~repro.quant.packing.PackedTensor` of a quantized
+    :class:`~repro.models.transformer.CausalLM` plus the FP16
+    leftovers (embeddings, norms, LM head) and the quantization
+    policy.  Round-trips byte-exactly.
+``engine``
+    Loads an artifact and runs incremental prefill/decode against the
+    model's :class:`~repro.models.transformer.KVCache` — O(1) forward
+    work per generated token instead of recomputing the sequence.
+``batching``
+    A continuous-batching scheduler: token-budgeted steps interleaving
+    prefills of waiting requests with decodes of running ones.
+``server``
+    The asyncio front-end (``submit()`` / ``generate()``) driving the
+    scheduler from a background loop.
+``metrics``
+    Throughput, time-to-first-token, and latency percentiles.
+``bridge``
+    Replays served-request traces through the accelerator simulator
+    to report modeled cycles and energy per request.
+"""
+
+from repro.serve.artifact import (
+    ARTIFACT_VERSION,
+    ModelArtifact,
+    load_artifact,
+    pack_model,
+    save_artifact,
+)
+from repro.serve.batching import ContinuousBatcher, Request, StepReport
+from repro.serve.bridge import HardwareReport, RequestTrace, hardware_report
+from repro.serve.engine import GenerationConfig, InferenceEngine, SequenceState
+from repro.serve.metrics import LatencyStats, ServeMetrics
+from repro.serve.server import GenerationResult, ServeServer
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "ModelArtifact",
+    "pack_model",
+    "save_artifact",
+    "load_artifact",
+    "InferenceEngine",
+    "GenerationConfig",
+    "SequenceState",
+    "ContinuousBatcher",
+    "Request",
+    "StepReport",
+    "ServeServer",
+    "GenerationResult",
+    "ServeMetrics",
+    "LatencyStats",
+    "RequestTrace",
+    "HardwareReport",
+    "hardware_report",
+]

@@ -1,0 +1,286 @@
+"""Versioned on-disk packed-model artifacts.
+
+An artifact is the deployable form of a quantized model: every
+decoder-block linear serialized as the bit-packed DRAM image of
+:mod:`repro.quant.packing` (element codes, INT8 scaling-factor codes,
+BitMoD special-value selectors, asymmetric zero points), the FP16
+leftovers (embedding, norms, LM head) stored raw, and the policy
+needed to reproduce the quantization (dtype, granularity, group size,
+scale bits, KV-cache precision).
+
+File layout (little-endian)::
+
+    bytes 0..7    magic  b"RPROSRV\\x01"
+    bytes 8..11   uint32 header length  (JSON, utf-8)
+    header        JSON index: model/quant/kv metadata + per-tensor
+                  blob directory {offset, nbytes, dtype, shape}
+    blob section  raw bytes, offsets relative to section start
+
+Loading is byte-exact: the ``PackedTensor`` objects coming back from
+:func:`load_artifact` compare equal, field for field, with what
+:func:`save_artifact` wrote, and :func:`ModelArtifact.instantiate`
+rebuilds a :class:`~repro.models.transformer.CausalLM` whose weights
+equal the quantized originals to the last bit.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.models.transformer import CausalLM
+from repro.models.zoo import get_model_config
+from repro.quant.config import QuantConfig
+from repro.quant.kv import KVQuantConfig
+from repro.quant.packing import PackedTensor, pack_tensor, unpack_tensor
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "ModelArtifact",
+    "pack_model",
+    "save_artifact",
+    "load_artifact",
+]
+
+ARTIFACT_MAGIC = b"RPROSRV\x01"
+ARTIFACT_VERSION = 1
+
+
+@dataclass
+class ModelArtifact:
+    """A packed model plus everything needed to serve it."""
+
+    model_name: str
+    seed: int
+    quant_config: QuantConfig
+    kv_quant: Optional[KVQuantConfig]
+    packed: Dict[str, PackedTensor] = field(default_factory=dict)
+    raw_weights: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def packed_bytes(self) -> int:
+        """Bit-packed weight payload (the DRAM-resident image)."""
+        return sum(p.total_bytes for p in self.packed.values())
+
+    @property
+    def mean_bits_per_weight(self) -> float:
+        """Element-weighted average packed precision of the linears."""
+        elements = sum(int(np.prod(p.shape)) for p in self.packed.values())
+        bits = sum(p.total_bytes * 8 for p in self.packed.values())
+        return bits / elements if elements else 16.0
+
+    def tensor_config(self, name: str) -> QuantConfig:
+        """The :class:`QuantConfig` that unpacks tensor ``name``."""
+        p = self.packed[name]
+        return self.quant_config.with_(dtype=p.dtype_name, group_size=p.group_size)
+
+    def instantiate(self) -> CausalLM:
+        """Rebuild the quantized :class:`CausalLM` from the artifact."""
+        weights = {k: v.copy() for k, v in self.raw_weights.items()}
+        for name, p in self.packed.items():
+            weights[name] = unpack_tensor(p, self.tensor_config(name))
+        return CausalLM(get_model_config(self.model_name), seed=self.seed, weights=weights)
+
+
+def pack_model(
+    model: CausalLM, quant_config: QuantConfig
+) -> Tuple[Dict[str, PackedTensor], Dict[str, np.ndarray]]:
+    """Quantize + bit-pack every block linear of ``model``.
+
+    Returns ``(packed, raw)``: the packed linears and the FP16
+    weights that stay unquantized (embedding, norms, LM head).
+    """
+    linears = model.named_linears()
+    packed = {name: pack_tensor(w, quant_config) for name, w in linears.items()}
+    raw = {k: v for k, v in model.weights.items() if k not in linears}
+    return packed, raw
+
+
+def save_artifact(
+    path: Union[str, Path],
+    model: CausalLM,
+    quant_config: QuantConfig,
+    kv_quant: Optional[KVQuantConfig] = None,
+) -> ModelArtifact:
+    """Quantize ``model`` and write the packed artifact to ``path``.
+
+    The quantization dtype must be a registry name (artifacts store
+    names, not instances) so the artifact is loadable anywhere.
+    """
+    if not isinstance(quant_config.dtype, str):
+        quant_config = quant_config.with_(dtype=quant_config.resolve_dtype().name)
+    packed, raw = pack_model(model, quant_config)
+    artifact = ModelArtifact(
+        model_name=model.config.name,
+        seed=model.seed,
+        quant_config=quant_config,
+        kv_quant=kv_quant,
+        packed=packed,
+        raw_weights=raw,
+    )
+    write_artifact(path, artifact)
+    return artifact
+
+
+# ----------------------------------------------------------------------
+# Binary container.
+# ----------------------------------------------------------------------
+
+
+class _BlobWriter:
+    """Accumulates blobs and hands out directory entries."""
+
+    def __init__(self) -> None:
+        self.parts: list = []
+        self.cursor = 0
+
+    def add_bytes(self, data: bytes) -> dict:
+        entry = {"offset": self.cursor, "nbytes": len(data)}
+        self.parts.append(data)
+        self.cursor += len(data)
+        return entry
+
+    def add_array(self, arr: np.ndarray) -> dict:
+        # Force little-endian on disk so artifacts are portable; the
+        # dtype string in the directory carries the byte order.
+        le = np.ascontiguousarray(arr).astype(arr.dtype.newbyteorder("<"), copy=False)
+        entry = self.add_bytes(le.tobytes())
+        entry["dtype"] = le.dtype.str
+        entry["shape"] = list(arr.shape)
+        return entry
+
+
+def _read_array(blob: bytes, entry: dict) -> np.ndarray:
+    raw = blob[entry["offset"] : entry["offset"] + entry["nbytes"]]
+    arr = np.frombuffer(raw, dtype=np.dtype(entry["dtype"]))
+    # Hand back native byte order regardless of platform.
+    return arr.reshape(entry["shape"]).astype(arr.dtype.newbyteorder("="), copy=True)
+
+
+def write_artifact(path: Union[str, Path], artifact: ModelArtifact) -> None:
+    """Serialize ``artifact`` into the binary container at ``path``."""
+    writer = _BlobWriter()
+    tensors = []
+    for name, p in artifact.packed.items():
+        blobs = {
+            "element_data": writer.add_bytes(p.element_data),
+            "sf_codes": writer.add_array(np.asarray(p.sf_codes, dtype=np.uint8)),
+            "channel_scales": writer.add_array(
+                np.asarray(p.channel_scales, dtype=np.float64)
+            ),
+        }
+        if p.sv_selectors is not None:
+            blobs["sv_selectors"] = writer.add_array(
+                np.asarray(p.sv_selectors, dtype=np.uint8)
+            )
+        if p.zeros is not None:
+            blobs["zeros"] = writer.add_array(np.asarray(p.zeros, dtype=np.int64))
+        tensors.append(
+            {
+                "name": name,
+                "kind": "packed",
+                "dtype_name": p.dtype_name,
+                "bits": p.bits,
+                "shape": list(p.shape),
+                "group_size": p.group_size,
+                "blobs": blobs,
+            }
+        )
+    for name, w in artifact.raw_weights.items():
+        tensors.append(
+            {
+                "name": name,
+                "kind": "raw",
+                "blobs": {"data": writer.add_array(np.asarray(w, dtype=np.float64))},
+            }
+        )
+
+    qc = artifact.quant_config
+    header = {
+        "format_version": ARTIFACT_VERSION,
+        "model": {"name": artifact.model_name, "seed": artifact.seed},
+        "quant": {
+            "dtype": qc.dtype,
+            "granularity": qc.granularity,
+            "group_size": qc.group_size,
+            "scale_bits": qc.scale_bits,
+            "clip_ratio": qc.clip_ratio,
+        },
+        "kv_quant": (
+            None
+            if artifact.kv_quant is None
+            else {"bits": artifact.kv_quant.bits, "per_head": artifact.kv_quant.per_head}
+        ),
+        "tensors": tensors,
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+
+    with open(path, "wb") as f:
+        f.write(ARTIFACT_MAGIC)
+        f.write(struct.pack("<I", len(header_bytes)))
+        f.write(header_bytes)
+        for part in writer.parts:
+            f.write(part)
+
+
+def load_artifact(path: Union[str, Path]) -> ModelArtifact:
+    """Read an artifact container back into a :class:`ModelArtifact`."""
+    data = Path(path).read_bytes()
+    if data[: len(ARTIFACT_MAGIC)] != ARTIFACT_MAGIC:
+        raise ValueError(f"{path}: not a repro.serve artifact (bad magic)")
+    pos = len(ARTIFACT_MAGIC)
+    header_len = struct.unpack("<I", data[pos : pos + 4])[0]
+    pos += 4
+    header = json.loads(data[pos : pos + header_len].decode("utf-8"))
+    if header["format_version"] != ARTIFACT_VERSION:
+        raise ValueError(
+            f"{path}: artifact format v{header['format_version']} "
+            f"unsupported (reader is v{ARTIFACT_VERSION})"
+        )
+    blob = data[pos + header_len :]
+
+    packed: Dict[str, PackedTensor] = {}
+    raw: Dict[str, np.ndarray] = {}
+    for t in header["tensors"]:
+        blobs = t["blobs"]
+        if t["kind"] == "raw":
+            raw[t["name"]] = _read_array(blob, blobs["data"])
+            continue
+        e = blobs["element_data"]
+        packed[t["name"]] = PackedTensor(
+            dtype_name=t["dtype_name"],
+            bits=t["bits"],
+            shape=tuple(t["shape"]),
+            group_size=t["group_size"],
+            element_data=blob[e["offset"] : e["offset"] + e["nbytes"]],
+            sf_codes=_read_array(blob, blobs["sf_codes"]),
+            channel_scales=_read_array(blob, blobs["channel_scales"]),
+            sv_selectors=(
+                _read_array(blob, blobs["sv_selectors"])
+                if "sv_selectors" in blobs
+                else None
+            ),
+            zeros=_read_array(blob, blobs["zeros"]) if "zeros" in blobs else None,
+        )
+
+    q = header["quant"]
+    kv = header["kv_quant"]
+    return ModelArtifact(
+        model_name=header["model"]["name"],
+        seed=header["model"]["seed"],
+        quant_config=QuantConfig(
+            dtype=q["dtype"],
+            granularity=q["granularity"],
+            group_size=q["group_size"],
+            scale_bits=q["scale_bits"],
+            clip_ratio=q["clip_ratio"],
+        ),
+        kv_quant=None if kv is None else KVQuantConfig(bits=kv["bits"], per_head=kv["per_head"]),
+        packed=packed,
+        raw_weights=raw,
+    )

@@ -1,0 +1,200 @@
+"""Continuous batching: token-budgeted prefill/decode interleaving.
+
+The scheduler follows the vLLM iteration model: every :meth:`step`
+spends a ``max_batch_tokens`` budget, decoding each running sequence
+(one token apiece) first and admitting waiting prompts into the batch
+with whatever budget remains.  Sequences join and leave the batch at
+step granularity — a finished request frees its slot immediately, and
+a newly admitted one starts decoding on the very next step, so the
+batch never drains to refill (the "continuous" part).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.serve.engine import GenerationConfig, InferenceEngine, SequenceState
+from repro.serve.metrics import ServeMetrics
+
+__all__ = ["Request", "RequestState", "StepReport", "ContinuousBatcher"]
+
+
+@dataclass
+class Request:
+    """One generation request as submitted by a client."""
+
+    request_id: int
+    prompt: np.ndarray
+    generation: GenerationConfig = field(default_factory=GenerationConfig)
+    submitted_at: float = 0.0
+
+
+@dataclass
+class RequestState:
+    """Scheduler-side bookkeeping for one request."""
+
+    request: Request
+    seq: SequenceState
+    first_token_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def request_id(self) -> int:
+        return self.request.request_id
+
+
+@dataclass
+class StepReport:
+    """What one scheduler step executed."""
+
+    step: int
+    prefilled: List[int] = field(default_factory=list)
+    decoded: List[int] = field(default_factory=list)
+    finished: List[int] = field(default_factory=list)
+    prefill_tokens: int = 0
+    decode_tokens: int = 0
+
+    @property
+    def batch_tokens(self) -> int:
+        """Budget spent this step (prompt tokens + decode passes)."""
+        return self.prefill_tokens + self.decode_tokens
+
+    @property
+    def generated_tokens(self) -> int:
+        """New tokens produced: one per decode pass, plus the first
+        token each prefill samples from its own forward pass."""
+        return self.decode_tokens + len(self.prefilled)
+
+
+class ContinuousBatcher:
+    """Queue + step executor over an :class:`InferenceEngine`."""
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        max_batch_tokens: int = 512,
+        max_running: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[ServeMetrics] = None,
+    ):
+        if max_batch_tokens < 1:
+            raise ValueError("max_batch_tokens must be at least 1")
+        self.engine = engine
+        self.max_batch_tokens = max_batch_tokens
+        self.max_running = max_running
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self._waiting: Deque[RequestState] = deque()
+        self._running: Deque[RequestState] = deque()
+        self._finished: Dict[int, RequestState] = {}
+        self._step = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> RequestState:
+        """Queue a request; it enters the batch on a later step."""
+        if not request.submitted_at:
+            # Stamp with the scheduler clock so TTFT/latency are sane
+            # for callers that leave the dataclass default in place.
+            request.submitted_at = self.clock()
+        prompt_len = int(np.asarray(request.prompt).size)
+        if prompt_len > self.max_batch_tokens:
+            raise ValueError(
+                f"prompt of {prompt_len} tokens exceeds the per-step "
+                f"budget of {self.max_batch_tokens}"
+            )
+        seq = self.engine.start_sequence(request.prompt, request.generation)
+        state = RequestState(request=request, seq=seq)
+        self._waiting.append(state)
+        self.metrics.submitted += 1
+        self.metrics.start(self.clock())
+        return state
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self._waiting or self._running)
+
+    @property
+    def n_waiting(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def n_running(self) -> int:
+        return len(self._running)
+
+    def finished(self, request_id: int) -> RequestState:
+        return self._finished[request_id]
+
+    # ------------------------------------------------------------------
+    def step(self) -> StepReport:
+        """Run one continuous-batching iteration."""
+        report = StepReport(step=self._step)
+        budget = self.max_batch_tokens
+
+        # Decode pass: one token for every running sequence that fits.
+        # The deque rotates so a too-small budget round-robins fairly
+        # instead of starving the tail.
+        still_running: Deque[RequestState] = deque()
+        n_decodable = len(self._running)
+        for _ in range(n_decodable):
+            state = self._running.popleft()
+            if budget < 1:
+                still_running.append(state)
+                continue
+            budget -= 1
+            self.engine.decode(state.seq)
+            report.decoded.append(state.request_id)
+            report.decode_tokens += 1
+            if state.seq.done:
+                self._finish(state, report)
+            else:
+                still_running.append(state)
+        if budget < 1 and still_running:
+            still_running.rotate(-1)
+        self._running = still_running
+
+        # Admission pass: prefill waiting prompts with leftover budget.
+        while (
+            self._waiting
+            and len(self._running) < self.max_running
+            and self._waiting[0].seq.prompt.size <= budget
+        ):
+            state = self._waiting.popleft()
+            budget -= state.seq.prompt.size
+            self.engine.prefill(state.seq)
+            state.first_token_at = self.clock()
+            self.metrics.ttft.record(state.first_token_at - state.request.submitted_at)
+            report.prefilled.append(state.request_id)
+            report.prefill_tokens += state.seq.prompt.size
+            if state.seq.done:
+                self._finish(state, report)
+            else:
+                self._running.append(state)
+
+        self._step += 1
+        self.metrics.steps += 1
+        self.metrics.prefill_tokens += report.prefill_tokens
+        self.metrics.decode_tokens += report.generated_tokens
+        return report
+
+    def run_until_idle(self, max_steps: int = 100_000) -> List[StepReport]:
+        """Drive :meth:`step` until every request completes."""
+        reports = []
+        while self.has_work:
+            if len(reports) >= max_steps:
+                raise RuntimeError(f"scheduler did not drain in {max_steps} steps")
+            reports.append(self.step())
+        self.metrics.stop(self.clock())
+        return reports
+
+    # ------------------------------------------------------------------
+    def _finish(self, state: RequestState, report: StepReport) -> None:
+        state.finished_at = self.clock()
+        self.metrics.completed += 1
+        self.metrics.latency.record(state.finished_at - state.request.submitted_at)
+        self._finished[state.request_id] = state
+        report.finished.append(state.request_id)

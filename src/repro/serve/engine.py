@@ -1,0 +1,138 @@
+"""The inference engine: incremental decode over a packed model.
+
+The engine owns one dequantized :class:`CausalLM` (usually rebuilt
+from a :class:`~repro.serve.artifact.ModelArtifact`) and advances
+independent sequences through it.  Each sequence carries its own
+:class:`~repro.models.transformer.KVCache`, so a decode step costs a
+single-position forward pass — O(1) in the generated length — where
+the monolithic ``CausalLM.logits`` path recomputes the whole sequence
+every token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.models.layers import softmax
+from repro.models.transformer import CausalLM, KVCache
+from repro.quant.kv import KVQuantConfig
+from repro.serve.artifact import ModelArtifact, load_artifact
+
+__all__ = ["GenerationConfig", "SequenceState", "InferenceEngine"]
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Per-request sampling parameters."""
+
+    max_new_tokens: int = 32
+    #: 0 = greedy argmax; > 0 samples from the tempered distribution.
+    temperature: float = 0.0
+
+
+@dataclass
+class SequenceState:
+    """One in-flight sequence: prompt, cache, generated tokens."""
+
+    prompt: np.ndarray
+    generation: GenerationConfig
+    cache: Optional[KVCache] = None
+    generated: List[int] = field(default_factory=list)
+
+    @property
+    def prefilled(self) -> bool:
+        return self.cache is not None
+
+    @property
+    def done(self) -> bool:
+        return len(self.generated) >= self.generation.max_new_tokens
+
+    @property
+    def last_token(self) -> int:
+        return self.generated[-1] if self.generated else int(self.prompt[-1])
+
+    @property
+    def total_len(self) -> int:
+        return len(self.prompt) + len(self.generated)
+
+
+class InferenceEngine:
+    """Prefill/decode executor over a (quantized) model."""
+
+    def __init__(
+        self,
+        model: CausalLM,
+        kv_quant: Optional[KVQuantConfig] = None,
+        seed: int = 0,
+    ):
+        self.model = model
+        self.kv_quant = kv_quant
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Construction from artifacts.
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_artifact(cls, artifact: ModelArtifact, seed: int = 0) -> "InferenceEngine":
+        """Instantiate the packed model and wrap it in an engine."""
+        return cls(artifact.instantiate(), kv_quant=artifact.kv_quant, seed=seed)
+
+    @classmethod
+    def from_artifact_file(cls, path: Union[str, Path], seed: int = 0) -> "InferenceEngine":
+        return cls.from_artifact(load_artifact(path), seed=seed)
+
+    # ------------------------------------------------------------------
+    # Sequence operations.
+    # ------------------------------------------------------------------
+    def start_sequence(
+        self, prompt: np.ndarray, generation: GenerationConfig = GenerationConfig()
+    ) -> SequenceState:
+        """Validate the prompt and create an un-prefilled sequence."""
+        prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
+        if prompt.size == 0:
+            raise ValueError("empty prompt")
+        vocab = self.model.config.sim_vocab
+        if prompt.min() < 0 or prompt.max() >= vocab:
+            raise ValueError(f"prompt tokens must lie in [0, {vocab})")
+        return SequenceState(prompt=prompt, generation=generation)
+
+    def prefill(self, seq: SequenceState) -> int:
+        """Run the prompt, producing the cache and the first token."""
+        if seq.prefilled:
+            raise RuntimeError("sequence already prefilled")
+        logits, cache = self.model.prefill(seq.prompt, kv_quant=self.kv_quant)
+        seq.cache = cache
+        token = self._sample(logits[0, -1], seq.generation.temperature)
+        seq.generated.append(token)
+        return token
+
+    def decode(self, seq: SequenceState) -> int:
+        """Extend the sequence by one token through the KV cache."""
+        if not seq.prefilled:
+            raise RuntimeError("prefill before decoding")
+        if seq.done:
+            raise RuntimeError("sequence already finished")
+        row = self.model.decode_step(np.array([seq.last_token]), seq.cache)[0]
+        token = self._sample(row, seq.generation.temperature)
+        seq.generated.append(token)
+        return token
+
+    def generate(
+        self, prompt: np.ndarray, generation: GenerationConfig = GenerationConfig()
+    ) -> SequenceState:
+        """Synchronous convenience: prefill + decode to completion."""
+        seq = self.start_sequence(prompt, generation)
+        self.prefill(seq)
+        while not seq.done:
+            self.decode(seq)
+        return seq
+
+    def _sample(self, logits_row: np.ndarray, temperature: float) -> int:
+        if temperature <= 0.0:
+            return int(np.argmax(logits_row))
+        probs = softmax(logits_row / temperature)
+        return int(self._rng.choice(probs.size, p=probs))

@@ -1,0 +1,104 @@
+"""Serving metrics: throughput, TTFT, latency percentiles."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["LatencyStats", "ServeMetrics"]
+
+
+@dataclass
+class LatencyStats:
+    """Streaming latency samples with percentile summaries."""
+
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, seconds: float) -> None:
+        self.samples.append(float(seconds))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[int(rank)]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "p50_s": self.percentile(50),
+            "p95_s": self.percentile(95),
+            "p99_s": self.percentile(99),
+            "max_s": max(self.samples) if self.samples else 0.0,
+        }
+
+
+@dataclass
+class ServeMetrics:
+    """Aggregate counters for one serving run."""
+
+    submitted: int = 0
+    completed: int = 0
+    prefill_tokens: int = 0
+    decode_tokens: int = 0
+    steps: int = 0
+    ttft: LatencyStats = field(default_factory=LatencyStats)
+    latency: LatencyStats = field(default_factory=LatencyStats)
+    started_at: Optional[float] = None
+    stopped_at: Optional[float] = None
+
+    def start(self, now: Optional[float] = None) -> None:
+        if self.started_at is None:
+            self.started_at = time.monotonic() if now is None else now
+
+    def stop(self, now: Optional[float] = None) -> None:
+        self.stopped_at = time.monotonic() if now is None else now
+
+    @property
+    def elapsed_s(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        end = self.stopped_at if self.stopped_at is not None else time.monotonic()
+        return max(end - self.started_at, 0.0)
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prefill_tokens + self.decode_tokens
+
+    @property
+    def decode_tokens_per_s(self) -> float:
+        e = self.elapsed_s
+        return self.decode_tokens / e if e > 0 else 0.0
+
+    @property
+    def total_tokens_per_s(self) -> float:
+        e = self.elapsed_s
+        return self.total_tokens / e if e > 0 else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "requests": {"submitted": self.submitted, "completed": self.completed},
+            "tokens": {
+                "prefill": self.prefill_tokens,
+                "decode": self.decode_tokens,
+                "total": self.total_tokens,
+            },
+            "steps": self.steps,
+            "elapsed_s": self.elapsed_s,
+            "decode_tokens_per_s": self.decode_tokens_per_s,
+            "total_tokens_per_s": self.total_tokens_per_s,
+            "ttft": self.ttft.summary(),
+            "latency": self.latency.summary(),
+        }

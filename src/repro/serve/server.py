@@ -1,0 +1,173 @@
+"""Asyncio serving front-end over the continuous batcher.
+
+:class:`ServeServer` runs the scheduler loop as a background task.
+Clients ``await submit()`` to enqueue a prompt and get a request id,
+or ``await generate()`` to block until their tokens come back; any
+number of callers can be in flight at once, and the batcher packs
+their prefills and decodes into shared token-budgeted steps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.serve.batching import ContinuousBatcher, Request, RequestState
+from repro.serve.engine import GenerationConfig, InferenceEngine
+from repro.serve.metrics import ServeMetrics
+
+__all__ = ["GenerationResult", "ServeServer"]
+
+
+@dataclass
+class GenerationResult:
+    """Completed request: tokens plus per-request timings."""
+
+    request_id: int
+    prompt: np.ndarray
+    tokens: List[int]
+    ttft_s: float
+    latency_s: float
+
+    @property
+    def prompt_len(self) -> int:
+        return int(self.prompt.size)
+
+    @property
+    def n_generated(self) -> int:
+        return len(self.tokens)
+
+
+class ServeServer:
+    """An in-process async LLM server."""
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        max_batch_tokens: int = 512,
+        max_running: int = 64,
+    ):
+        self.metrics = ServeMetrics()
+        self.batcher = ContinuousBatcher(
+            engine,
+            max_batch_tokens=max_batch_tokens,
+            max_running=max_running,
+            metrics=self.metrics,
+        )
+        self._ids = itertools.count()
+        self._futures: Dict[int, asyncio.Future] = {}
+        self._results: Dict[int, GenerationResult] = {}
+        self._wake: Optional[asyncio.Event] = None
+        self._loop_task: Optional[asyncio.Task] = None
+        self._stop_requested = False
+        self._drain_on_stop = True
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._loop_task is not None:
+            raise RuntimeError("server already started")
+        self._wake = asyncio.Event()
+        self._stop_requested = False
+        self._loop_task = asyncio.create_task(self._loop())
+
+    async def stop(self, drain: bool = True) -> None:
+        """Shut the scheduler loop down.
+
+        With ``drain=True`` (default) outstanding requests finish
+        first; with ``drain=False`` the loop exits immediately and
+        every unresolved future fails with :class:`RuntimeError`.
+        """
+        if self._loop_task is None:
+            return
+        self._stop_requested = True
+        self._drain_on_stop = drain
+        self._wake.set()
+        task, self._loop_task = self._loop_task, None
+        await task
+        for future in self._futures.values():
+            if not future.done():
+                future.set_exception(
+                    RuntimeError("server stopped before request completed")
+                )
+        self.metrics.stop()
+
+    # ------------------------------------------------------------------
+    # Client API.
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        prompt: np.ndarray,
+        generation: GenerationConfig = GenerationConfig(),
+    ) -> int:
+        """Enqueue a prompt; returns the request id immediately."""
+        if self._loop_task is None:
+            raise RuntimeError("server not started")
+        request_id = next(self._ids)
+        request = Request(
+            request_id=request_id,
+            prompt=np.asarray(prompt),
+            generation=generation,
+            submitted_at=time.monotonic(),
+        )
+        self.batcher.submit(request)
+        self._futures[request_id] = asyncio.get_running_loop().create_future()
+        self._wake.set()
+        return request_id
+
+    async def result(self, request_id: int) -> GenerationResult:
+        """Wait for a previously submitted request to finish."""
+        if request_id in self._results:
+            return self._results[request_id]
+        return await self._futures[request_id]
+
+    async def generate(
+        self,
+        prompt: np.ndarray,
+        generation: GenerationConfig = GenerationConfig(),
+    ) -> GenerationResult:
+        """Submit and wait: the one-call client path."""
+        request_id = await self.submit(prompt, generation)
+        return await self.result(request_id)
+
+    def completed(self) -> List[GenerationResult]:
+        """Results of every request finished so far."""
+        return list(self._results.values())
+
+    # ------------------------------------------------------------------
+    # Scheduler loop.
+    # ------------------------------------------------------------------
+    async def _loop(self) -> None:
+        while True:
+            if self._stop_requested and not (
+                self._drain_on_stop and self.batcher.has_work
+            ):
+                return
+            if not self.batcher.has_work:
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            report = self.batcher.step()
+            for request_id in report.finished:
+                self._resolve(self.batcher.finished(request_id))
+            # Yield so submitters/waiters run between steps.
+            await asyncio.sleep(0)
+
+    def _resolve(self, state: RequestState) -> None:
+        result = GenerationResult(
+            request_id=state.request_id,
+            prompt=state.request.prompt,
+            tokens=list(state.seq.generated),
+            ttft_s=state.first_token_at - state.request.submitted_at,
+            latency_s=state.finished_at - state.request.submitted_at,
+        )
+        self._results[state.request_id] = result
+        future = self._futures.pop(state.request_id, None)
+        if future is not None and not future.done():
+            future.set_result(result)

@@ -29,8 +29,21 @@ class TestRegistry:
         assert get_dtype("bitmod_fp4") is not get_dtype("bitmod_fp4")
 
     def test_unknown_name_raises_with_suggestions(self):
-        with pytest.raises(KeyError, match="known:"):
-            get_dtype("nope")
+        with pytest.raises(KeyError, match="did you mean"):
+            get_dtype("bitmod_pf4")
+
+    def test_unknown_name_without_close_match(self):
+        with pytest.raises(KeyError, match="list_dtypes"):
+            get_dtype("zzzzzz")
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_dtype("BitMoD_FP4").name == get_dtype("bitmod_fp4").name
+        assert get_dtype("INT4_SYM").bits == 4
+
+    def test_suggestions_are_close(self):
+        with pytest.raises(KeyError) as err:
+            get_dtype("bitmod_fp5")
+        assert "bitmod_fp4" in str(err.value) or "bitmod_fp3" in str(err.value)
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError):

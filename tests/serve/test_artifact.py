@@ -1,0 +1,135 @@
+"""Artifact format: byte-exact save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.models import CausalLM, get_model_config
+from repro.quant import KVQuantConfig, QuantConfig, quantize_tensor
+from repro.quant.packing import pack_tensor, unpack_tensor
+from repro.serve.artifact import (
+    ARTIFACT_MAGIC,
+    ModelArtifact,
+    load_artifact,
+    pack_model,
+    save_artifact,
+    write_artifact,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CausalLM(get_model_config("llama-2-7b"), seed=0)
+
+
+def _assert_packed_equal(a, b):
+    assert a.dtype_name == b.dtype_name
+    assert a.bits == b.bits
+    assert a.shape == b.shape
+    assert a.group_size == b.group_size
+    assert a.element_data == b.element_data
+    np.testing.assert_array_equal(a.sf_codes, b.sf_codes)
+    np.testing.assert_array_equal(a.channel_scales, b.channel_scales)
+    if a.sv_selectors is None:
+        assert b.sv_selectors is None
+    else:
+        np.testing.assert_array_equal(a.sv_selectors, b.sv_selectors)
+    if a.zeros is None:
+        assert b.zeros is None
+    else:
+        np.testing.assert_array_equal(a.zeros, b.zeros)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "dtype", ["int4_sym", "int3_asym", "bitmod_fp4", "bitmod_fp3", "fp4", "ant3"]
+    )
+    def test_byte_exact_across_dtypes(self, tmp_path, model, dtype):
+        """save -> load -> unpack equals the in-memory quantization,
+        byte for byte, across integer / BitMoD / grid datatypes."""
+        cfg = QuantConfig(dtype=dtype, group_size=64)
+        path = tmp_path / "m.rsrv"
+        saved = save_artifact(path, model, cfg)
+        loaded = load_artifact(path)
+
+        assert loaded.model_name == model.config.name
+        assert loaded.quant_config == cfg
+        assert set(loaded.packed) == set(saved.packed)
+        for name in saved.packed:
+            _assert_packed_equal(saved.packed[name], loaded.packed[name])
+        # unpacked weights are bit-identical to direct pack/unpack
+        for name, w in model.named_linears().items():
+            direct = unpack_tensor(pack_tensor(w, cfg), cfg)
+            via_disk = unpack_tensor(loaded.packed[name], cfg)
+            np.testing.assert_array_equal(direct, via_disk)
+
+    def test_raw_weights_exact(self, tmp_path, model):
+        path = tmp_path / "m.rsrv"
+        save_artifact(path, model, QuantConfig(dtype="bitmod_fp4"))
+        loaded = load_artifact(path)
+        linears = set(model.named_linears())
+        for name, w in model.weights.items():
+            if name in linears:
+                continue
+            np.testing.assert_array_equal(loaded.raw_weights[name], w)
+
+    def test_kv_policy_round_trips(self, tmp_path, model):
+        path = tmp_path / "m.rsrv"
+        kv = KVQuantConfig(bits=4, per_head=False)
+        save_artifact(path, model, QuantConfig(dtype="int4_sym"), kv_quant=kv)
+        assert load_artifact(path).kv_quant == kv
+
+    def test_instantiated_model_matches_quantized(self, tmp_path, model):
+        cfg = QuantConfig(dtype="bitmod_fp4")
+        path = tmp_path / "m.rsrv"
+        save_artifact(path, model, cfg)
+        served = load_artifact(path).instantiate()
+        for name, w in model.named_linears().items():
+            ref = quantize_tensor(w, cfg).w_deq
+            np.testing.assert_allclose(served.weights[name], ref, atol=1e-12)
+
+    def test_dtype_instance_saved_by_name(self, tmp_path, model):
+        from repro.dtypes import get_dtype
+
+        cfg = QuantConfig(dtype=get_dtype("int4_sym"))
+        path = tmp_path / "m.rsrv"
+        save_artifact(path, model, cfg)
+        assert load_artifact(path).quant_config.dtype == "int4_sym"
+
+
+class TestContainer:
+    def test_magic_is_checked(self, tmp_path):
+        path = tmp_path / "bogus.rsrv"
+        path.write_bytes(b"NOTANART" + b"\x00" * 64)
+        with pytest.raises(ValueError, match="bad magic"):
+            load_artifact(path)
+
+    def test_version_is_checked(self, tmp_path, model):
+        path = tmp_path / "m.rsrv"
+        save_artifact(path, model, QuantConfig(dtype="int4_sym"))
+        data = bytearray(path.read_bytes())
+        # Corrupt the format_version field inside the JSON header.
+        idx = data.find(b'"format_version":1')
+        assert idx > 0
+        data[idx : idx + len(b'"format_version":1')] = b'"format_version":9'
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="format v9"):
+            load_artifact(path)
+
+    def test_magic_prefix_on_disk(self, tmp_path, model):
+        path = tmp_path / "m.rsrv"
+        save_artifact(path, model, QuantConfig(dtype="int4_sym"))
+        assert path.read_bytes().startswith(ARTIFACT_MAGIC)
+
+    def test_packed_payload_dominates(self, tmp_path, model):
+        """At 4 bits the linears' payload is ~4/16 of their FP16 size."""
+        cfg = QuantConfig(dtype="int4_sym")
+        art = save_artifact(tmp_path / "m.rsrv", model, cfg)
+        fp16 = sum(w.size * 2 for w in model.named_linears().values())
+        assert art.packed_bytes < 0.30 * fp16
+        assert 4.0 <= art.mean_bits_per_weight < 4.5
+
+    def test_pack_model_splits_weights(self, model):
+        packed, raw = pack_model(model, QuantConfig(dtype="int4_sym"))
+        assert set(packed) == set(model.named_linears())
+        assert set(packed).isdisjoint(raw)
+        assert set(packed) | set(raw) == set(model.weights)
