@@ -27,6 +27,7 @@ SV from the family's four candidates (Algorithm 1, implemented in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -73,13 +74,22 @@ def make_extended_float(bits: int, special_value: float) -> ExtendedFloat:
     ``special_value`` may be any float — the paper's accelerator keeps
     the allowed SVs in a programmable register file, so the datatype
     definition does not restrict them to Table IV's defaults.
+
+    Grids are memoized per (bits, SV): the packing, unpacking and
+    bit-serial decode paths re-derive the same handful of candidate
+    grids for every group, so callers share one immutable instance.
     """
+    return _make_extended_float_cached(int(bits), float(special_value))
+
+
+@lru_cache(maxsize=None)
+def _make_extended_float_cached(bits: int, special_value: float) -> ExtendedFloat:
     if bits not in _BASIC:
         raise ValueError(f"extended floats exist for 3 and 4 bits, not {bits}")
     basic = _BASIC[bits]
     grid = np.union1d(basic, [float(special_value)])
     sv_txt = f"{special_value:+g}"
-    return ExtendedFloat(
+    ef = ExtendedFloat(
         name=f"fp{bits}_sv{sv_txt}",
         bits=bits,
         values=grid,
@@ -87,6 +97,10 @@ def make_extended_float(bits: int, special_value: float) -> ExtendedFloat:
         base_bits=bits,
         description=f"FP{bits} extended with special value {sv_txt}",
     )
+    # The instance is shared process-wide; freeze its grid so no caller
+    # can mutate it in place and corrupt every other consumer.
+    ef.values.setflags(write=False)
+    return ef
 
 
 @dataclass

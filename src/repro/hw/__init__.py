@@ -28,8 +28,15 @@ from repro.hw.energy import (
     sram_energy_pj_per_byte,
 )
 from repro.hw.functional import FunctionalGemm, GemmExecution
-from repro.hw.pe import BitMoDPE, PEConfig, PEResult
+from repro.hw.pe import BatchPEResult, BitMoDPE, PEConfig, PEResult
 from repro.hw.simulator import SimResult, simulate, simulate_workload
+from repro.hw.termtable import (
+    TermTable,
+    decode_packed_terms,
+    grid_term_table,
+    integer_term_table,
+    term_tables_for_dtype,
+)
 from repro.hw.timing import GemmTiming, dequant_stalls, gemm_compute_cycles
 
 __all__ = [
@@ -50,8 +57,14 @@ __all__ = [
     "BitMoDPE",
     "PEConfig",
     "PEResult",
+    "BatchPEResult",
     "FunctionalGemm",
     "GemmExecution",
+    "TermTable",
+    "integer_term_table",
+    "grid_term_table",
+    "term_tables_for_dtype",
+    "decode_packed_terms",
     "Traffic",
     "TrafficModel",
     "EnergyBreakdown",

@@ -26,6 +26,7 @@ The resulting term counts per weight — 4 for INT8, 3 for INT6/INT5,
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List
 
 import numpy as np
@@ -61,8 +62,15 @@ def booth_encode(value: int, bits: int) -> List[BitSerialTerm]:
     Returns ``ceil(bits / 2)`` terms (zero digits included: the
     pipeline is statically scheduled, so null terms still take their
     cycle — the paper's throughput numbers count them).
+
+    The code space is tiny (2**bits patterns), so decompositions are
+    memoized; callers receive a fresh list over shared immutable terms.
     """
-    value = int(value)
+    return list(_booth_encode_cached(int(value), int(bits)))
+
+
+@lru_cache(maxsize=None)
+def _booth_encode_cached(value: int, bits: int) -> tuple:
     limit = 2 ** (bits - 1)
     if not -limit <= value < limit:
         raise ValueError(f"{value} does not fit in {bits} bits")
@@ -92,7 +100,7 @@ def booth_encode(value: int, bits: int) -> List[BitSerialTerm]:
                     bsig=2 * d,
                 )
             )
-    return out
+    return tuple(out)
 
 
 #: Fixed-point format of extended FP4/FP3: 4 integer bits + 1 fraction
@@ -131,7 +139,15 @@ def fixed_point_decompose(value: float) -> List[BitSerialTerm]:
     pattern has more than two set bits (e.g. a programmed special
     value of 7) use the signed-digit form of Section IV-A
     (``7 = 2**3 - 2**0``), still two terms.
+
+    Like :func:`booth_encode`, results are memoized over the (tiny)
+    representable value space.
     """
+    return list(_fixed_point_decompose_cached(float(value)))
+
+
+@lru_cache(maxsize=None)
+def _fixed_point_decompose_cached(value: float) -> tuple:
     scaled = value * 2**_FRAC_BITS
     if scaled != int(scaled):
         raise ValueError(f"{value} is not representable with 1 fraction bit")
@@ -154,7 +170,7 @@ def fixed_point_decompose(value: float) -> List[BitSerialTerm]:
                     sign=sign ^ term_sign, exp=0, man=1, bsig=pos - _FRAC_BITS
                 )
             )
-    return out
+    return tuple(out)
 
 
 def decompose_value(value: float, dtype_kind: str, bits: int = 8) -> List[BitSerialTerm]:

@@ -31,7 +31,7 @@ import numpy as np
 from repro.dtypes.floating import FP16_MANTISSA_BITS, fp16_decompose
 from repro.hw.bitserial import BitSerialTerm
 
-__all__ = ["PEConfig", "BitMoDPE", "PEResult"]
+__all__ = ["PEConfig", "BitMoDPE", "PEResult", "BatchPEResult"]
 
 _FP16_EXP_OFFSET = 15 + FP16_MANTISSA_BITS  # value = man * 2**(exp - 25)
 
@@ -48,6 +48,52 @@ def _rshift_rne(value: int, shift: int) -> int:
     if rem > half or (rem == half and (floor & 1)):
         floor += 1
     return sign * floor
+
+
+# ----------------------------------------------------------------------
+# Vectorized integer primitives.
+#
+# These reproduce the scalar helpers above elementwise over numpy
+# arrays.  They operate on int64 by default and on ``object`` arrays
+# (arbitrary-precision Python ints) when the caller detects that an
+# alignment shift could overflow 64 bits — either way the results are
+# bit-identical to the scalar datapath.
+# ----------------------------------------------------------------------
+
+
+def _rshift_rne_vec(value: np.ndarray, shift: np.ndarray) -> np.ndarray:
+    """Elementwise :func:`_rshift_rne` for non-negative ``shift``."""
+    if value.dtype == object:
+        # Keep the whole computation in Python ints (exact path).
+        shift = np.asarray(shift).astype(object)
+    else:
+        # Beyond 62 the operands (< 2**62) all round to zero exactly as
+        # they would with the true shift; clamping keeps << defined.
+        shift = np.minimum(shift, 62)
+    neg = value < 0
+    mag = np.where(neg, -value, value)
+    floor = mag >> shift
+    rem = mag - (floor << shift)
+    half = ((mag * 0) + 1) << np.maximum(shift - 1, 0)  # 2**(shift-1); 1 when shift==0
+    # shift == 0 => rem == 0 < half, so no rounding happens (exact).
+    round_up = (rem > half) | ((rem == half) & ((floor & 1) == 1))
+    floor = floor + np.where(round_up, 1, 0)
+    return np.where(neg, -floor, floor)
+
+
+def _bit_length_vec(value: np.ndarray) -> np.ndarray:
+    """Elementwise ``int.bit_length`` of non-negative values."""
+    if value.dtype == object:
+        return np.frompyfunc(lambda v: int(v).bit_length(), 1, 1)(value).astype(
+            np.int64
+        )
+    out = np.zeros(value.shape, dtype=np.int64)
+    tmp = value.copy()
+    for s in (32, 16, 8, 4, 2, 1):
+        big = tmp >= (np.int64(1) << s)
+        out += np.where(big, s, 0)
+        tmp = np.where(big, tmp >> s, tmp)
+    return out + (tmp > 0)
 
 
 @dataclass(frozen=True)
@@ -71,6 +117,28 @@ class PEResult:
     @property
     def value(self) -> float:
         return float(self.mantissa) * 2.0 ** self.exponent
+
+
+@dataclass
+class BatchPEResult:
+    """A tile of (mantissa, exponent) values plus per-output cycles.
+
+    ``mantissa`` / ``exponent`` are integer arrays of one shape;
+    ``cycles`` is the cycle count of *each* output element (every PE in
+    the tile runs the same statically-scheduled term sequence).
+    """
+
+    mantissa: np.ndarray
+    exponent: np.ndarray
+    cycles: int
+
+    @property
+    def value(self) -> np.ndarray:
+        # ldexp is exact scaling by 2**exp — same float64 result as the
+        # scalar ``float(man) * 2.0 ** exp``.
+        return np.ldexp(
+            self.mantissa.astype(np.float64), self.exponent.astype(np.int32)
+        )
 
 
 class BitMoDPE:
@@ -168,6 +236,144 @@ class BitMoDPE:
                 acc = self._accumulate(acc, man, exp)
                 cycles += 1
         return PEResult(mantissa=acc[0], exponent=acc[1], cycles=cycles)
+
+    # ------------------------------------------------------------------
+    # Batched (vectorized) datapath.  Same integer arithmetic as the
+    # scalar methods above, executed elementwise over whole GEMM tiles;
+    # outputs are bit-identical per element (the test suite asserts it).
+    # ------------------------------------------------------------------
+    def _accumulate_batch(
+        self,
+        acc_man: np.ndarray,
+        acc_exp: np.ndarray,
+        man: np.ndarray,
+        exp: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Elementwise :meth:`_accumulate` over integer arrays."""
+        cfg = self.config
+        acc_zero = acc_man == 0
+        man_zero = man == 0
+        both = ~acc_zero & ~man_zero
+
+        base_exp = np.where(
+            both, np.minimum(acc_exp, exp), np.where(acc_zero, exp, acc_exp)
+        )
+        man_shift = np.where(both, np.maximum(exp - base_exp, 0), 0)
+        acc_shift = np.where(both, np.maximum(acc_exp - base_exp, 0), 0)
+
+        # int64 alignment can overflow only when a shifted operand
+        # would exceed 62 bits; fall back to exact Python-int math for
+        # the (pathological) tiles where that happens.
+        width = np.maximum(
+            _bit_length_vec(np.abs(man)) + man_shift,
+            _bit_length_vec(np.abs(acc_man)) + acc_shift,
+        )
+        if int(width.max(initial=0)) > 61:
+            acc_man = acc_man.astype(object)
+            man = man.astype(object)
+            man_shift = man_shift.astype(object)
+            acc_shift = acc_shift.astype(object)
+
+        summed = (man << man_shift) + (acc_man << acc_shift)
+        new_man = np.where(acc_zero, man, np.where(man_zero, acc_man, summed))
+        new_exp = np.where(acc_zero, exp, np.where(man_zero, acc_exp, base_exp))
+
+        # Renormalize to the bounded accumulator width (Fig. 5 step 3).
+        excess = np.maximum(
+            _bit_length_vec(np.abs(new_man)) - cfg.acc_mantissa_bits, 0
+        )
+        new_man = _rshift_rne_vec(new_man, excess)
+        new_exp = new_exp + excess
+        if new_man.dtype == object:
+            new_man = new_man.astype(np.int64)  # renormalized: fits again
+        return new_man, new_exp
+
+    def group_dot_batch(
+        self,
+        term_sign: np.ndarray,
+        term_exp: np.ndarray,
+        term_man: np.ndarray,
+        term_bsig: np.ndarray,
+        acts: np.ndarray,
+    ) -> BatchPEResult:
+        """Group dot product of a whole GEMM tile in one call.
+
+        Parameters
+        ----------
+        term_sign, term_exp, term_man, term_bsig:
+            ``(k, g, n_terms)`` int64 term fields — the bit-serial
+            decomposition of ``k`` weight groups (one per output
+            channel), e.g. from
+            :func:`repro.hw.termtable.decode_packed_terms`.
+        acts:
+            ``(m, g)`` FP16-representable activations shared across
+            the ``k`` channels.
+
+        Returns a :class:`BatchPEResult` with ``(m, k)`` mantissa and
+        exponent arrays; each element is bit-identical to
+        :meth:`group_dot` run on that (activation row, weight group)
+        pair, and ``cycles`` equals the scalar per-PE cycle count
+        ``(g / lanes) * n_terms``.
+        """
+        cfg = self.config
+        k, g, n_terms = term_man.shape
+        if g % cfg.lanes:
+            raise ValueError(f"group size must be a multiple of {cfg.lanes}")
+        acts = np.asarray(acts, dtype=np.float64)
+        m = acts.shape[0]
+        if acts.shape[1] != g:
+            raise ValueError("activation/terms group size mismatch")
+        a_sign, a_exp, a_man = fp16_decompose(acts)  # (m, g) int64
+
+        acc_man = np.zeros((m, k), dtype=np.int64)
+        acc_exp = np.zeros((m, k), dtype=np.int64)
+        cycles = 0
+        for base in range(0, g, cfg.lanes):
+            sl = slice(base, base + cfg.lanes)
+            ae = a_exp[:, None, sl]  # (m, 1, lanes)
+            am = a_man[:, None, sl]
+            asg = a_sign[:, None, sl]
+            for t in range(n_terms):
+                e = ae + (term_exp[None, :, sl, t] + term_bsig[None, :, sl, t])
+                mm = am * term_man[None, :, sl, t]
+                neg = (asg ^ term_sign[None, :, sl, t]) == 1
+                mm = np.where(neg, -mm, mm)
+                e_max = e.max(axis=-1)
+                aligned = _rshift_rne_vec(
+                    mm << cfg.guard_bits, e_max[..., None] - e
+                )
+                total = aligned.sum(axis=-1)
+                step_exp = e_max - cfg.guard_bits - _FP16_EXP_OFFSET
+                acc_man, acc_exp = self._accumulate_batch(
+                    acc_man, acc_exp, total, step_exp
+                )
+                cycles += 1
+        return BatchPEResult(mantissa=acc_man, exponent=acc_exp, cycles=cycles)
+
+    def dequantize_batch(
+        self, partial: BatchPEResult, sf_codes: np.ndarray
+    ) -> BatchPEResult:
+        """Elementwise :meth:`dequantize` over a tile.
+
+        ``sf_codes`` broadcasts against ``partial.mantissa`` (e.g. one
+        8-bit code per output channel of an ``(m, k)`` tile).
+        """
+        cfg = self.config
+        sf = np.broadcast_to(
+            np.asarray(sf_codes, dtype=np.int64), partial.mantissa.shape
+        )
+        if sf.size and (int(sf.min()) < 0 or int(sf.max()) >= 2**cfg.sf_bits):
+            raise ValueError(f"scaling factor must fit in {cfg.sf_bits} bits")
+        acc_man = np.zeros_like(partial.mantissa)
+        acc_exp = np.zeros_like(partial.exponent)
+        for i in range(cfg.sf_bits):
+            bit = ((sf >> i) & 1) == 1
+            nm, ne = self._accumulate_batch(
+                acc_man, acc_exp, partial.mantissa << i, partial.exponent
+            )
+            acc_man = np.where(bit, nm, acc_man)
+            acc_exp = np.where(bit, ne, acc_exp)
+        return BatchPEResult(mantissa=acc_man, exponent=acc_exp, cycles=cfg.sf_bits)
 
     # ------------------------------------------------------------------
     def dequantize(self, partial: PEResult, sf_code: int) -> PEResult:

@@ -6,10 +6,17 @@ group mean-square error wins (paper Algo. 1, lines 4-12).  The same
 machinery also implements ANT's per-group adaptive grid selection,
 since both are "pick the best grid per group by MSE".
 
-The search is vectorized across all groups of a tensor at once — the
-paper notes their GPU implementation quantizes Llama-2-7B in ~10 s;
-this numpy implementation exhibits the same
-one-quantization-pass-per-candidate structure.
+The search is vectorized across all groups *and* all candidates of a
+tensor at once: the row absmax is computed a single time, per-candidate
+squared errors are stacked into one ``(n_candidates, n_rows)`` array
+and the winner selected with one ``argmin``, and — for BitMoD-style
+extended-float candidates — candidates that share a scaling factor
+also share one basic-grid snap, with each special value applied as a
+two-midpoint window overlay that reproduces the union-grid
+``searchsorted`` bit for bit.  The paper notes their GPU
+implementation quantizes Llama-2-7B in ~10 s; this numpy
+implementation exhibits the same one-pass-per-candidate structure with
+the redundant passes removed.
 """
 
 from __future__ import annotations
@@ -18,12 +25,60 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.dtypes.base import GridDataType
-from repro.dtypes.extended import BitMoDType
+from repro.dtypes.base import GridDataType, quantize_to_grid
+from repro.dtypes.extended import BitMoDType, ExtendedFloat
 from repro.dtypes.flint import AntAdaptiveType
-from repro.quant.quantizer import RowQuant, quantize_rows_grid
+from repro.dtypes.floating import FP3_VALUES, FP4_VALUES
+from repro.quant.quantizer import RowQuant
 
 __all__ = ["adaptive_quantize_rows", "quantize_rows_bitmod", "quantize_rows_ant"]
+
+_EXTENDED_BASIC = {3: FP3_VALUES, 4: FP4_VALUES}
+
+
+def _is_extended(cand: GridDataType) -> bool:
+    """Eligible for the shared basic-snap fast path: an ExtendedFloat
+    whose grid really is ``basic ∪ {sv}`` (a hand-built instance with a
+    custom ``values`` set falls back to the generic grid snap)."""
+    if not (isinstance(cand, ExtendedFloat) and cand.base_bits in _EXTENDED_BASIC):
+        return False
+    expected = np.union1d(
+        _EXTENDED_BASIC[cand.base_bits], [float(cand.special_value)]
+    )
+    return np.array_equal(cand.grid, expected)
+
+
+def _apply_sv_window(x: np.ndarray, snapped: np.ndarray, cand: ExtendedFloat) -> np.ndarray:
+    """Overlay ``cand``'s special value onto a basic-grid snap.
+
+    The extended grid is ``basic ∪ {sv}``, so its nearest-level result
+    differs from the basic one exactly for ``x`` strictly above
+    ``(b_lo + sv)/2`` and at most ``(sv + b_hi)/2`` — the two union-grid
+    midpoints adjacent to the SV.  Applying the SV as that window is
+    bit-identical (ties included) to snapping onto the union grid.
+    """
+    basic = _EXTENDED_BASIC[cand.base_bits]
+    sv = float(cand.special_value)
+    if np.any(basic == sv):
+        return snapped  # union grid degenerates to the basic grid
+    pos = int(np.searchsorted(basic, sv))
+    m1 = (basic[pos - 1] + sv) / 2.0 if pos > 0 else -np.inf
+    m2 = (sv + basic[pos]) / 2.0 if pos < basic.size else np.inf
+    return np.where((x > m1) & (x <= m2), sv, snapped)
+
+
+def _snap_candidate(x: np.ndarray, cand: GridDataType, basic_cache: dict) -> np.ndarray:
+    """Snap code-space values ``x`` onto ``cand``'s grid, sharing the
+    basic-grid ``searchsorted`` between extended-float candidates with
+    a common scaling factor (``basic_cache`` key: bits + absmax)."""
+    if _is_extended(cand):
+        key = (cand.base_bits, float(cand.absmax))
+        snapped = basic_cache.get(key)
+        if snapped is None:
+            snapped = quantize_to_grid(x, _EXTENDED_BASIC[cand.base_bits])
+            basic_cache[key] = snapped
+        return _apply_sv_window(x, snapped, cand)
+    return quantize_to_grid(x, cand.grid)
 
 
 def adaptive_quantize_rows(
@@ -44,19 +99,63 @@ def adaptive_quantize_rows(
         raise ValueError("need at least one candidate grid")
     rows = np.asarray(rows, dtype=np.float64)
     n_rows = rows.shape[0]
+    n_cand = len(candidates)
 
-    best = quantize_rows_grid(rows, candidates[0], clip_ratio)
-    best_idx = np.zeros(n_rows, dtype=np.int64)
-    for idx, cand in enumerate(candidates[1:], start=1):
-        trial = quantize_rows_grid(rows, cand, clip_ratio)
-        improved = trial.sq_error < best.sq_error
-        if improved.any():
-            best.w_deq[improved] = trial.w_deq[improved]
-            best.scales[improved] = trial.scales[improved]
-            best.sq_error[improved] = trial.sq_error[improved]
-            best_idx[improved] = idx
-    best.candidate_idx = best_idx
-    return best
+    # One absmax pass shared by every candidate (scales differ only by
+    # the per-candidate grid absmax divisor).
+    absmax = np.max(np.abs(rows), axis=1, keepdims=True) * clip_ratio
+
+    errs = np.empty((n_cand, n_rows))
+    scales_all = np.empty((n_cand, n_rows, 1))
+    basic_cache: dict = {}
+    scaled_cache: dict = {}
+    for idx, cand in enumerate(candidates):
+        scales = absmax / cand.absmax
+        scales = np.where(scales == 0.0, 1.0, scales)
+        scales_all[idx] = scales
+        key = float(cand.absmax)
+        x = scaled_cache.get(key)
+        if x is None:
+            x = rows / scales
+            scaled_cache[key] = x
+        diff = _snap_candidate(x, cand, basic_cache) * scales
+        diff -= rows
+        # In-place square, then np.sum (pairwise) — bit-identical to
+        # the one-candidate-at-a-time ``sum((w_deq - rows)**2)``.
+        errs[idx] = np.sum(np.square(diff, out=diff), axis=1)
+
+    # Winner per row: first index achieving the minimum, matching the
+    # sequential strict-< update rule (NaN errors never displace the
+    # first candidate).
+    finite_errs = np.where(np.isnan(errs), np.inf, errs)
+    best_idx = np.argmin(finite_errs, axis=0)
+    best_idx[np.isnan(errs[0])] = 0
+
+    # Rebuild the winning dequantization per candidate on its rows only
+    # — bit-identical to a full per-candidate pass because every op is
+    # elementwise; extended-float candidates reuse the cached basic
+    # snap instead of re-running searchsorted.
+    w_deq = np.empty_like(rows)
+    for idx, cand in enumerate(candidates):
+        mask = best_idx == idx
+        if not mask.any():
+            continue
+        scales = scales_all[idx][mask]
+        x_sub = scaled_cache[float(cand.absmax)][mask]
+        if _is_extended(cand):
+            key = (cand.base_bits, float(cand.absmax))
+            snapped = _apply_sv_window(x_sub, basic_cache[key][mask], cand)
+        else:
+            snapped = quantize_to_grid(x_sub, cand.grid)
+        w_deq[mask] = snapped * scales
+
+    rq = RowQuant(
+        w_deq=w_deq,
+        scales=scales_all[best_idx, np.arange(n_rows)],
+        sq_error=errs[best_idx, np.arange(n_rows)],
+    )
+    rq.candidate_idx = best_idx
+    return rq
 
 
 def quantize_rows_bitmod(

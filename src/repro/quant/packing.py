@@ -30,32 +30,31 @@ __all__ = ["PackedTensor", "pack_tensor", "unpack_tensor", "pack_bits", "unpack_
 
 
 def pack_bits(codes: np.ndarray, bits: int) -> bytes:
-    """Pack unsigned integer ``codes`` (< 2**bits) LSB-first into bytes."""
+    """Pack unsigned integer ``codes`` (< 2**bits) LSB-first into bytes.
+
+    The bit stream is LSB-first within each code and across codes,
+    which is exactly ``np.packbits(..., bitorder="little")`` over the
+    per-code bit expansion — one vectorized pass instead of a
+    ``bitwise_or.at`` scatter per bit plane.
+    """
     codes = np.asarray(codes, dtype=np.uint64).reshape(-1)
     if codes.size and int(codes.max()) >= 2**bits:
         raise ValueError(f"code does not fit in {bits} bits")
-    total_bits = codes.size * bits
-    out = np.zeros((total_bits + 7) // 8, dtype=np.uint8)
-    positions = np.arange(codes.size, dtype=np.uint64) * bits
-    for b in range(bits):
-        bitvals = (codes >> np.uint64(b)) & np.uint64(1)
-        absolute = positions + b
-        np.bitwise_or.at(
-            out, (absolute // 8).astype(np.int64),
-            (bitvals << (absolute % 8)).astype(np.uint8),
-        )
-    return out.tobytes()
+    shifts = np.arange(bits, dtype=np.uint64)
+    bit_matrix = ((codes[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bit_matrix.reshape(-1), bitorder="little").tobytes()
 
 
 def unpack_bits(data: bytes, bits: int, count: int) -> np.ndarray:
     """Inverse of :func:`pack_bits`."""
     raw = np.frombuffer(data, dtype=np.uint8)
+    bit_stream = np.unpackbits(raw, count=count * bits, bitorder="little")
+    bit_stream = bit_stream.reshape(count, bits)
+    # Shift-or one bit plane at a time: no (count, bits) uint64
+    # temporary, just `bits` cheap column passes.
     codes = np.zeros(count, dtype=np.uint64)
-    positions = np.arange(count, dtype=np.uint64) * bits
     for b in range(bits):
-        absolute = positions + b
-        bitvals = (raw[(absolute // 8).astype(np.int64)] >> (absolute % 8).astype(np.uint8)) & 1
-        codes |= bitvals.astype(np.uint64) << np.uint64(b)
+        codes |= bit_stream[:, b].astype(np.uint64) << np.uint64(b)
     return codes
 
 
@@ -72,6 +71,11 @@ class PackedTensor:
     channel_scales: np.ndarray  # float per channel (second-level factor)
     sv_selectors: Optional[np.ndarray] = None  # uint8 per group (BitMoD)
     zeros: Optional[np.ndarray] = None  # integer zero points (asym int)
+    #: Groups per output channel, carried explicitly from the row
+    #: layout (inferring it from array-size division silently
+    #: mis-scales channel scales for padded/ragged shapes).  ``None``
+    #: only for containers written before the field existed.
+    groups_per_channel: Optional[int] = None
 
     @property
     def total_bytes(self) -> int:
@@ -156,6 +160,7 @@ def pack_tensor(w: np.ndarray, config: QuantConfig) -> PackedTensor:
         channel_scales=channel_scales,
         sv_selectors=sv_sel,
         zeros=None if zeros is None else zeros.reshape(-1),
+        groups_per_channel=rows_per_channel(layout),
     )
 
 
@@ -171,7 +176,7 @@ def unpack_tensor(packed: PackedTensor, config: QuantConfig) -> np.ndarray:
         # Asymmetric integer: per-group FP scale stored directly.
         scales = packed.channel_scales.reshape(n_rows, 1)
     else:
-        rpc = rows_per_channel(layout)
+        rpc = packed.groups_per_channel or rows_per_channel(layout)
         scales = (
             packed.sf_codes.astype(np.float64).reshape(-1, rpc)
             * packed.channel_scales.reshape(-1, 1)

@@ -33,7 +33,13 @@ from repro.serve.artifact import (
     save_artifact,
 )
 from repro.serve.batching import ContinuousBatcher, Request, StepReport
-from repro.serve.bridge import HardwareReport, RequestTrace, hardware_report
+from repro.serve.bridge import (
+    FunctionalReplay,
+    HardwareReport,
+    RequestTrace,
+    functional_replay,
+    hardware_report,
+)
 from repro.serve.engine import GenerationConfig, InferenceEngine, SequenceState
 from repro.serve.metrics import LatencyStats, ServeMetrics
 from repro.serve.server import GenerationResult, ServeServer
@@ -57,4 +63,6 @@ __all__ = [
     "RequestTrace",
     "HardwareReport",
     "hardware_report",
+    "FunctionalReplay",
+    "functional_replay",
 ]

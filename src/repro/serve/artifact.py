@@ -188,6 +188,7 @@ def write_artifact(path: Union[str, Path], artifact: ModelArtifact) -> None:
                 "bits": p.bits,
                 "shape": list(p.shape),
                 "group_size": p.group_size,
+                "groups_per_channel": p.groups_per_channel,
                 "blobs": blobs,
             }
         )
@@ -266,6 +267,9 @@ def load_artifact(path: Union[str, Path]) -> ModelArtifact:
                 else None
             ),
             zeros=_read_array(blob, blobs["zeros"]) if "zeros" in blobs else None,
+            # Containers written before the field existed fall back to
+            # size-division inference downstream.
+            groups_per_channel=t.get("groups_per_channel"),
         )
 
     q = header["quant"]

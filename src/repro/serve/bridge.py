@@ -7,19 +7,36 @@ request traces (prompt length, generated length) through
 :func:`repro.hw.simulator.simulate` at the artifact's packed
 precision, yielding modeled latency and an energy breakdown per
 request plus fleet-level aggregates.
+
+:func:`functional_replay` goes one level deeper: it pushes real
+batched activations through the *bit-accurate* vectorized PE datapath
+(:meth:`repro.hw.functional.FunctionalGemm.run_packed`) against the
+artifact's packed weight images, yielding measured PE cycles and a
+numerical cross-check of the packed tensors — feasible at serving
+batch sizes now that the kernel engine is vectorized.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.hw.baselines import make_accelerator
+from repro.hw.functional import FunctionalGemm
+from repro.hw.pe import PEConfig
 from repro.hw.simulator import SimResult, simulate
 from repro.models.zoo import get_model_config
 from repro.serve.artifact import ModelArtifact
 
-__all__ = ["RequestTrace", "HardwareReport", "hardware_report"]
+__all__ = [
+    "RequestTrace",
+    "HardwareReport",
+    "hardware_report",
+    "FunctionalReplay",
+    "functional_replay",
+]
 
 
 @dataclass(frozen=True)
@@ -85,6 +102,68 @@ class HardwareReport:
                 for r in self.per_request
             ],
         }
+
+
+@dataclass
+class FunctionalReplay:
+    """Bit-accurate replay of one packed linear at a serving batch size."""
+
+    layer: str
+    batch: int
+    shape: tuple
+    pe_cycles: int
+    groups_processed: int
+    #: Max |PE output - x @ w_deq.T| — the datapath's FP16-accumulation
+    #: deviation from the ideal dequantized matmul.
+    max_abs_err: float
+
+    @property
+    def cycles_per_output(self) -> float:
+        k = self.shape[0]
+        return self.pe_cycles / (self.batch * k) if self.batch * k else 0.0
+
+
+def functional_replay(
+    artifact: ModelArtifact,
+    batch_size: int,
+    layers: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> List[FunctionalReplay]:
+    """Replay packed linears through the bit-accurate PE datapath.
+
+    ``batch_size`` is the number of concurrent sequence slots (the
+    GEMM M dimension of one continuous-batching decode step).  Each
+    selected layer's packed image is decoded once (cached on the
+    tensor) and multiplied against random FP16 activations by the
+    vectorized :class:`~repro.hw.functional.FunctionalGemm`; the
+    result is validated against the dequantized-matmul reference.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    names = list(layers) if layers is not None else sorted(artifact.packed)
+    rng = np.random.default_rng(seed)
+    out: List[FunctionalReplay] = []
+    for name in names:
+        packed = artifact.packed[name]
+        gemm = FunctionalGemm(artifact.tensor_config(name), PEConfig())
+        k, d = packed.shape
+        x = rng.standard_normal((batch_size, d)).astype(np.float16)
+        res = gemm.run_packed(x, packed)
+        from repro.quant.packing import unpack_tensor
+
+        w_deq = unpack_tensor(packed, artifact.tensor_config(name))
+        ref = x.astype(np.float64) @ w_deq.T
+        out.append(
+            FunctionalReplay(
+                layer=name,
+                batch=batch_size,
+                shape=tuple(packed.shape),
+                pe_cycles=res.pe_cycles,
+                groups_processed=res.groups_processed,
+                max_abs_err=float(np.max(np.abs(res.output - ref))) if ref.size else 0.0,
+            )
+        )
+    return out
 
 
 def hardware_report(

@@ -68,9 +68,14 @@ class InferenceEngine:
         model: CausalLM,
         kv_quant: Optional[KVQuantConfig] = None,
         seed: int = 0,
+        artifact: Optional[ModelArtifact] = None,
     ):
         self.model = model
         self.kv_quant = kv_quant
+        #: The packed artifact this engine was built from, when known —
+        #: keeps the bit-packed weight images around for bit-accurate
+        #: hardware replay alongside the dequantized serving weights.
+        self.artifact = artifact
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
@@ -79,11 +84,38 @@ class InferenceEngine:
     @classmethod
     def from_artifact(cls, artifact: ModelArtifact, seed: int = 0) -> "InferenceEngine":
         """Instantiate the packed model and wrap it in an engine."""
-        return cls(artifact.instantiate(), kv_quant=artifact.kv_quant, seed=seed)
+        return cls(
+            artifact.instantiate(),
+            kv_quant=artifact.kv_quant,
+            seed=seed,
+            artifact=artifact,
+        )
 
     @classmethod
     def from_artifact_file(cls, path: Union[str, Path], seed: int = 0) -> "InferenceEngine":
         return cls.from_artifact(load_artifact(path), seed=seed)
+
+    # ------------------------------------------------------------------
+    # Bit-accurate hardware replay.
+    # ------------------------------------------------------------------
+    def functional_replay(
+        self,
+        batch_size: int,
+        layers=None,
+        seed: int = 0,
+    ):
+        """Push batched activations through the bit-accurate PE datapath
+        against this engine's packed weight images (see
+        :func:`repro.serve.bridge.functional_replay`).  Requires the
+        engine to have been built from an artifact."""
+        if self.artifact is None:
+            raise RuntimeError(
+                "functional replay needs the packed artifact; build the "
+                "engine with from_artifact()/from_artifact_file()"
+            )
+        from repro.serve.bridge import functional_replay
+
+        return functional_replay(self.artifact, batch_size, layers=layers, seed=seed)
 
     # ------------------------------------------------------------------
     # Sequence operations.

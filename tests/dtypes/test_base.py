@@ -29,6 +29,18 @@ class TestSnapIndices:
         assert snap_indices(np.array([-100.0]), grid)[0] == 0
         assert snap_indices(np.array([100.0]), grid)[0] == 2
 
+    def test_fast_path_matches_searchsorted(self, rng):
+        """The compare-accumulate fast path (x.size >= 4096) must be
+        bit-identical to the searchsorted reference, NaN included."""
+        grid = np.array([-8.0, -4.0, -2.0, -1.0, 0.0, 1.0, 2.0, 4.0, 8.0])
+        x = rng.standard_normal(8192) * 5
+        x[::1000] = np.nan
+        x[1::1000] = 100.0
+        mid = (grid[1:] + grid[:-1]) / 2.0
+        np.testing.assert_array_equal(
+            snap_indices(x, grid), np.searchsorted(mid, x, side="left")
+        )
+
     @given(
         st.lists(
             st.floats(min_value=-50, max_value=50, allow_nan=False),

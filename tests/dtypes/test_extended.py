@@ -48,6 +48,12 @@ class TestTableIV:
         with pytest.raises(ValueError):
             make_extended_float(5, 6.0)
 
+    def test_memoized_instance_is_shared_and_frozen(self):
+        a = make_extended_float(4, 5.0)
+        assert make_extended_float(4, 5.0) is a
+        with pytest.raises(ValueError):
+            a.values[0] = 99.0  # shared grid must be immutable
+
 
 class TestBitMoDType:
     def test_default_families(self):

@@ -2,10 +2,14 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.dtypes.registry import list_dtypes
 from repro.hw.functional import FunctionalGemm
 from repro.hw.timing import gemm_compute_cycles
 from repro.quant.config import QuantConfig, quantize_tensor
+from repro.quant.packing import pack_tensor
 
 
 @pytest.fixture
@@ -76,3 +80,100 @@ class TestFunctionalGemm:
                 rng.standard_normal((2, 128)).astype(np.float16),
                 rng.standard_normal((2, 256)),
             )
+
+    def test_non_2d_activations_rejected(self, rng):
+        gemm = FunctionalGemm(QuantConfig(dtype="fp4"))
+        w = rng.standard_normal((2, 128))
+        with pytest.raises(ValueError, match="2-D"):
+            gemm.run(rng.standard_normal(128).astype(np.float16), w)
+        with pytest.raises(ValueError, match="2-D"):
+            gemm.run(rng.standard_normal((2, 128, 2)).astype(np.float16), w)
+
+
+def _assert_same_execution(a, b):
+    np.testing.assert_array_equal(a.output, b.output)
+    assert a.pe_cycles == b.pe_cycles
+    assert a.groups_processed == b.groups_processed
+
+
+class TestVectorizedEquivalence:
+    """The vectorized engine must be bit-identical to the scalar
+    reference — values, cycle counts and group counts — for every
+    registry datatype, including matching rejection behaviour."""
+
+    @pytest.mark.parametrize("dtype", list_dtypes())
+    def test_registry_dtype_bit_identical_or_same_rejection(self, rng, dtype):
+        w = rng.standard_normal((3, 64))
+        x = rng.standard_normal((2, 64)).astype(np.float16)
+        gemm = FunctionalGemm(QuantConfig(dtype=dtype, group_size=32))
+        try:
+            scalar = gemm.run_scalar(x, w)
+        except (TypeError, ValueError) as exc:
+            with pytest.raises(type(exc)):
+                gemm.run(x, w)
+            return
+        _assert_same_execution(scalar, gemm.run(x, w))
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        dtype=st.sampled_from(
+            ["bitmod_fp4", "bitmod_fp3", "int6_sym", "int8_sym", "fp4", "ant4"]
+        ),
+        m=st.integers(1, 4),
+        k=st.integers(1, 5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_shapes_bit_identical(self, seed, dtype, m, k):
+        rng = np.random.default_rng(seed)
+        # Mix magnitudes so exponent alignment and accumulator
+        # renormalization paths are exercised.
+        d = int(rng.choice([32, 64, 96]))
+        w = rng.standard_normal((k, d)) * rng.uniform(0.05, 20.0)
+        x = (rng.standard_normal((m, d)) * rng.uniform(0.1, 8.0)).astype(np.float16)
+        gemm = FunctionalGemm(QuantConfig(dtype=dtype, group_size=32))
+        _assert_same_execution(gemm.run_scalar(x, w), gemm.run(x, w))
+
+    def test_asymmetric_rejection_matches(self, rng):
+        w = rng.standard_normal((2, 64))
+        x = rng.standard_normal((1, 64)).astype(np.float16)
+        gemm = FunctionalGemm(QuantConfig(dtype="int5_asym", group_size=32))
+        with pytest.raises(TypeError, match="zero-point"):
+            gemm.run_scalar(x, w)
+        with pytest.raises(TypeError, match="zero-point"):
+            gemm.run(x, w)
+
+    def test_ragged_channel_bit_identical(self, rng):
+        """Padded/ragged D exercises the explicit groups-per-channel."""
+        w = rng.standard_normal((3, 200))
+        x = rng.standard_normal((2, 200)).astype(np.float16)
+        gemm = FunctionalGemm(QuantConfig(dtype="bitmod_fp4"))
+        _assert_same_execution(gemm.run_scalar(x, w), gemm.run(x, w))
+
+    def test_run_packed_reuses_decode_cache(self, rng):
+        w = rng.standard_normal((2, 128))
+        x = rng.standard_normal((2, 128)).astype(np.float16)
+        cfg = QuantConfig(dtype="bitmod_fp4")
+        gemm = FunctionalGemm(cfg)
+        packed = pack_tensor(w, cfg)
+        first = gemm.run_packed(x, packed)
+        assert hasattr(packed, "_term_decode_cache")
+        second = gemm.run_packed(x, packed)
+        _assert_same_execution(first, second)
+
+    def test_subnormal_activations_bit_identical(self, rng):
+        """Tiny activations hit the FP16 subnormal decompose path."""
+        w = rng.standard_normal((2, 32))
+        x = (rng.standard_normal((2, 32)) * 1e-7).astype(np.float16)
+        gemm = FunctionalGemm(QuantConfig(dtype="int6_sym", group_size=32))
+        _assert_same_execution(gemm.run_scalar(x, w), gemm.run(x, w))
+
+    def test_extreme_magnitude_mix_bit_identical(self, rng):
+        """Max-magnitude and subnormal activations in one group force
+        the widest exponent alignments (exact-arithmetic fallback)."""
+        w = rng.standard_normal((2, 32)) * 100
+        x = rng.standard_normal((2, 32)).astype(np.float16)
+        x[0, ::2] = np.float16(60000.0)
+        x[0, 1::2] = np.float16(6e-8)
+        x[1, :16] = np.float16(-60000.0)
+        gemm = FunctionalGemm(QuantConfig(dtype="int8_sym", group_size=32))
+        _assert_same_execution(gemm.run_scalar(x, w), gemm.run(x, w))

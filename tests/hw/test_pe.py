@@ -90,6 +90,80 @@ class TestGroupDot:
             pe.dot4([booth_encode(1, 6)[0]] * 3, np.ones(3))
 
 
+class TestBatchedDatapath:
+    """group_dot_batch / dequantize_batch vs the scalar methods."""
+
+    @staticmethod
+    def _term_arrays(term_lists):
+        """Stack scalar decompositions into (1, g, n_terms) arrays."""
+        sign = np.array([[t.sign for t in ts] for ts in term_lists])[None]
+        exp = np.array([[t.exp for t in ts] for ts in term_lists])[None]
+        man = np.array([[t.man for t in ts] for ts in term_lists])[None]
+        bsig = np.array([[t.bsig for t in ts] for ts in term_lists])[None]
+        return sign, exp, man, bsig
+
+    @pytest.mark.parametrize("bits", [5, 6, 8])
+    def test_group_dot_batch_bit_identical(self, bits, rng):
+        pe = BitMoDPE()
+        codes = rng.integers(-(2 ** (bits - 1) - 1), 2 ** (bits - 1), size=64)
+        acts = rng.standard_normal(64).astype(np.float16)
+        terms = [booth_encode(int(c), bits) for c in codes]
+        scalar = pe.group_dot(terms, acts)
+        batch = pe.group_dot_batch(*self._term_arrays(terms), acts[None, :])
+        assert int(batch.mantissa[0, 0]) == scalar.mantissa
+        assert int(batch.exponent[0, 0]) == scalar.exponent
+        assert batch.cycles == scalar.cycles
+
+    def test_group_dot_batch_fp_weights(self, rng):
+        pe = BitMoDPE()
+        grid = np.concatenate([FP4_VALUES, [8.0, -8.0]])
+        codes = rng.choice(grid, size=32)
+        acts = rng.standard_normal(32).astype(np.float16)
+        terms = [fixed_point_decompose(float(c)) for c in codes]
+        scalar = pe.group_dot(terms, acts)
+        batch = pe.group_dot_batch(*self._term_arrays(terms), acts[None, :])
+        assert int(batch.mantissa[0, 0]) == scalar.mantissa
+        assert int(batch.exponent[0, 0]) == scalar.exponent
+
+    def test_dequantize_batch_bit_identical(self, rng):
+        from repro.hw.pe import BatchPEResult
+
+        pe = BitMoDPE()
+        acts = rng.standard_normal(32).astype(np.float16)
+        terms = [booth_encode(int(c), 6) for c in rng.integers(-31, 32, size=32)]
+        partial = pe.group_dot(terms, acts)
+        sf_codes = np.array([0, 1, 17, 128, 255])
+        batch_partial = BatchPEResult(
+            mantissa=np.full(sf_codes.shape, partial.mantissa, dtype=np.int64),
+            exponent=np.full(sf_codes.shape, partial.exponent, dtype=np.int64),
+            cycles=partial.cycles,
+        )
+        deq = pe.dequantize_batch(batch_partial, sf_codes)
+        assert deq.cycles == pe.config.sf_bits
+        for i, sf in enumerate(sf_codes):
+            ref = pe.dequantize(partial, int(sf))
+            assert int(deq.mantissa[i]) == ref.mantissa
+            assert int(deq.exponent[i]) == ref.exponent
+
+    def test_group_not_multiple_of_lanes_rejected(self, rng):
+        pe = BitMoDPE()
+        terms = [booth_encode(1, 6)] * 6
+        with pytest.raises(ValueError):
+            pe.group_dot_batch(*self._term_arrays(terms), np.ones((1, 6)))
+
+    def test_sf_out_of_range_rejected(self, rng):
+        from repro.hw.pe import BatchPEResult
+
+        pe = BitMoDPE()
+        partial = BatchPEResult(
+            mantissa=np.ones((1, 1), dtype=np.int64),
+            exponent=np.zeros((1, 1), dtype=np.int64),
+            cycles=1,
+        )
+        with pytest.raises(ValueError):
+            pe.dequantize_batch(partial, np.array([256]))
+
+
 class TestDequantize:
     def test_matches_integer_multiply(self, rng):
         pe = BitMoDPE()
@@ -120,6 +194,24 @@ class TestDequantize:
         partial = pe.group_dot([booth_encode(1, 6)] * 8, acts)
         with pytest.raises(ValueError):
             pe.dequantize(partial, 256)
+
+    def test_accumulate_batch_exact_fallback_matches_scalar(self):
+        """Alignment shifts past 62 bits must fall back to exact
+        Python-int arithmetic and still match ``_accumulate``."""
+        pe = BitMoDPE(PEConfig(acc_mantissa_bits=58))
+        acc_man = np.array([[(1 << 57) + 12345, 3]], dtype=np.int64)
+        acc_exp = np.array([[20, 0]], dtype=np.int64)
+        man = np.array([[-7, 5]], dtype=np.int64)
+        exp = np.array([[-20, -1]], dtype=np.int64)
+        got_man, got_exp = pe._accumulate_batch(acc_man, acc_exp, man, exp)
+        assert got_man.dtype == np.int64
+        for i in range(2):
+            ref = pe._accumulate(
+                (int(acc_man[0, i]), int(acc_exp[0, i])),
+                int(man[0, i]),
+                int(exp[0, i]),
+            )
+            assert (int(got_man[0, i]), int(got_exp[0, i])) == ref
 
     def test_narrow_accumulator_still_close(self, rng):
         """A 16-bit accumulator loses precision but stays in the

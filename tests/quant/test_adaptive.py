@@ -68,6 +68,43 @@ class TestAdaptiveSelection:
         assert rq.candidate_idx is not None
         assert rq.sq_error.shape == (32,)
 
+    def test_sequential_reference_equivalence(self, rng):
+        """The stacked search must reproduce the sequential strict-<
+        update rule bit for bit."""
+        bm = BitMoDType(bits=4)
+        rows = rng.standard_normal((64, 128))
+        rows[0] = 0.0  # all-zero row: scale guard path
+        best = adaptive_quantize_rows(rows, bm.candidates)
+
+        ref = quantize_rows_grid(rows, bm.candidates[0])
+        ref_idx = np.zeros(rows.shape[0], dtype=np.int64)
+        for idx, cand in enumerate(bm.candidates[1:], start=1):
+            trial = quantize_rows_grid(rows, cand)
+            improved = trial.sq_error < ref.sq_error
+            ref.w_deq[improved] = trial.w_deq[improved]
+            ref.scales[improved] = trial.scales[improved]
+            ref.sq_error[improved] = trial.sq_error[improved]
+            ref_idx[improved] = idx
+        np.testing.assert_array_equal(best.w_deq, ref.w_deq)
+        np.testing.assert_array_equal(best.scales, ref.scales)
+        np.testing.assert_array_equal(best.sq_error, ref.sq_error)
+        np.testing.assert_array_equal(best.candidate_idx, ref_idx)
+
+    def test_custom_grid_extended_float_uses_its_grid(self, rng):
+        """A hand-built ExtendedFloat whose values are NOT basic + SV
+        must be honored (no shared-basic-snap shortcut)."""
+        from repro.dtypes.extended import ExtendedFloat
+
+        custom = ExtendedFloat(
+            name="custom", bits=4,
+            values=np.array([-4.0, -1.0, 0.0, 1.0, 4.0, 5.0]),
+            special_value=5.0, base_bits=4,
+        )
+        rows = rng.standard_normal((16, 128)) * 3
+        best = adaptive_quantize_rows(rows, [custom])
+        ref = quantize_rows_grid(rows, custom)
+        np.testing.assert_array_equal(best.w_deq, ref.w_deq)
+
     def test_empty_candidates_rejected(self, rng):
         with pytest.raises(ValueError):
             adaptive_quantize_rows(rng.standard_normal((2, 8)), [])

@@ -26,6 +26,7 @@ def _assert_packed_equal(a, b):
     assert a.bits == b.bits
     assert a.shape == b.shape
     assert a.group_size == b.group_size
+    assert a.groups_per_channel == b.groups_per_channel
     assert a.element_data == b.element_data
     np.testing.assert_array_equal(a.sf_codes, b.sf_codes)
     np.testing.assert_array_equal(a.channel_scales, b.channel_scales)
