@@ -1,0 +1,26 @@
+"""Repo-wide pytest configuration (applies to tests/ and benchmarks/)."""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def isolated_pipeline_cache(tmp_path_factory):
+    """Point the pipeline cache at a per-session tmp dir.
+
+    Keeps the suites from reading (or polluting) the developer's
+    ``~/.cache/repro`` — a stale entry there must never mask a change
+    in the code under test, and benchmarks must measure real work.
+    """
+    from repro import pipeline
+
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    pipeline.reset()
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+    pipeline.reset()

@@ -24,6 +24,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.models import CausalLM, get_model_config
+from repro.pipeline import CacheStore
 from repro.quant import KVQuantConfig, QuantConfig
 from repro.serve import (
     GenerationConfig,
@@ -39,11 +40,16 @@ N_REQUESTS = 8
 MAX_NEW = 24
 
 # --- 1. quantize + pack -------------------------------------------------
+# The pipeline cache makes repacking free: each tensor's bit-packed
+# image is content-addressed by (weight bytes, quant key), so a second
+# run of this demo rebuilds the artifact without quantizing anything.
 config = get_model_config(model_name)
 model = CausalLM(config, seed=0)
 qcfg = QuantConfig(dtype="bitmod_fp4", group_size=128)
 path = Path(tempfile.gettempdir()) / f"{model_name}.rsrv"
-artifact = save_artifact(path, model, qcfg, kv_quant=KVQuantConfig(bits=8))
+artifact = save_artifact(
+    path, model, qcfg, kv_quant=KVQuantConfig(bits=8), store=CacheStore()
+)
 print(f"Packed {config.name}: {len(artifact.packed)} linears -> {path}")
 print(f"  {artifact.mean_bits_per_weight:.2f} bits/weight "
       f"({artifact.packed_bytes / 1024:.0f} KiB packed payload at sim scale)")

@@ -31,9 +31,9 @@ from typing import Callable, Dict, Optional, Union
 import numpy as np
 
 from repro.models.config import ModelConfig
-from repro.models.corpus import make_eval_batch
 from repro.models.layers import softmax
 from repro.models.transformer import CausalLM
+from repro.pipeline.context import get_ppl_context
 from repro.quant.config import QuantConfig, quantize_tensor
 
 __all__ = ["SENSITIVITY", "PerplexityEvaluator", "kl_divergence_mean"]
@@ -73,9 +73,13 @@ class PerplexityResult:
 class PerplexityEvaluator:
     """Evaluates quantization schemes on one model/dataset pair.
 
-    The FP16 reference model and its logits are computed once and
-    reused across datatype evaluations (mirroring how the paper
-    evaluates many datatypes against one checkpoint).
+    A thin view over the shared pipeline context: the FP16 reference
+    model and its logits are built once *per process* per
+    (model, dataset, seed, batch, seq) and shared by every evaluator —
+    and every experiment — that asks for the same pair (mirroring how
+    the paper evaluates many datatypes against one checkpoint).
+    Cross-run caching of evaluation results lives one layer up, in
+    :mod:`repro.pipeline.engine`.
     """
 
     def __init__(
@@ -87,13 +91,14 @@ class PerplexityEvaluator:
         seq: int = 128,
         sensitivity: float = SENSITIVITY,
     ):
+        ctx = get_ppl_context(config, dataset, seed=seed, batch=batch, seq=seq)
         self.config = config
         self.dataset = dataset
         self.sensitivity = sensitivity
-        self.model = CausalLM(config, seed=seed)
-        self.tokens = make_eval_batch(dataset, config.sim_vocab, batch=batch, seq=seq)
-        self.fp16_logits = self.model.logits(self.tokens)
-        self.fp16_ppl = config.fp16_ppl.get(dataset, float("nan"))
+        self.model = ctx.model
+        self.tokens = ctx.tokens
+        self.fp16_logits = ctx.fp16_logits
+        self.fp16_ppl = ctx.fp16_ppl
 
     # ------------------------------------------------------------------
     def evaluate_model(self, quantized: CausalLM) -> PerplexityResult:

@@ -14,8 +14,8 @@ import numpy as np
 
 from repro.experiments.common import ExperimentResult
 from repro.hw.bitserial import booth_encode
-from repro.models.transformer import CausalLM
 from repro.models.zoo import get_model_config
+from repro.pipeline.context import get_model
 from repro.quant.config import QuantConfig, quantize_tensor
 
 __all__ = ["run", "main"]
@@ -35,7 +35,7 @@ def run(quick: bool = False) -> ExperimentResult:
         notes="Booth gives a *fixed* schedule (statically provisioned "
         "cycles); naive encoding has a long data-dependent tail.",
     )
-    model = CausalLM(get_model_config("llama-2-7b"), seed=0)
+    model = get_model(get_model_config("llama-2-7b"), seed=0)
     w = model.weights["layers.0.q_proj"]
     for bits in (6, 8):
         qr = quantize_tensor(w, QuantConfig(dtype=f"int{bits}_sym", scale_bits=None))

@@ -7,9 +7,10 @@ effective bits/weight across group sizes, for BitMoD-FP3 and INT3-Asym.
 
 from __future__ import annotations
 
-from repro.eval.perplexity import PerplexityEvaluator
 from repro.experiments.common import ExperimentResult
 from repro.models.zoo import get_model_config
+from repro.pipeline import CellSpec, get_engine
+from repro.pipeline.context import get_model
 from repro.quant.config import QuantConfig, quantize_tensor
 
 __all__ = ["run", "main", "GROUP_SIZES"]
@@ -28,14 +29,29 @@ def run(quick: bool = False) -> ExperimentResult:
         notes="Smaller groups buy accuracy with metadata bits; G=128 is "
         "the paper's sweet spot.",
     )
+    engine = get_engine()
+    items = [
+        (
+            (m, g, dt),
+            CellSpec(
+                model=m,
+                dataset="wikitext",
+                quant=QuantConfig(dtype=dt, group_size=g),
+                quick=quick,
+            ),
+        )
+        for m in models
+        for g in sizes
+        for dt in ("bitmod_fp3", "int3_asym")
+    ]
+    cells = dict(zip([k for k, _ in items], engine.run([s for _, s in items])))
     for m in models:
-        ev = PerplexityEvaluator(get_model_config(m), "wikitext")
-        some_w = next(iter(ev.model.named_linears().values()))
+        some_w = next(iter(get_model(get_model_config(m)).named_linears().values()))
         for g in sizes:
             row = [m, g]
             for dt in ("bitmod_fp3", "int3_asym"):
                 cfg = QuantConfig(dtype=dt, group_size=g)
-                row.append(ev.evaluate_config(cfg).ppl)
+                row.append(cells[(m, g, dt)]["ppl"])
                 row.append(quantize_tensor(some_w, cfg).bits_per_weight)
             result.add_row(*row)
     return result

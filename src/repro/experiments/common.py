@@ -48,12 +48,25 @@ class ExperimentResult:
         }
 
     def cell(self, row_label, column: str):
-        """Look up a value by first-column label and column name."""
+        """Look up a value by first-column label and column name.
+
+        Misses raise a :class:`KeyError` listing what *is* there, so a
+        typo'd lookup is diagnosable from the message alone.
+        """
+        if column not in self.columns:
+            raise KeyError(
+                f"unknown column {column!r} in experiment "
+                f"{self.experiment!r}; known columns: {', '.join(map(repr, self.columns))}"
+            )
         cidx = self.columns.index(column)
         for row in self.rows:
             if row[0] == row_label:
                 return row[cidx]
-        raise KeyError(f"no row labelled {row_label!r}")
+        labels = ", ".join(repr(row[0]) for row in self.rows)
+        raise KeyError(
+            f"no row labelled {row_label!r} in experiment "
+            f"{self.experiment!r}; known row labels: {labels}"
+        )
 
     def __str__(self) -> str:
         return format_table(self.title, self.columns, self.rows, self.notes)

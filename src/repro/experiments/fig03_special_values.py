@@ -13,8 +13,8 @@ import numpy as np
 from repro.dtypes.extended import make_extended_float
 from repro.dtypes.registry import get_dtype
 from repro.experiments.common import ALL_MODELS, ExperimentResult
-from repro.models.transformer import CausalLM
 from repro.models.zoo import get_model_config
+from repro.pipeline.context import get_model
 from repro.quant.granularity import to_rows
 from repro.quant.quantizer import quantize_rows_grid
 
@@ -24,7 +24,7 @@ SPECIAL_VALUES = [3.0, 5.0, 6.0, 8.0]
 
 
 def _model_error(model_name: str, dtypes) -> list:
-    model = CausalLM(get_model_config(model_name), seed=0)
+    model = get_model(get_model_config(model_name), seed=0)
     totals = np.zeros(len(dtypes))
     base_total = 0.0
     base = get_dtype("fp3")

@@ -9,11 +9,11 @@ Pareto frontier.
 
 from __future__ import annotations
 
-from repro.eval.perplexity import PerplexityEvaluator
 from repro.experiments.common import ExperimentResult
 from repro.hw.baselines import make_accelerator
 from repro.hw.simulator import simulate
 from repro.models.zoo import get_model_config
+from repro.pipeline import CellSpec, get_engine
 from repro.quant.config import QuantConfig
 
 __all__ = ["run", "main", "SWEEPS"]
@@ -54,18 +54,34 @@ def run(quick: bool = False) -> ExperimentResult:
         columns=["model", "accelerator", "bits", "ppl", "edp_norm"],
         notes="Lower-left is better; BitMoD sits on the Pareto frontier.",
     )
+    engine = get_engine()
+    points = {
+        name: (sweep if not quick else sweep[:3]) for name, sweep in SWEEPS.items()
+    }
+    items = [
+        (
+            (m, accel_name, bits),
+            CellSpec(
+                model=m,
+                dataset="wikitext",
+                quant=QuantConfig(dtype=dtype, granularity=gran),
+                quick=quick,
+            ),
+        )
+        for m in models
+        for accel_name, sweep in points.items()
+        for bits, dtype, gran in sweep
+    ]
+    cells = dict(zip([k for k, _ in items], engine.run([s for _, s in items])))
+
     fp16 = make_accelerator("fp16")
     for m in models:
         cfg = get_model_config(m)
-        ev = PerplexityEvaluator(cfg, "wikitext")
         base = simulate(cfg, fp16, "generative", 16)
-        for accel_name, sweep in SWEEPS.items():
+        for accel_name, sweep in points.items():
             accel = make_accelerator(accel_name)
-            points = sweep if not quick else sweep[:3]
-            for bits, dtype, gran in points:
-                ppl = ev.evaluate_config(
-                    QuantConfig(dtype=dtype, granularity=gran)
-                ).ppl
+            for bits, _dtype, _gran in sweep:
+                ppl = cells[(m, accel_name, bits)]["ppl"]
                 r = simulate(cfg, accel, "generative", bits)
                 result.add_row(m, accel_name, bits, ppl, r.edp / base.edp)
     return result

@@ -17,8 +17,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from repro.eval.perplexity import PerplexityEvaluator
-from repro.models.zoo import get_model_config
+from repro.pipeline import get_engine
 from repro.quant.config import QuantConfig
 
 __all__ = ["choose_weight_bits", "QUALITY_THRESHOLD_DPPL"]
@@ -29,9 +28,9 @@ QUALITY_THRESHOLD_DPPL = 1.0
 
 @lru_cache(maxsize=None)
 def _delta_ppl(model: str, dtype: str, granularity: str) -> float:
-    ev = PerplexityEvaluator(get_model_config(model), "wikitext")
-    r = ev.evaluate_config(QuantConfig(dtype=dtype, granularity=granularity))
-    return r.ppl - ev.fp16_ppl
+    engine = get_engine()
+    cell = engine.ppl(model, "wikitext", QuantConfig(dtype=dtype, granularity=granularity))
+    return cell["ppl"] - engine.fp16_ppl(model, "wikitext")
 
 
 def choose_weight_bits(

@@ -2,17 +2,31 @@
 
 Usage::
 
-    bitmod-repro table06            # one experiment
-    bitmod-repro --all              # everything
-    bitmod-repro --all --quick      # trimmed versions (CI-friendly)
+    bitmod-repro table06                      # one experiment
+    bitmod-repro --all                        # everything
+    bitmod-repro --all --quick                # trimmed versions (CI-friendly)
+    bitmod-repro --all --quick --jobs 4       # parallel cell evaluation
+    bitmod-repro --all --json out/            # persist results as JSON
+    bitmod-repro --cache-dir /tmp/c table06   # explicit pipeline cache
+    bitmod-repro --no-cache table06           # bypass the cache entirely
     bitmod-repro --list
+
+Every experiment draws its evaluation cells from the shared
+:mod:`repro.pipeline` engine: unique (model × dataset × datatype ×
+method) cells are computed exactly once per run — across experiments —
+memoized on disk (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), and
+fanned out over a process pool with ``--jobs N``.  A warm rerun of
+``--all`` only replays cache hits.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import sys
+import time
+from pathlib import Path
 from typing import Dict
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
@@ -62,6 +76,31 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true", help="trimmed versions")
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate cells on N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="pipeline cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the pipeline cache",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="OUT_DIR",
+        default=None,
+        help="write each result as OUT_DIR/<experiment>.json plus a "
+        "_run_meta.json with wall time and cache statistics",
+    )
+    parser.add_argument(
         "--compare",
         action="store_true",
         help="after table06, print the paper-vs-measured comparison",
@@ -76,15 +115,47 @@ def main(argv=None) -> int:
     if not names:
         parser.print_help()
         return 1
-    for name in names:
-        result = run_experiment(name, quick=args.quick)
-        print(result)
-        print()
-        if args.compare and name == "table06":
-            from repro.experiments.compare import compare_table06
 
-            print(compare_table06(result))
+    from repro.pipeline import configure
+
+    engine = configure(
+        jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache
+    )
+
+    out_dir = None
+    if args.json is not None:
+        out_dir = Path(args.json)
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    t0 = time.perf_counter()
+    try:
+        for name in names:
+            result = run_experiment(name, quick=args.quick)
+            print(result)
             print()
+            if out_dir is not None:
+                payload = json.dumps(result.to_dict(), indent=2)
+                (out_dir / f"{name}.json").write_text(payload, encoding="utf-8")
+            if args.compare and name == "table06":
+                from repro.experiments.compare import compare_table06
+
+                print(compare_table06(result))
+                print()
+    finally:
+        engine.close()
+
+    if out_dir is not None:
+        meta = {
+            "experiments": names,
+            "quick": args.quick,
+            "jobs": args.jobs,
+            "wall_seconds": time.perf_counter() - t0,
+            "cache": engine.stats(),
+            "cache_dir": None if args.no_cache else str(engine.store.root),
+        }
+        (out_dir / "_run_meta.json").write_text(
+            json.dumps(meta, indent=2), encoding="utf-8"
+        )
     return 0
 
 

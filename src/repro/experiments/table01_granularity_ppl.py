@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from repro.eval.perplexity import PerplexityEvaluator
 from repro.experiments.common import ExperimentResult
-from repro.models.zoo import TABLE1_MODELS, get_model_config
+from repro.models.zoo import TABLE1_MODELS
+from repro.pipeline import CellGrid, get_engine
 from repro.quant.config import QuantConfig
 
 __all__ = ["run", "main", "DTYPES"]
@@ -23,16 +23,27 @@ def run(quick: bool = False) -> ExperimentResult:
         columns=cols,
         notes="PC = per-channel, PG = per-group (group size 128).",
     )
-    evals = {m: PerplexityEvaluator(get_model_config(m), "wikitext") for m in models}
-    result.add_row("fp16", *[v for m in models for v in (evals[m].fp16_ppl,) * 2])
+    engine = get_engine()
+    cells = engine.run_grid(
+        CellGrid(
+            rows=tuple(
+                (f"{dt}/{gran}", QuantConfig(dtype=dt, granularity=gran))
+                for dt in DTYPES
+                for gran in ("channel", "group")
+            ),
+            models=tuple(models),
+            datasets=("wikitext",),
+            quick=quick,
+        )
+    )
+    result.add_row(
+        "fp16", *[v for m in models for v in (engine.fp16_ppl(m, "wikitext"),) * 2]
+    )
     for dt in DTYPES:
         row = [dt]
         for m in models:
-            pc = evals[m].evaluate_config(
-                QuantConfig(dtype=dt, granularity="channel")
-            )
-            pg = evals[m].evaluate_config(QuantConfig(dtype=dt, granularity="group"))
-            row += [pc.ppl, pg.ppl]
+            row.append(cells[(f"{dt}/channel", m, "wikitext")]["ppl"])
+            row.append(cells[(f"{dt}/group", m, "wikitext")]["ppl"])
         result.add_row(*row)
     return result
 

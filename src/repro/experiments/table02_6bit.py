@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from repro.eval.perplexity import PerplexityEvaluator
 from repro.experiments.common import ExperimentResult
-from repro.models.zoo import TABLE1_MODELS, get_model_config
+from repro.models.zoo import TABLE1_MODELS
+from repro.pipeline import CellGrid, get_engine
+from repro.quant.config import QuantConfig
 
 __all__ = ["run", "main", "DTYPES"]
 
@@ -22,20 +23,20 @@ def run(quick: bool = False) -> ExperimentResult:
         notes="All 6-bit datatypes are near-lossless, motivating INT6 "
         "as BitMoD's lossless configuration.",
     )
-    evals = {
-        (m, d): PerplexityEvaluator(get_model_config(m), d)
-        for m in models
-        for d in datasets
-    }
-    result.add_row(
-        "fp16", *[evals[(m, d)].fp16_ppl for m in models for d in datasets]
+    engine = get_engine()
+    cells = engine.run_grid(
+        CellGrid(
+            rows=tuple((dt, QuantConfig(dtype=dt)) for dt in DTYPES),
+            models=tuple(models),
+            datasets=tuple(datasets),
+            quick=quick,
+        )
     )
+    result.add_row("fp16", *[engine.fp16_ppl(m, d) for m in models for d in datasets])
     for dt in DTYPES:
-        row = [dt]
-        for m in models:
-            for d in datasets:
-                row.append(evals[(m, d)].evaluate_config(dt).ppl)
-        result.add_row(*row)
+        result.add_row(
+            dt, *[cells[(dt, m, d)]["ppl"] for m in models for d in datasets]
+        )
     return result
 
 

@@ -2,14 +2,18 @@
 
 from __future__ import annotations
 
-from repro.eval.perplexity import PerplexityEvaluator
 from repro.experiments.common import ExperimentResult
-from repro.models.zoo import TABLE1_MODELS, get_model_config
+from repro.models.zoo import TABLE1_MODELS
+from repro.pipeline import CellGrid, get_engine
 from repro.quant.config import QuantConfig
 
 __all__ = ["run", "main", "SF_BITS"]
 
 SF_BITS = [None, 8, 6, 4, 2]  # None = FP16 scales
+
+
+def _label(sf) -> str:
+    return "fp16" if sf is None else f"int{sf}"
 
 
 def run(quick: bool = False) -> ExperimentResult:
@@ -23,21 +27,24 @@ def run(quick: bool = False) -> ExperimentResult:
         notes="INT8 scaling factors are lossless vs FP16; INT2 is not. "
         "BitMoD therefore uses INT8 (Section III-C).",
     )
-    evals = {
-        (m, d): PerplexityEvaluator(get_model_config(m), d)
-        for m in models
-        for d in datasets
-    }
+    # A symmetric-grid 4-bit datatype exercises the second-level scale
+    # quantization path end to end.
+    engine = get_engine()
+    cells = engine.run_grid(
+        CellGrid(
+            rows=tuple(
+                (_label(sf), QuantConfig(dtype="fp4", scale_bits=sf)) for sf in SF_BITS
+            ),
+            models=tuple(models),
+            datasets=tuple(datasets),
+            quick=quick,
+        )
+    )
     for sf in SF_BITS:
-        label = "fp16" if sf is None else f"int{sf}"
-        row = [label]
-        for m in models:
-            for d in datasets:
-                # A symmetric-grid 4-bit datatype exercises the
-                # second-level scale quantization path end to end.
-                cfg = QuantConfig(dtype="fp4", scale_bits=sf)
-                row.append(evals[(m, d)].evaluate_config(cfg).ppl)
-        result.add_row(*row)
+        label = _label(sf)
+        result.add_row(
+            label, *[cells[(label, m, d)]["ppl"] for m in models for d in datasets]
+        )
     return result
 
 

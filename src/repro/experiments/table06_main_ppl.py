@@ -3,9 +3,9 @@ ANT, OliVe, MX, INT-Asym, and BitMoD on six LLMs."""
 
 from __future__ import annotations
 
-from repro.eval.perplexity import PerplexityEvaluator
 from repro.experiments.common import ALL_MODELS, ExperimentResult
-from repro.models.zoo import get_model_config
+from repro.pipeline import CellGrid, get_engine
+from repro.quant.config import QuantConfig
 
 __all__ = ["run", "main", "DTYPES_4BIT", "DTYPES_3BIT"]
 
@@ -24,20 +24,22 @@ def run(quick: bool = False) -> ExperimentResult:
         notes="MX uses its native 32-element blocks; everything else "
         "group size 128.  mean_dppl = mean perplexity increase over FP16.",
     )
-    evals = {
-        (m, d): PerplexityEvaluator(get_model_config(m), d)
-        for m in models
-        for d in datasets
-    }
-    fp16 = [evals[(m, d)].fp16_ppl for m in models for d in datasets]
+    engine = get_engine()
+    cells = engine.run_grid(
+        CellGrid(
+            rows=tuple(
+                (dt, QuantConfig(dtype=dt)) for dt in DTYPES_4BIT + DTYPES_3BIT
+            ),
+            models=tuple(models),
+            datasets=tuple(datasets),
+            quick=quick,
+        )
+    )
+    fp16 = [engine.fp16_ppl(m, d) for m in models for d in datasets]
     result.add_row("fp16", *fp16, 0.0)
     for dtypes in (DTYPES_4BIT, DTYPES_3BIT):
         for dt in dtypes:
-            vals = [
-                evals[(m, d)].evaluate_config(dt).ppl
-                for m in models
-                for d in datasets
-            ]
+            vals = [cells[(dt, m, d)]["ppl"] for m in models for d in datasets]
             mean_delta = sum(v - f for v, f in zip(vals, fp16)) / len(vals)
             result.add_row(dt, *vals, mean_delta)
     return result

@@ -2,23 +2,15 @@
 
 from __future__ import annotations
 
-from repro.eval.tasks import DiscriminativeEvaluator
 from repro.experiments.common import ALL_MODELS, ExperimentResult
-from repro.models.zoo import get_model_config
-from repro.quant.config import QuantConfig, quantize_tensor
+from repro.pipeline import CellGrid, get_engine
+from repro.quant.config import QuantConfig
 
 __all__ = ["run", "main", "TASK_NAMES"]
 
 TASK_NAMES = ["hellaswag", "winogrande", "piqa"]
 
-
-def _acc(ev: DiscriminativeEvaluator, dtype: str) -> float:
-    cfg = QuantConfig(dtype=dtype)
-
-    def quantize(_name, w):
-        return quantize_tensor(w, cfg).w_deq
-
-    return ev.evaluate_quantizer(quantize)
+_DTYPES = ["int4_asym", "bitmod_fp4", "int3_asym", "bitmod_fp3"]
 
 
 def run(quick: bool = False) -> ExperimentResult:
@@ -32,15 +24,22 @@ def run(quick: bool = False) -> ExperimentResult:
         columns=cols,
         notes="mean_dacc = mean accuracy change vs FP16 (percentage points).",
     )
-    evals = {
-        (m, t): DiscriminativeEvaluator(get_model_config(m), t, n_items=n_items)
-        for m in models
-        for t in tasks
-    }
-    fp16 = [evals[(m, t)].fp16_accuracy * 100 for m in models for t in tasks]
+    engine = get_engine()
+    cells = engine.run_grid(
+        CellGrid(
+            rows=(("fp16", None),)
+            + tuple((dt, QuantConfig(dtype=dt)) for dt in _DTYPES),
+            models=tuple(models),
+            datasets=tuple(tasks),
+            kind="acc",
+            n_items=n_items,
+            quick=quick,
+        )
+    )
+    fp16 = [cells[("fp16", m, t)]["accuracy"] for m in models for t in tasks]
     result.add_row("fp16", *fp16, 0.0)
-    for dt in ("int4_asym", "bitmod_fp4", "int3_asym", "bitmod_fp3"):
-        vals = [_acc(evals[(m, t)], dt) for m in models for t in tasks]
+    for dt in _DTYPES:
+        vals = [cells[(dt, m, t)]["accuracy"] for m in models for t in tasks]
         result.add_row(dt, *vals, sum(v - f for v, f in zip(vals, fp16)) / len(vals))
     return result
 

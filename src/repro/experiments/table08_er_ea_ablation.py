@@ -6,9 +6,9 @@ asymmetry (EA); at 3-bit, EA beats ER; full BitMoD beats both.
 
 from __future__ import annotations
 
-from repro.eval.perplexity import PerplexityEvaluator
 from repro.experiments.common import LLAMA_MODELS, ExperimentResult
-from repro.models.zoo import get_model_config
+from repro.pipeline import CellGrid, get_engine
+from repro.quant.config import QuantConfig
 
 __all__ = ["run", "main", "DTYPES"]
 
@@ -29,18 +29,22 @@ def run(quick: bool = False) -> ExperimentResult:
         notes="ER wins at 4-bit, EA wins at 3-bit, BitMoD (adaptive over "
         "both) wins everywhere.",
     )
-    evals = {
-        (m, d): PerplexityEvaluator(get_model_config(m), d)
-        for m in models
-        for d in datasets
-    }
+    engine = get_engine()
+    cells = engine.run_grid(
+        CellGrid(
+            rows=tuple(
+                (dt, QuantConfig(dtype=dt)) for bits in (4, 3) for dt in DTYPES[bits]
+            ),
+            models=tuple(models),
+            datasets=tuple(datasets),
+            quick=quick,
+        )
+    )
     for bits in (4, 3):
         for dt in DTYPES[bits]:
-            row = [dt]
-            for m in models:
-                for d in datasets:
-                    row.append(evals[(m, d)].evaluate_config(dt).ppl)
-            result.add_row(*row)
+            result.add_row(
+                dt, *[cells[(dt, m, d)]["ppl"] for m in models for d in datasets]
+            )
     return result
 
 

@@ -3,14 +3,18 @@
 The BitMoD decoder's special-value register file can hold arbitrary
 values; this experiment compares three candidate sets and confirms
 {+-3, +-6} (ER + EA) is the best default.
+
+The three ablation datatypes share one registry ``name``
+(``fp3_ablation``) but carry different special-value sets — their
+pipeline cache keys differ because :meth:`QuantConfig.cache_key`
+digests the full datatype contents, not the name.
 """
 
 from __future__ import annotations
 
 from repro.dtypes.extended import BitMoDType
-from repro.eval.perplexity import PerplexityEvaluator
 from repro.experiments.common import ExperimentResult
-from repro.models.zoo import get_model_config
+from repro.pipeline import CellGrid, get_engine
 from repro.quant.config import QuantConfig
 
 __all__ = ["run", "main", "SV_SETS"]
@@ -35,20 +39,29 @@ def run(quick: bool = False) -> ExperimentResult:
         notes="The adopted {+-3, +-6} combines symmetric extra resolution "
         "with the best asymmetric range extension.",
     )
-    evals = {
-        (m, d): PerplexityEvaluator(get_model_config(m), d)
-        for m in models
-        for d in datasets
-    }
-    for label, svs in SV_SETS.items():
-        dtype = BitMoDType(bits=3, special_values=svs, name="fp3_ablation")
-        row = [label]
-        for m in models:
-            for d in datasets:
-                row.append(
-                    evals[(m, d)].evaluate_config(QuantConfig(dtype=dtype)).ppl
+    engine = get_engine()
+    cells = engine.run_grid(
+        CellGrid(
+            rows=tuple(
+                (
+                    label,
+                    QuantConfig(
+                        dtype=BitMoDType(
+                            bits=3, special_values=svs, name="fp3_ablation"
+                        )
+                    ),
                 )
-        result.add_row(*row)
+                for label, svs in SV_SETS.items()
+            ),
+            models=tuple(models),
+            datasets=tuple(datasets),
+            quick=quick,
+        )
+    )
+    for label in SV_SETS:
+        result.add_row(
+            label, *[cells[(label, m, d)]["ppl"] for m in models for d in datasets]
+        )
     return result
 
 

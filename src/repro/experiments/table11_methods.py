@@ -2,14 +2,16 @@
 
 QuaRot / GPTQ / AWQ / OmniQuant with asymmetric-integer weights,
 versus AWQ / OmniQuant with the BitMoD datatypes swapped in.
+
+Each (method, model, dataset) point is one pipeline cell; the engine's
+quantized-model memo ensures a method quantizes a model once even
+though the wikitext and c4 cells are declared independently.
 """
 
 from __future__ import annotations
 
-from repro.eval.perplexity import PerplexityEvaluator
 from repro.experiments.common import LLAMA_MODELS, ExperimentResult
-from repro.methods import AWQ, GPTQ, OmniQuant, QuaRot, collect_calibration
-from repro.models.zoo import get_model_config
+from repro.pipeline import CellSpec, get_engine
 from repro.quant.config import QuantConfig
 
 __all__ = ["run", "main"]
@@ -19,12 +21,12 @@ def _method_rows(bits: int):
     int_dt = f"int{bits}_asym"
     bm_dt = f"bitmod_fp{bits}"
     return [
-        ("QuaRot", QuaRot, int_dt),
-        ("GPTQ", GPTQ, int_dt),
-        ("AWQ", AWQ, int_dt),
-        ("OmniQ", OmniQuant, int_dt),
-        ("BitMoD+AWQ", AWQ, bm_dt),
-        ("BitMoD+OmniQ", OmniQuant, bm_dt),
+        ("QuaRot", "quarot", int_dt),
+        ("GPTQ", "gptq", int_dt),
+        ("AWQ", "awq", int_dt),
+        ("OmniQ", "omniquant", int_dt),
+        ("BitMoD+AWQ", "awq", bm_dt),
+        ("BitMoD+OmniQ", "omniquant", bm_dt),
     ]
 
 
@@ -44,25 +46,30 @@ def run(quick: bool = False) -> ExperimentResult:
         notes="BitMoD composed with AWQ/OmniQuant pushes the frontier "
         "(Section V-E, 'orthogonal to quantization optimization').",
     )
-    evals = {}
-    calibs = {}
-    for m in models:
-        for d in datasets:
-            evals[(m, d)] = PerplexityEvaluator(get_model_config(m), d)
-        calibs[m] = collect_calibration(evals[(m, datasets[0])].model)
+    engine = get_engine()
+    items = [
+        (
+            (bits, label, m, d),
+            CellSpec(
+                model=m,
+                dataset=d,
+                quant=QuantConfig(dtype=dtype),
+                method=method,
+                quick=quick,
+            ),
+        )
+        for bits in bit_list
+        for label, method, dtype in _method_rows(bits)
+        for m in models
+        for d in datasets
+    ]
+    cells = dict(zip([k for k, _ in items], engine.run([s for _, s in items])))
 
-    fp16 = [evals[(m, d)].fp16_ppl for m in models for d in datasets]
+    fp16 = [engine.fp16_ppl(m, d) for m in models for d in datasets]
     result.add_row(16, "fp16", *fp16, 0.0)
     for bits in bit_list:
-        for label, factory, dtype in _method_rows(bits):
-            vals = []
-            for m in models:
-                method = factory(QuantConfig(dtype=dtype))
-                qmodel = method.quantize_model(
-                    evals[(m, datasets[0])].model, calibs[m]
-                )
-                for d in datasets:
-                    vals.append(evals[(m, d)].evaluate_model(qmodel).ppl)
+        for label, _method, _dtype in _method_rows(bits):
+            vals = [cells[(bits, label, m, d)]["ppl"] for m in models for d in datasets]
             mean_delta = sum(v - f for v, f in zip(vals, fp16)) / len(vals)
             result.add_row(bits, label, *vals, mean_delta)
     return result

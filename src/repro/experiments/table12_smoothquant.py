@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from repro.eval.perplexity import PerplexityEvaluator
 from repro.experiments.common import LLAMA_MODELS, ExperimentResult
-from repro.methods import SmoothQuant, collect_calibration
-from repro.models.zoo import get_model_config
-from repro.quant.config import QuantConfig, quantize_tensor
+from repro.pipeline import CellSpec, get_engine
+from repro.quant.config import QuantConfig
 
 __all__ = ["run", "main", "WEIGHT_ROWS"]
 
@@ -31,20 +29,32 @@ def run(quick: bool = False) -> ExperimentResult:
         notes="BitMoD's advantage over INT-Asym persists under INT8 "
         "activations (Section V-E, 'orthogonal to activation quant').",
     )
+    engine = get_engine()
+    items = []
+    for _bits, dtype in WEIGHT_ROWS:
+        qcfg = QuantConfig(dtype=dtype)
+        for m in models:
+            # FP16 activations: plain RTN weight quantization.
+            items.append(((dtype, m, "fp16"), CellSpec(model=m, quant=qcfg, quick=quick)))
+            # SQ8: smoothing + INT8 dynamic activations + same weights.
+            items.append(
+                (
+                    (dtype, m, "sq8"),
+                    CellSpec(
+                        model=m,
+                        quant=qcfg,
+                        method="smoothquant",
+                        method_params=(("act_bits", 8),),
+                        quick=quick,
+                    ),
+                )
+            )
+    cells = dict(zip([k for k, _ in items], engine.run([s for _, s in items])))
     for bits, dtype in WEIGHT_ROWS:
         row = [bits, dtype]
         for m in models:
-            ev = PerplexityEvaluator(get_model_config(m), "wikitext")
-            calib = collect_calibration(ev.model)
-            qcfg = QuantConfig(dtype=dtype)
-            # FP16 activations: plain RTN weight quantization.
-            fp16_m = ev.model.apply_quantizer(
-                lambda n, w: quantize_tensor(w, qcfg).w_deq
-            )
-            row.append(ev.evaluate_model(fp16_m).ppl)
-            # SQ8: smoothing + INT8 dynamic activations + same weights.
-            sq = SmoothQuant(qcfg, act_bits=8)
-            row.append(ev.evaluate_model(sq.quantize_model(ev.model, calib)).ppl)
+            row.append(cells[(dtype, m, "fp16")]["ppl"])
+            row.append(cells[(dtype, m, "sq8")]["ppl"])
         result.add_row(*row)
     return result
 

@@ -1,5 +1,7 @@
 """Software-only PTQ methods, each composable with any datatype."""
 
+from typing import Dict, Type
+
 from repro.methods.awq import AWQ
 from repro.methods.base import PTQMethod, collect_calibration, layer_output_mse
 from repro.methods.gptq import GPTQ
@@ -8,8 +10,26 @@ from repro.methods.quarot import QuaRot, hadamard_matrix, random_orthogonal
 from repro.methods.rtn import RTN
 from repro.methods.smoothquant import SmoothQuant, smooth_scales
 
+#: Registry-name lookup used by pipeline cell specs (a method must be
+#: reconstructible by name + hyperparams inside worker processes).
+METHODS: Dict[str, Type[PTQMethod]] = {
+    cls.name: cls for cls in (RTN, AWQ, GPTQ, OmniQuant, SmoothQuant, QuaRot)
+}
+
+
+def get_method(name: str) -> Type[PTQMethod]:
+    """Look up a PTQ method class by its registry name."""
+    try:
+        return METHODS[name]
+    except KeyError:
+        known = ", ".join(sorted(METHODS))
+        raise KeyError(f"unknown PTQ method {name!r}; known: {known}") from None
+
+
 __all__ = [
     "PTQMethod",
+    "METHODS",
+    "get_method",
     "collect_calibration",
     "layer_output_mse",
     "RTN",

@@ -12,7 +12,7 @@ datatypes into AWQ/OmniQuant/SmoothQuant (Section V-E).
 from __future__ import annotations
 
 import abc
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -36,8 +36,23 @@ def collect_calibration(
 
 
 def layer_output_mse(x: np.ndarray, w: np.ndarray, w_q: np.ndarray) -> float:
-    """MSE of a linear layer's output under weight perturbation."""
-    delta = (w_q - w) @ x.T if x.shape[0] < w.shape[0] else x @ (w_q - w).T
+    """MSE of a linear layer's output under weight perturbation.
+
+    The orientation is explicit: ``x`` is ``(n_samples, D)`` input
+    activations and ``w`` / ``w_q`` are ``(K, D)`` weights, matching
+    :func:`collect_calibration` and ``CausalLM.named_linears``.  (The
+    old shape heuristic silently guessed wrong for square layers.)
+    """
+    if x.ndim != 2 or w.ndim != 2:
+        raise ValueError(f"expected 2-D x and w, got {x.shape} and {w.shape}")
+    if w_q.shape != w.shape:
+        raise ValueError(f"w_q shape {w_q.shape} != w shape {w.shape}")
+    if x.shape[1] != w.shape[1]:
+        raise ValueError(
+            f"x is (n_samples, D)={x.shape} but w is (K, D)={w.shape}; "
+            "the trailing dimensions must agree"
+        )
+    delta = x @ (w_q - w).T
     return float(np.mean(delta**2))
 
 
@@ -49,6 +64,25 @@ class PTQMethod(abc.ABC):
     def __init__(self, qconfig: QuantConfig):
         self.qconfig = qconfig
 
+    def cache_key(self) -> str:
+        """Stable digest: method name + datatype config + hyperparams.
+
+        Hyperparameters are collected from the instance dict (minus
+        the quant config and private state), so subclasses get correct
+        keys without overriding — an ``AWQ(alpha_grid=...)`` with a
+        custom grid keys differently from the default instance.
+        """
+        from repro.pipeline.keys import stable_digest
+
+        params = {
+            k: v
+            for k, v in vars(self).items()
+            if k != "qconfig" and not k.startswith("_")
+        }
+        return stable_digest(
+            {"method": self.name, "quant": self.qconfig.cache_key(), "params": params}
+        )
+
     @abc.abstractmethod
     def quantize_weight(
         self, name: str, w: np.ndarray, x: np.ndarray
@@ -59,7 +93,7 @@ class PTQMethod(abc.ABC):
         """
 
     def quantize_model(
-        self, model: CausalLM, calib: Dict[str, np.ndarray] = None
+        self, model: CausalLM, calib: Optional[Dict[str, np.ndarray]] = None
     ) -> CausalLM:
         """Quantize every block linear of ``model``."""
         if calib is None:

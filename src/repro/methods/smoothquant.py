@@ -64,7 +64,7 @@ class SmoothQuant(PTQMethod):
 
     # ------------------------------------------------------------------
     def smooth_model(
-        self, model: CausalLM, calib: Dict[str, np.ndarray] = None
+        self, model: CausalLM, calib: Optional[Dict[str, np.ndarray]] = None
     ) -> CausalLM:
         """Return a smoothed (but not yet quantized) copy of ``model``."""
         if calib is None:
@@ -95,7 +95,7 @@ class SmoothQuant(PTQMethod):
         return quantize_tensor(w, self.qconfig).w_deq
 
     def quantize_model(
-        self, model: CausalLM, calib: Dict[str, np.ndarray] = None
+        self, model: CausalLM, calib: Optional[Dict[str, np.ndarray]] = None
     ) -> CausalLM:
         smoothed = self.smooth_model(model, calib)
 

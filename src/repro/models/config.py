@@ -117,6 +117,14 @@ class ModelConfig:
     fp16_ppl: Dict[str, float] = field(default_factory=dict)
     fp16_acc: Dict[str, float] = field(default_factory=dict)
 
+    def cache_key(self) -> str:
+        """Stable content digest over every architecture / profile /
+        anchor field — two zoo revisions that change any of them key
+        to different pipeline cache entries."""
+        from repro.pipeline.keys import stable_digest
+
+        return stable_digest(self)
+
     @property
     def head_dim(self) -> int:
         return self.hidden // self.n_heads

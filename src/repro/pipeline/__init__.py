@@ -1,0 +1,63 @@
+"""repro.pipeline — content-addressed cache + parallel experiment engine.
+
+The shared evaluation substrate under :mod:`repro.experiments`,
+:mod:`repro.eval` and :mod:`repro.serve`:
+
+* :mod:`repro.pipeline.keys` — stable ``cache_key()`` digests,
+* :mod:`repro.pipeline.store` — atomic, content-addressed on-disk store,
+* :mod:`repro.pipeline.context` — per-process build-once memos
+  (models, FP16 logits, calibration, quantized clones),
+* :mod:`repro.pipeline.cells` — declarative (model × dataset ×
+  datatype × method) cell specs,
+* :mod:`repro.pipeline.engine` — the cached, ``--jobs N`` parallel
+  cell evaluator.
+
+Heavier submodules load lazily (PEP 562) so low-level packages such as
+:mod:`repro.quant` can import :mod:`repro.pipeline.keys` without
+dragging in the evaluation stack or creating import cycles.
+"""
+
+from repro.pipeline.keys import array_digest, canonical, stable_digest
+from repro.pipeline.store import CacheStore, default_cache_dir
+
+__all__ = [
+    "array_digest",
+    "canonical",
+    "stable_digest",
+    "CacheStore",
+    "default_cache_dir",
+    "CellSpec",
+    "cell_key",
+    "compute_cell",
+    "CellGrid",
+    "Engine",
+    "get_engine",
+    "configure",
+    "reset",
+    "clear_context",
+]
+
+_LAZY = {
+    "CellSpec": "repro.pipeline.cells",
+    "cell_key": "repro.pipeline.cells",
+    "compute_cell": "repro.pipeline.cells",
+    "CellGrid": "repro.pipeline.engine",
+    "Engine": "repro.pipeline.engine",
+    "get_engine": "repro.pipeline.engine",
+    "configure": "repro.pipeline.engine",
+    "reset": "repro.pipeline.engine",
+    "clear_context": "repro.pipeline.context",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,126 @@
+"""Declarative evaluation cells.
+
+A *cell* is the atomic unit of the paper's evaluation grid: one
+(model × dataset × datatype × method) measurement.  Experiments
+declare cells; the :class:`~repro.pipeline.engine.Engine` deduplicates
+them, resolves them against the on-disk cache, and computes the
+misses (optionally in parallel).
+
+``cell_key`` is the content address: a stable digest over the model
+config, dataset, quantization config, PTQ-method hyperparameters, the
+evaluator's own parameters (batch/seq/sensitivity or item count) and
+the quick flag — everything that determines the cell's value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.models.zoo import get_model_config
+from repro.pipeline.keys import stable_digest
+from repro.quant.config import QuantConfig, quantize_tensor
+
+__all__ = ["CellSpec", "cell_key", "compute_cell", "CELL_KIND"]
+
+#: Store namespace for cell results.
+CELL_KIND = "cells"
+
+#: Bump when the semantics of a cell computation change incompatibly.
+CELL_SCHEMA_VERSION = 1
+
+# Evaluator defaults baked into the key (see PerplexityEvaluator).
+_PPL_BATCH = 4
+_PPL_SEQ = 128
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One declarative evaluation cell.
+
+    ``kind`` selects the measurement:
+
+    * ``"ppl"`` — perplexity of ``quant`` (RTN when ``method`` is
+      ``None``, otherwise quantized by the named PTQ method) on
+      (``model``, ``dataset``); ``quant=None`` yields the FP16 anchor.
+    * ``"acc"`` — discriminative accuracy (%) on task ``dataset`` with
+      ``n_items`` items; ``quant=None`` yields the FP16 accuracy.
+    """
+
+    model: str
+    dataset: str = "wikitext"
+    kind: str = "ppl"
+    quant: Optional[QuantConfig] = None
+    method: Optional[str] = None
+    method_params: Tuple[Tuple[str, object], ...] = ()
+    n_items: int = 128
+    seed: int = 0
+    quick: bool = False
+
+
+def _build_method(spec: CellSpec):
+    """Instantiate the PTQ method a cell names (hyperparams applied)."""
+    from repro.methods import get_method
+
+    cls = get_method(spec.method)
+    return cls(spec.quant, **dict(spec.method_params))
+
+
+def cell_key(spec: CellSpec) -> str:
+    """Content address of ``spec`` (see module docstring)."""
+    from repro.eval.perplexity import SENSITIVITY
+
+    config = get_model_config(spec.model)
+    parts = {
+        "v": CELL_SCHEMA_VERSION,
+        "kind": spec.kind,
+        "model": config.cache_key(),
+        "dataset": spec.dataset,
+        "quant": None if spec.quant is None else spec.quant.cache_key(),
+        "method": None if spec.method is None else _build_method(spec).cache_key(),
+        "seed": spec.seed,
+        "quick": spec.quick,
+    }
+    if spec.kind == "acc":
+        parts["eval"] = {"n_items": spec.n_items}
+    else:
+        parts["eval"] = {
+            "batch": _PPL_BATCH,
+            "seq": _PPL_SEQ,
+            "sensitivity": SENSITIVITY,
+        }
+    return stable_digest(parts)
+
+
+def compute_cell(spec: CellSpec) -> dict:
+    """Evaluate one cell and return its JSON-able result record."""
+    from repro.eval.perplexity import PerplexityEvaluator
+    from repro.pipeline.context import get_quantized_model, get_task_evaluator
+
+    config = get_model_config(spec.model)
+
+    if spec.kind == "acc":
+        ev = get_task_evaluator(config, spec.dataset, n_items=spec.n_items, seed=spec.seed)
+        if spec.quant is None:
+            return {"accuracy": ev.fp16_accuracy * 100.0}
+        qcfg = spec.quant
+        acc = ev.evaluate_quantizer(lambda _n, w: quantize_tensor(w, qcfg).w_deq)
+        return {"accuracy": acc}
+
+    if spec.kind == "ppl":
+        # batch/seq are passed explicitly so the evaluation provably
+        # matches what cell_key() digested — the key and the compute
+        # must not have two sources of truth.
+        ev = PerplexityEvaluator(
+            config, spec.dataset, seed=spec.seed, batch=_PPL_BATCH, seq=_PPL_SEQ
+        )
+        if spec.quant is None:
+            r = ev.fp16_result()
+        elif spec.method is None:
+            r = ev.evaluate_config(spec.quant)
+        else:
+            qmodel = get_quantized_model(config, _build_method(spec), seed=spec.seed)
+            r = ev.evaluate_model(qmodel)
+        return {"ppl": r.ppl, "divergence": r.divergence, "fp16_ppl": r.fp16_ppl}
+
+    raise ValueError(f"unknown cell kind {spec.kind!r} (known: ppl, acc)")

@@ -1,0 +1,161 @@
+"""Per-process evaluation context: build-once, share-everywhere.
+
+The historical cost of ``bitmod-repro --all`` was not the quantizers —
+it was that every experiment module rebuilt the same synthetic models,
+recomputed the same FP16 logits and recollected the same calibration
+activations.  This module is the per-process memo under the pipeline:
+
+* :func:`get_model` — one :class:`CausalLM` per (model config, seed),
+  shared by every evaluator and experiment (weights are never mutated
+  in place; quantizers clone via ``apply_quantizer``).
+* :func:`get_ppl_context` — model + eval tokens + FP16 logits + FP16
+  anchor per (model, dataset): the expensive half of
+  :class:`~repro.eval.perplexity.PerplexityEvaluator`, computed once.
+* :func:`get_task_evaluator` — one discriminative-task harness per
+  (model, task, n_items).
+* :func:`get_calibration` — one AWQ/GPTQ-style calibration set per
+  model.
+* :func:`get_quantized_model` — one quantized clone per
+  (model, PTQ-method key), so evaluating a method on N datasets
+  quantizes once.
+
+Everything here is *in-process* memoization; the cross-run, on-disk
+layer lives in :mod:`repro.pipeline.store` and is keyed compatibly via
+``cache_key()`` digests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.models.corpus import make_eval_batch
+from repro.models.transformer import CausalLM
+
+__all__ = [
+    "PplContext",
+    "get_model",
+    "get_ppl_context",
+    "get_task_evaluator",
+    "get_calibration",
+    "get_quantized_model",
+    "clear_context",
+]
+
+_MODELS: Dict[Tuple, CausalLM] = {}
+_PPL: Dict[Tuple, "PplContext"] = {}
+_TASKS: Dict[Tuple, object] = {}
+_CALIB: Dict[Tuple, Dict[str, np.ndarray]] = {}
+_QUANTIZED: Dict[Tuple, CausalLM] = {}
+
+
+def clear_context() -> None:
+    """Drop every memoized model/evaluator (tests, memory pressure)."""
+    _MODELS.clear()
+    _PPL.clear()
+    _TASKS.clear()
+    _CALIB.clear()
+    _QUANTIZED.clear()
+
+
+def get_model(config: ModelConfig, seed: int = 0) -> CausalLM:
+    """The shared :class:`CausalLM` instance for (config, seed)."""
+    key = (config.cache_key(), seed)
+    model = _MODELS.get(key)
+    if model is None:
+        model = _MODELS[key] = CausalLM(config, seed=seed)
+    return model
+
+
+@dataclass
+class PplContext:
+    """Everything shared across perplexity evaluations of one pair."""
+
+    config: ModelConfig
+    dataset: str
+    model: CausalLM
+    tokens: np.ndarray
+    fp16_logits: np.ndarray
+    fp16_ppl: float
+
+
+def get_ppl_context(
+    config: ModelConfig,
+    dataset: str,
+    seed: int = 0,
+    batch: int = 4,
+    seq: int = 128,
+) -> PplContext:
+    """Model + eval batch + FP16 logits for one model/dataset pair."""
+    key = (config.cache_key(), dataset, seed, batch, seq)
+    ctx = _PPL.get(key)
+    if ctx is None:
+        model = get_model(config, seed)
+        tokens = make_eval_batch(dataset, config.sim_vocab, batch=batch, seq=seq)
+        ctx = _PPL[key] = PplContext(
+            config=config,
+            dataset=dataset,
+            model=model,
+            tokens=tokens,
+            fp16_logits=model.logits(tokens),
+            fp16_ppl=config.fp16_ppl.get(dataset, float("nan")),
+        )
+    return ctx
+
+
+def get_task_evaluator(
+    config: ModelConfig, task: str, n_items: int = 128, seed: int = 0
+):
+    """The shared :class:`~repro.eval.tasks.DiscriminativeEvaluator`."""
+    from repro.eval.tasks import DiscriminativeEvaluator
+
+    key = (config.cache_key(), task, n_items, seed)
+    ev = _TASKS.get(key)
+    if ev is None:
+        ev = _TASKS[key] = DiscriminativeEvaluator(
+            config, task, n_items=n_items, seed=seed
+        )
+    return ev
+
+
+def get_calibration(
+    config: ModelConfig,
+    seed: int = 0,
+    dataset: str = "wikitext",
+    batch: int = 2,
+    seq: int = 64,
+) -> Dict[str, np.ndarray]:
+    """The shared calibration activation set for one model."""
+    from repro.methods.base import collect_calibration
+
+    key = (config.cache_key(), seed, dataset, batch, seq)
+    calib = _CALIB.get(key)
+    if calib is None:
+        calib = _CALIB[key] = collect_calibration(
+            get_model(config, seed), dataset=dataset, batch=batch, seq=seq
+        )
+    return calib
+
+
+def get_quantized_model(
+    config: ModelConfig,
+    method,
+    seed: int = 0,
+    calib: Optional[Dict[str, np.ndarray]] = None,
+) -> CausalLM:
+    """Quantize (config, seed) with ``method`` exactly once per key.
+
+    ``method`` is a :class:`~repro.methods.base.PTQMethod`; the memo
+    key is its ``cache_key()``, so two instances with equal
+    hyperparameters share the quantized clone.
+    """
+    key = (config.cache_key(), seed, method.cache_key())
+    qmodel = _QUANTIZED.get(key)
+    if qmodel is None:
+        if calib is None:
+            calib = get_calibration(config, seed)
+        qmodel = _QUANTIZED[key] = method.quantize_model(get_model(config, seed), calib)
+    return qmodel

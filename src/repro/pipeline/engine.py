@@ -1,0 +1,232 @@
+"""The parallel, cached cell-evaluation engine.
+
+:class:`Engine` takes declarative :class:`~repro.pipeline.cells.CellSpec`
+lists, deduplicates them by content address, resolves hits from the
+:class:`~repro.pipeline.store.CacheStore`, and computes the misses —
+serially in-process, or fanned out over a ``concurrent.futures``
+process pool when ``jobs > 1``.  Workers are grouped by model so each
+process builds a model's forward-pass context exactly once; every
+worker writes its results straight into the store (atomic rename), so
+an interrupted ``--all`` run resumes where it stopped.
+
+A :class:`CellGrid` is the declarative sugar most experiments use: a
+(row-label × model × dataset) lattice that expands to specs and maps
+results back to labelled cells.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.models.zoo import get_model_config
+from repro.pipeline.cells import CELL_KIND, CellSpec, cell_key, compute_cell
+from repro.pipeline.context import clear_context
+from repro.pipeline.store import CacheStore
+from repro.quant.config import QuantConfig
+
+__all__ = ["Engine", "CellGrid", "get_engine", "configure", "reset"]
+
+
+def _compute_batch(
+    items: List[Tuple[str, CellSpec]], root: str, enabled: bool
+) -> List[Tuple[str, dict]]:
+    """Worker entry point: compute cells, persist, return results."""
+    store = CacheStore(root, enabled=enabled)
+    out = []
+    for key, spec in items:
+        result = compute_cell(spec)
+        store.put_json(CELL_KIND, key, result)
+        out.append((key, result))
+    return out
+
+
+@dataclass(frozen=True)
+class CellGrid:
+    """A labelled (row × model × dataset) lattice of cells.
+
+    ``rows`` maps a row label to the :class:`QuantConfig` evaluated on
+    every (model, dataset) pair (``None`` = the FP16 anchor row).
+    """
+
+    rows: Tuple[Tuple[str, Optional[QuantConfig]], ...]
+    models: Tuple[str, ...]
+    datasets: Tuple[str, ...]
+    kind: str = "ppl"
+    quick: bool = False
+    n_items: int = 128
+    seed: int = 0
+
+    def specs(self) -> List[CellSpec]:
+        return [
+            CellSpec(
+                model=m,
+                dataset=d,
+                kind=self.kind,
+                quant=q,
+                n_items=self.n_items,
+                seed=self.seed,
+                quick=self.quick,
+            )
+            for _label, q in self.rows
+            for m in self.models
+            for d in self.datasets
+        ]
+
+
+class Engine:
+    """Cached, parallel evaluator of cell specs."""
+
+    def __init__(self, store: Optional[CacheStore] = None, jobs: int = 1):
+        self.store = store if store is not None else CacheStore()
+        self.jobs = max(1, int(jobs))
+        self.computed = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def fp16_ppl(self, model: str, dataset: str) -> float:
+        """The paper's published FP16 anchor for (model, dataset)."""
+        return get_model_config(model).fp16_ppl.get(dataset, float("nan"))
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        s = self.store.stats()
+        s["computed"] = self.computed
+        return s
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[CellSpec]) -> List[dict]:
+        """Evaluate ``specs``; results align with the input order.
+
+        Duplicate specs (same content address) are evaluated once.
+        """
+        keys = [cell_key(s) for s in specs]
+        unique: Dict[str, CellSpec] = {}
+        for k, s in zip(keys, specs):
+            unique.setdefault(k, s)
+
+        results: Dict[str, dict] = {}
+        missing: List[Tuple[str, CellSpec]] = []
+        for k, s in unique.items():
+            cached = self.store.get_json(CELL_KIND, k)
+            if cached is not None:
+                results[k] = cached
+            else:
+                missing.append((k, s))
+
+        if missing:
+            self.computed += len(missing)
+            if self.jobs > 1 and len(missing) > 1:
+                for k, result in self._run_parallel(missing):
+                    results[k] = result
+            else:
+                for k, s in missing:
+                    result = compute_cell(s)
+                    self.store.put_json(CELL_KIND, k, result)
+                    results[k] = result
+
+        return [results[k] for k in keys]
+
+    def _run_parallel(
+        self, missing: List[Tuple[str, CellSpec]]
+    ) -> List[Tuple[str, dict]]:
+        """Fan misses out over the persistent process pool.
+
+        One task per (model, dataset) group, so a worker builds a
+        group's forward-pass context once per batch of cells.  The
+        pool itself outlives individual :meth:`run` calls — across a
+        ``--all`` run the workers' per-process memos (models, FP16
+        logits, calibration sets) stay warm from experiment to
+        experiment instead of being rebuilt per table.
+        """
+        groups: Dict[Tuple[str, str], List[Tuple[str, CellSpec]]] = {}
+        for k, s in missing:
+            groups.setdefault((s.model, s.dataset), []).append((k, s))
+
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        out: List[Tuple[str, dict]] = []
+        futures = [
+            self._pool.submit(
+                _compute_batch, groups[g], str(self.store.root), self.store.enabled
+            )
+            for g in sorted(groups)
+        ]
+        for f in futures:
+            out.extend(f.result())
+        return out
+
+    # ------------------------------------------------------------------
+    def run_grid(self, grid: CellGrid) -> Dict[Tuple[str, str, str], dict]:
+        """Evaluate a grid; keys are ``(row_label, model, dataset)``."""
+        results = self.run(grid.specs())
+        out: Dict[Tuple[str, str, str], dict] = {}
+        i = 0
+        for label, _q in grid.rows:
+            for m in grid.models:
+                for d in grid.datasets:
+                    out[(label, m, d)] = results[i]
+                    i += 1
+        return out
+
+    def ppl(
+        self,
+        model: str,
+        dataset: str,
+        quant: Optional[QuantConfig] = None,
+        quick: bool = False,
+        seed: int = 0,
+    ) -> dict:
+        """Single-cell convenience wrapper around :meth:`run`."""
+        return self.run(
+            [CellSpec(model=model, dataset=dataset, quant=quant, seed=seed, quick=quick)]
+        )[0]
+
+
+# ----------------------------------------------------------------------
+# Process-wide engine singleton (configured by the CLI runner).
+# ----------------------------------------------------------------------
+
+_ENGINE: Optional[Engine] = None
+
+
+def configure(
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    no_cache: bool = False,
+) -> Engine:
+    """(Re)build the global engine — the runner's ``--jobs/--cache-dir/
+    --no-cache`` land here."""
+    global _ENGINE
+    _ENGINE = Engine(store=CacheStore(cache_dir, enabled=not no_cache), jobs=jobs)
+    return _ENGINE
+
+
+def get_engine() -> Engine:
+    """The global engine (default-configured on first use)."""
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = Engine()
+    return _ENGINE
+
+
+def reset() -> None:
+    """Drop the global engine and every per-process memo (tests)."""
+    global _ENGINE
+    if _ENGINE is not None:
+        _ENGINE.close()
+    _ENGINE = None
+    clear_context()

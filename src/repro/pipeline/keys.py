@@ -1,0 +1,89 @@
+"""Stable, content-addressed cache keys.
+
+Every object that participates in pipeline caching — quantization
+configs, PTQ methods, model configs, evaluation cells — reduces to a
+*canonical form*: a nested structure of JSON-able scalars in which
+dataclasses become sorted field dicts and numpy arrays become digests
+of their bytes.  Hashing the canonical JSON gives a digest that is
+
+* stable across processes and Python versions (no ``hash()``,
+  no ``repr`` of floats beyond ``json``'s shortest-round-trip form),
+* sensitive to every field that affects the computation (a
+  :class:`~repro.dtypes.extended.BitMoDType` with a custom
+  special-value set keys differently from the registry default even
+  when both carry the same ``name``), and
+* insensitive to field ordering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = ["canonical", "stable_digest", "array_digest"]
+
+#: Hex characters kept from the sha256 digest.  64 bits of prefix is
+#: plenty for cache addressing (collision odds ~2^-32 at a billion
+#: entries) while keeping directory names readable.
+DIGEST_LEN = 16
+
+
+def array_digest(arr: np.ndarray) -> str:
+    """Digest of an array's dtype, shape and little-endian bytes."""
+    a = np.ascontiguousarray(arr)
+    le = a.astype(a.dtype.newbyteorder("<"), copy=False)
+    h = hashlib.sha256()
+    h.update(str(le.dtype.str).encode())
+    h.update(str(a.shape).encode())
+    h.update(le.tobytes())
+    return h.hexdigest()[:DIGEST_LEN]
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-able canonical form (see module doc)."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return float(obj)
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": array_digest(obj)}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(canonical(v) for v in obj)
+    if isinstance(obj, dict):
+        return {str(k): canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            f.name: canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+            if f.init  # derived fields (init=False) are determined by the rest
+        }
+        fields["__class__"] = type(obj).__name__
+        return fields
+    # Objects that define their own cache identity.
+    key_fn = getattr(obj, "cache_key", None)
+    if callable(key_fn):
+        return {"__cache_key__": key_fn()}
+    # No silent repr() fallback: default reprs embed memory addresses,
+    # which would give a different digest every process and quietly
+    # defeat the cache.  Unsupported objects must fail loudly.
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} for cache keying; "
+        "use a dataclass, plain containers/scalars, an ndarray, or an "
+        "object exposing cache_key()"
+    )
+
+
+def stable_digest(obj: Any, length: int = DIGEST_LEN) -> str:
+    """Hex digest of ``obj``'s canonical JSON form."""
+    blob = json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:length]

@@ -1,0 +1,128 @@
+"""Content-addressed on-disk cache for pipeline results.
+
+The store memoizes three payload shapes under one root directory::
+
+    <root>/<kind>/<key[:2]>/<key>.json    small JSON records (cell results)
+    <root>/<kind>/<key[:2]>/<key>.npz     array bundles (quantized weights,
+                                          packed-tensor images)
+
+Keys are the stable digests of :mod:`repro.pipeline.keys`; because a
+key fully determines its content, concurrent writers racing on the
+same key write identical bytes, and *atomic rename* (tempfile in the
+destination directory + ``os.replace``) guarantees readers never see
+a torn file.  That property is what makes the store safe under the
+``--jobs N`` process pool without any locking.
+
+The default root is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``;
+``CacheStore(enabled=False)`` turns every lookup into a miss and every
+write into a no-op (the ``--no-cache`` path).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+__all__ = ["CacheStore", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via tempfile + rename (POSIX-atomic)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class CacheStore:
+    """Content-addressed store with hit/miss accounting."""
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        enabled: bool = True,
+    ):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, kind: str, key: str, suffix: str) -> Path:
+        return self.root / kind / key[:2] / f"{key}{suffix}"
+
+    def stats(self) -> Dict[str, Union[int, float]]:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # JSON records.
+    # ------------------------------------------------------------------
+    def get_json(self, kind: str, key: str) -> Optional[dict]:
+        if not self.enabled:
+            self.misses += 1
+            return None
+        path = self.path_for(kind, key, ".json")
+        try:
+            obj = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return obj
+
+    def put_json(self, kind: str, key: str, obj: dict) -> None:
+        if not self.enabled:
+            return
+        blob = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+        _atomic_write(self.path_for(kind, key, ".json"), blob.encode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Array bundles (npz).  ``meta`` rides along as a JSON side-field.
+    # ------------------------------------------------------------------
+    def get_arrays(self, kind: str, key: str) -> Optional[Dict[str, np.ndarray]]:
+        if not self.enabled:
+            self.misses += 1
+            return None
+        path = self.path_for(kind, key, ".npz")
+        try:
+            with np.load(path, allow_pickle=False) as z:
+                out = {name: z[name] for name in z.files}
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return out
+
+    def put_arrays(self, kind: str, key: str, arrays: Dict[str, np.ndarray]) -> None:
+        if not self.enabled:
+            return
+        buf = io.BytesIO()
+        np.savez(buf, **{k: np.asarray(v) for k, v in arrays.items()})
+        _atomic_write(self.path_for(kind, key, ".npz"), buf.getvalue())

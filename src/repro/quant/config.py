@@ -72,6 +72,27 @@ class QuantConfig:
         """Functional update helper."""
         return replace(self, **kwargs)
 
+    def cache_key(self) -> str:
+        """Stable content digest of this config.
+
+        A registry *name* and the instance it resolves to key
+        identically, so ``QuantConfig(dtype="bitmod_fp4")`` and
+        ``QuantConfig(dtype=get_dtype("bitmod_fp4"))`` share cache
+        entries; instances with non-default parameters (e.g. ablation
+        special-value sets) key by their full field contents.
+        """
+        from repro.pipeline.keys import stable_digest
+
+        return stable_digest(
+            {
+                "dtype": stable_digest(self.resolve_dtype()),
+                "granularity": self.granularity,
+                "group_size": self.group_size,
+                "scale_bits": self.scale_bits,
+                "clip_ratio": self.clip_ratio,
+            }
+        )
+
 
 @dataclass
 class QuantResult:

@@ -30,6 +30,7 @@ from repro.serve.artifact import (
     ModelArtifact,
     load_artifact,
     pack_model,
+    pack_tensor_cached,
     save_artifact,
 )
 from repro.serve.batching import ContinuousBatcher, Request, StepReport
@@ -48,6 +49,7 @@ __all__ = [
     "ARTIFACT_VERSION",
     "ModelArtifact",
     "pack_model",
+    "pack_tensor_cached",
     "save_artifact",
     "load_artifact",
     "InferenceEngine",

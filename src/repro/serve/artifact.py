@@ -35,6 +35,8 @@ import numpy as np
 
 from repro.models.transformer import CausalLM
 from repro.models.zoo import get_model_config
+from repro.pipeline.keys import array_digest, stable_digest
+from repro.pipeline.store import CacheStore
 from repro.quant.config import QuantConfig
 from repro.quant.kv import KVQuantConfig
 from repro.quant.packing import PackedTensor, pack_tensor, unpack_tensor
@@ -43,9 +45,16 @@ __all__ = [
     "ARTIFACT_VERSION",
     "ModelArtifact",
     "pack_model",
+    "pack_tensor_cached",
     "save_artifact",
     "load_artifact",
 ]
+
+#: Store namespace for cached packed-tensor images.
+PACKED_KIND = "packed"
+
+#: Bump when the PackedTensor wire format changes incompatibly.
+PACKED_SCHEMA_VERSION = 1
 
 ARTIFACT_MAGIC = b"RPROSRV\x01"
 ARTIFACT_VERSION = 1
@@ -87,16 +96,103 @@ class ModelArtifact:
         return CausalLM(get_model_config(self.model_name), seed=self.seed, weights=weights)
 
 
+# ----------------------------------------------------------------------
+# Content-addressed packed-tensor cache.
+# ----------------------------------------------------------------------
+
+
+def _packed_cache_key(w: np.ndarray, quant_config: QuantConfig) -> str:
+    """Content address of the packed image of (``w``, ``quant_config``)."""
+    return stable_digest(
+        {
+            "v": PACKED_SCHEMA_VERSION,
+            "weight": array_digest(w),
+            "shape": list(w.shape),
+            "quant": quant_config.cache_key(),
+        }
+    )
+
+
+def _packed_to_arrays(p: PackedTensor) -> Dict[str, np.ndarray]:
+    """Flatten a :class:`PackedTensor` into a store-able array bundle."""
+    arrays = {
+        "element_data": np.frombuffer(p.element_data, dtype=np.uint8),
+        "sf_codes": np.asarray(p.sf_codes, dtype=np.uint8),
+        "channel_scales": np.asarray(p.channel_scales, dtype=np.float64),
+        "meta": np.array(
+            json.dumps(
+                {
+                    "dtype_name": p.dtype_name,
+                    "bits": p.bits,
+                    "shape": list(p.shape),
+                    "group_size": p.group_size,
+                    "groups_per_channel": p.groups_per_channel,
+                }
+            ).encode("utf-8")
+        ),
+    }
+    if p.sv_selectors is not None:
+        arrays["sv_selectors"] = np.asarray(p.sv_selectors, dtype=np.uint8)
+    if p.zeros is not None:
+        arrays["zeros"] = np.asarray(p.zeros, dtype=np.int64)
+    return arrays
+
+
+def _arrays_to_packed(arrays: Dict[str, np.ndarray]) -> PackedTensor:
+    """Rebuild a byte-identical :class:`PackedTensor` from a bundle."""
+    meta = json.loads(bytes(arrays["meta"].tobytes()).decode("utf-8"))
+    return PackedTensor(
+        dtype_name=meta["dtype_name"],
+        bits=meta["bits"],
+        shape=tuple(meta["shape"]),
+        group_size=meta["group_size"],
+        element_data=arrays["element_data"].tobytes(),
+        sf_codes=arrays["sf_codes"],
+        channel_scales=arrays["channel_scales"],
+        sv_selectors=arrays.get("sv_selectors"),
+        zeros=arrays.get("zeros"),
+        groups_per_channel=meta["groups_per_channel"],
+    )
+
+
+def pack_tensor_cached(
+    w: np.ndarray, quant_config: QuantConfig, store: Optional[CacheStore] = None
+) -> PackedTensor:
+    """:func:`~repro.quant.packing.pack_tensor` through the pipeline
+    cache: keyed by weight content + quant key, byte-identical on
+    reload, quantized at most once per content address."""
+    if store is None or not store.enabled:
+        return pack_tensor(w, quant_config)
+    key = _packed_cache_key(w, quant_config)
+    cached = store.get_arrays(PACKED_KIND, key)
+    if cached is not None:
+        try:
+            return _arrays_to_packed(cached)
+        except (KeyError, ValueError):
+            pass  # corrupt/stale entry: fall through and rewrite
+    packed = pack_tensor(w, quant_config)
+    store.put_arrays(PACKED_KIND, key, _packed_to_arrays(packed))
+    return packed
+
+
 def pack_model(
-    model: CausalLM, quant_config: QuantConfig
+    model: CausalLM,
+    quant_config: QuantConfig,
+    store: Optional[CacheStore] = None,
 ) -> Tuple[Dict[str, PackedTensor], Dict[str, np.ndarray]]:
     """Quantize + bit-pack every block linear of ``model``.
 
     Returns ``(packed, raw)``: the packed linears and the FP16
-    weights that stay unquantized (embedding, norms, LM head).
+    weights that stay unquantized (embedding, norms, LM head).  With a
+    ``store``, each tensor's packed image is served from the
+    content-addressed cache when its (weight bytes, quant key) address
+    has been packed before — rebuilding an artifact for an already-
+    quantized model touches no quantizer at all.
     """
     linears = model.named_linears()
-    packed = {name: pack_tensor(w, quant_config) for name, w in linears.items()}
+    packed = {
+        name: pack_tensor_cached(w, quant_config, store) for name, w in linears.items()
+    }
     raw = {k: v for k, v in model.weights.items() if k not in linears}
     return packed, raw
 
@@ -106,15 +202,18 @@ def save_artifact(
     model: CausalLM,
     quant_config: QuantConfig,
     kv_quant: Optional[KVQuantConfig] = None,
+    store: Optional[CacheStore] = None,
 ) -> ModelArtifact:
     """Quantize ``model`` and write the packed artifact to ``path``.
 
     The quantization dtype must be a registry name (artifacts store
     names, not instances) so the artifact is loadable anywhere.
+    ``store`` routes the per-tensor quantization through the pipeline's
+    content-addressed cache (see :func:`pack_model`).
     """
     if not isinstance(quant_config.dtype, str):
         quant_config = quant_config.with_(dtype=quant_config.resolve_dtype().name)
-    packed, raw = pack_model(model, quant_config)
+    packed, raw = pack_model(model, quant_config, store)
     artifact = ModelArtifact(
         model_name=model.config.name,
         seed=model.seed,

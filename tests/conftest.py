@@ -1,4 +1,8 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+(The pipeline-cache isolation fixture lives in the repo-root
+``conftest.py`` so it also covers ``benchmarks/``.)
+"""
 
 import numpy as np
 import pytest

@@ -1,5 +1,7 @@
 """Tests for the precision policy, the CLI runner, and the ablations."""
 
+import json
+
 import pytest
 
 from repro.experiments.policy import choose_weight_bits
@@ -31,6 +33,17 @@ class TestPolicy:
             choose_weight_bits("gpu", "opt-1.3b", "generative")
 
 
+@pytest.fixture(autouse=True)
+def _fresh_engine_singleton():
+    """main() reconfigures the global engine; reset afterwards (closes
+    any worker pool, drops memos) so other tests fall back to the
+    env-default (session tmp) cache."""
+    yield
+    from repro import pipeline
+
+    pipeline.reset()
+
+
 class TestRunnerCLI:
     def test_list(self, capsys):
         assert main(["--list"]) == 0
@@ -43,6 +56,31 @@ class TestRunnerCLI:
     def test_runs_experiment(self, capsys):
         assert main(["table10"]) == 0
         assert "Table X" in capsys.readouterr().out
+
+    def test_unknown_experiment_lists_known(self):
+        with pytest.raises(KeyError, match="unknown experiment 'table99'"):
+            main(["table99"])
+
+    def test_json_output(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main(["table10", "--json", str(out_dir), "--cache-dir", str(tmp_path / "c")]) == 0
+        payload = json.loads((out_dir / "table10.json").read_text())
+        assert payload["experiment"] == "table10"
+        assert payload["columns"][0] == "design"
+        assert payload["rows"]
+        meta = json.loads((out_dir / "_run_meta.json").read_text())
+        assert meta["experiments"] == ["table10"]
+        assert meta["wall_seconds"] > 0
+        assert {"hits", "misses", "hit_rate", "computed"} <= set(meta["cache"])
+
+    def test_no_cache_flag(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["table10", "--no-cache", "--cache-dir", str(cache)]) == 0
+        assert not cache.exists() or list(cache.rglob("*.json")) == []
+
+    def test_jobs_flag_accepted(self, tmp_path, capsys):
+        assert main(["fig01", "--quick", "--jobs", "2", "--cache-dir", str(tmp_path)]) == 0
+        assert "Fig. 1" in capsys.readouterr().out
 
 
 class TestAblations:

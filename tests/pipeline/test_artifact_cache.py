@@ -1,0 +1,96 @@
+"""Tests for building serve artifacts from the quantized-weight cache."""
+
+import numpy as np
+import pytest
+
+from repro.models.transformer import CausalLM
+from repro.models.zoo import get_model_config
+from repro.pipeline.store import CacheStore
+from repro.quant.config import QuantConfig
+from repro.serve.artifact import (
+    load_artifact,
+    pack_model,
+    pack_tensor_cached,
+    save_artifact,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CausalLM(get_model_config("opt-1.3b"), seed=0)
+
+
+def _assert_packed_equal(a, b):
+    assert a.dtype_name == b.dtype_name
+    assert a.bits == b.bits
+    assert a.shape == b.shape
+    assert a.group_size == b.group_size
+    assert a.groups_per_channel == b.groups_per_channel
+    assert a.element_data == b.element_data
+    np.testing.assert_array_equal(a.sf_codes, b.sf_codes)
+    np.testing.assert_array_equal(a.channel_scales, b.channel_scales)
+    if a.sv_selectors is None:
+        assert b.sv_selectors is None
+    else:
+        np.testing.assert_array_equal(a.sv_selectors, b.sv_selectors)
+    if a.zeros is None:
+        assert b.zeros is None
+    else:
+        np.testing.assert_array_equal(a.zeros, b.zeros)
+
+
+@pytest.mark.parametrize("dtype", ["bitmod_fp4", "int4_asym", "fp4"])
+def test_cached_pack_round_trip_byte_identical(tmp_path, model, dtype):
+    """Cache miss then hit: the reloaded image equals the direct pack."""
+    store = CacheStore(tmp_path)
+    cfg = QuantConfig(dtype=dtype)
+    w = next(iter(model.named_linears().values()))
+    direct = pack_tensor_cached(w, cfg, store=None)
+    miss = pack_tensor_cached(w, cfg, store=store)  # computes + writes
+    hit = pack_tensor_cached(w, cfg, store=store)  # pure reload
+    assert store.hits == 1
+    _assert_packed_equal(direct, miss)
+    _assert_packed_equal(direct, hit)
+
+
+def test_pack_model_second_build_all_hits(tmp_path, model):
+    store = CacheStore(tmp_path)
+    cfg = QuantConfig(dtype="bitmod_fp3")
+    packed1, raw1 = pack_model(model, cfg, store=store)
+    assert store.hits == 0
+    packed2, _raw2 = pack_model(model, cfg, store=store)
+    assert store.hits == len(packed1)
+    for name in packed1:
+        _assert_packed_equal(packed1[name], packed2[name])
+    assert set(raw1) == set(model.weights) - set(packed1)
+
+
+def test_save_artifact_from_cache_loads_identically(tmp_path, model):
+    store = CacheStore(tmp_path / "cache")
+    cfg = QuantConfig(dtype="bitmod_fp4")
+    cold = save_artifact(tmp_path / "cold.rsrv", model, cfg, store=store)
+    warm = save_artifact(tmp_path / "warm.rsrv", model, cfg, store=store)
+    assert (tmp_path / "cold.rsrv").read_bytes() == (tmp_path / "warm.rsrv").read_bytes()
+    loaded = load_artifact(tmp_path / "warm.rsrv")
+    for name in cold.packed:
+        _assert_packed_equal(cold.packed[name], warm.packed[name])
+        _assert_packed_equal(cold.packed[name], loaded.packed[name])
+    ref = cold.instantiate()
+    out = loaded.instantiate()
+    for name, w in ref.weights.items():
+        np.testing.assert_array_equal(out.weights[name], w)
+
+
+def test_weight_content_addresses_cache(tmp_path, model):
+    """Different weights or configs never alias a cache entry."""
+    store = CacheStore(tmp_path)
+    cfg = QuantConfig(dtype="int4_asym")
+    linears = model.named_linears()
+    names = list(linears)
+    a = pack_tensor_cached(linears[names[0]], cfg, store=store)
+    b = pack_tensor_cached(linears[names[1]], cfg, store=store)
+    assert store.hits == 0  # two distinct tensors, two distinct addresses
+    c = pack_tensor_cached(linears[names[0]], cfg.with_(group_size=64), store=store)
+    assert store.hits == 0
+    assert a.element_data != b.element_data or a.channel_scales.tobytes() != b.channel_scales.tobytes()
+    assert c.group_size == 64

@@ -1,0 +1,118 @@
+"""Tests for the cell engine: dedup, caching, parallel equivalence."""
+
+import pytest
+
+from repro.pipeline import CellGrid, CellSpec, Engine, cell_key
+from repro.pipeline.store import CacheStore
+from repro.quant.config import QuantConfig
+
+_SPEC = CellSpec(model="opt-1.3b", dataset="wikitext", quant=QuantConfig(dtype="int4_asym"))
+
+
+class TestCellKeys:
+    def test_key_distinguishes_cells(self):
+        base = _SPEC
+        assert cell_key(base) != cell_key(
+            CellSpec(model="phi-2b", quant=base.quant)
+        )
+        assert cell_key(base) != cell_key(
+            CellSpec(model=base.model, dataset="c4", quant=base.quant)
+        )
+        assert cell_key(base) != cell_key(
+            CellSpec(model=base.model, quant=QuantConfig(dtype="int3_asym"))
+        )
+        assert cell_key(base) != cell_key(
+            CellSpec(model=base.model, quant=base.quant, method="awq")
+        )
+        assert cell_key(base) != cell_key(
+            CellSpec(model=base.model, quant=base.quant, quick=True)
+        )
+
+    def test_unknown_kind_rejected(self):
+        from repro.pipeline.cells import compute_cell
+
+        with pytest.raises(ValueError, match="unknown cell kind"):
+            compute_cell(CellSpec(model="opt-1.3b", kind="bogus"))
+
+
+class TestEngineCaching:
+    def test_duplicates_computed_once(self, tmp_path):
+        engine = Engine(store=CacheStore(tmp_path))
+        out = engine.run([_SPEC, _SPEC, _SPEC])
+        assert len(out) == 3
+        assert out[0] == out[1] == out[2]
+        assert engine.computed == 1
+
+    def test_warm_run_hits_disk(self, tmp_path):
+        cold = Engine(store=CacheStore(tmp_path))
+        first = cold.run([_SPEC])
+        warm = Engine(store=CacheStore(tmp_path))
+        second = warm.run([_SPEC])
+        assert second == first
+        assert warm.computed == 0
+        assert warm.store.hits == 1
+
+    def test_no_cache_recomputes(self, tmp_path):
+        a = Engine(store=CacheStore(tmp_path, enabled=False))
+        b = Engine(store=CacheStore(tmp_path, enabled=False))
+        assert a.run([_SPEC]) == b.run([_SPEC])
+        assert a.computed == b.computed == 1
+        assert list(tmp_path.rglob("*.json")) == []
+
+    def test_fp16_anchor(self):
+        engine = Engine(store=CacheStore(enabled=False))
+        assert engine.fp16_ppl("llama-2-7b", "wikitext") == pytest.approx(5.47)
+
+    def test_fp16_cell_matches_anchor(self, tmp_path):
+        engine = Engine(store=CacheStore(tmp_path))
+        (res,) = engine.run([CellSpec(model="llama-2-7b", dataset="wikitext")])
+        assert res["ppl"] == pytest.approx(5.47)
+        assert res["divergence"] == 0.0
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_serial(self, tmp_path):
+        grid = CellGrid(
+            rows=tuple(
+                (dt, QuantConfig(dtype=dt)) for dt in ("int4_asym", "bitmod_fp4")
+            ),
+            models=("opt-1.3b", "phi-2b"),
+            datasets=("wikitext",),
+        )
+        serial = Engine(store=CacheStore(tmp_path / "serial"), jobs=1)
+        with Engine(store=CacheStore(tmp_path / "parallel"), jobs=2) as parallel:
+            rs = serial.run_grid(grid)
+            rp = parallel.run_grid(grid)
+        assert rs == rp
+        assert parallel.computed == len(grid.specs())
+
+    def test_parallel_results_persisted_by_workers(self, tmp_path):
+        grid = CellGrid(
+            rows=(("int4_asym", QuantConfig(dtype="int4_asym")),),
+            models=("opt-1.3b", "phi-2b"),
+            datasets=("wikitext",),
+        )
+        with Engine(store=CacheStore(tmp_path), jobs=2) as cold:
+            first = cold.run_grid(grid)
+        with Engine(store=CacheStore(tmp_path), jobs=2) as warm:
+            second = warm.run_grid(grid)
+        assert second == first
+        assert warm.computed == 0
+
+
+class TestExperimentEquivalence:
+    """Satellite requirement: parallel vs serial ExperimentResult rows."""
+
+    def test_table02_quick_rows_identical(self, tmp_path, monkeypatch):
+        from repro.experiments.runner import run_experiment
+        from repro.pipeline import engine as engine_mod
+
+        monkeypatch.setattr(
+            engine_mod, "_ENGINE", Engine(store=CacheStore(tmp_path / "s"), jobs=1)
+        )
+        serial = run_experiment("table02", quick=True)
+        with Engine(store=CacheStore(tmp_path / "p"), jobs=2) as par_engine:
+            monkeypatch.setattr(engine_mod, "_ENGINE", par_engine)
+            parallel = run_experiment("table02", quick=True)
+        assert serial.columns == parallel.columns
+        assert serial.rows == parallel.rows

@@ -1,0 +1,67 @@
+"""Tests for the content-addressed on-disk store."""
+
+import numpy as np
+
+from repro.pipeline.store import CacheStore
+
+
+class TestJsonRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put_json("cells", "ab" * 8, {"ppl": 1.5, "divergence": 0.01})
+        assert store.get_json("cells", "ab" * 8) == {"ppl": 1.5, "divergence": 0.01}
+
+    def test_miss_returns_none(self, tmp_path):
+        store = CacheStore(tmp_path)
+        assert store.get_json("cells", "ff" * 8) is None
+        assert store.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = CacheStore(tmp_path)
+        key = "cd" * 8
+        path = store.path_for("cells", key, ".json")
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json", encoding="utf-8")
+        assert store.get_json("cells", key) is None
+
+    def test_stats(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put_json("cells", "aa" * 8, {"x": 1})
+        store.get_json("cells", "aa" * 8)
+        store.get_json("cells", "bb" * 8)
+        s = store.stats()
+        assert s["hits"] == 1 and s["misses"] == 1 and s["hit_rate"] == 0.5
+
+
+class TestArrayRoundTrip:
+    def test_byte_identical(self, tmp_path, rng):
+        store = CacheStore(tmp_path)
+        arrays = {
+            "codes": rng.integers(0, 255, size=(16, 32), dtype=np.uint8),
+            "scales": rng.standard_normal((16, 1)),
+        }
+        store.put_arrays("packed", "ee" * 8, arrays)
+        out = store.get_arrays("packed", "ee" * 8)
+        assert set(out) == {"codes", "scales"}
+        for name in arrays:
+            assert out[name].dtype == arrays[name].dtype
+            assert out[name].tobytes() == arrays[name].tobytes()
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put_arrays("packed", "11" * 8, {"a": np.zeros(4)})
+        store.put_arrays("packed", "11" * 8, {"a": np.ones(4)})
+        out = store.get_arrays("packed", "11" * 8)
+        np.testing.assert_array_equal(out["a"], np.ones(4))
+
+
+class TestDisabledStore:
+    def test_never_reads_or_writes(self, tmp_path):
+        store = CacheStore(tmp_path, enabled=False)
+        store.put_json("cells", "aa" * 8, {"x": 1})
+        assert store.get_json("cells", "aa" * 8) is None
+        store.put_arrays("packed", "bb" * 8, {"a": np.zeros(2)})
+        assert store.get_arrays("packed", "bb" * 8) is None
+        # Nothing on disk.
+        assert list(tmp_path.rglob("*.json")) == []
+        assert list(tmp_path.rglob("*.npz")) == []
