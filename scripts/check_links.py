@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Markdown link checker for the docs tree.
+
+Verifies that every local link target in the given markdown files
+exists on disk (relative to the file containing the link).  External
+``http(s)``/``mailto`` links are recorded but not fetched (CI must
+not depend on the network), and pure in-page anchors are skipped.
+
+Usage::
+
+    python scripts/check_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links [text](target) — excluding images' leading '!' is not
+# needed (image targets must exist too).
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def iter_links(text: str):
+    """Yield (line_number, target) pairs outside fenced code blocks."""
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in _LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(path: Path) -> tuple:
+    """Return ``(problems, n_links)``: a list of (lineno, target,
+    reason) problems plus the number of links seen (one parse)."""
+    problems = []
+    n_links = 0
+    text = path.read_text(encoding="utf-8")
+    for lineno, target in iter_links(text):
+        n_links += 1
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            continue  # in-page anchor
+        local = target.split("#", 1)[0]
+        if not local:
+            continue
+        resolved = (path.parent / local).resolve()
+        if not resolved.exists():
+            problems.append((lineno, target, f"missing file {local!r}"))
+    return problems, n_links
+
+
+def main(argv) -> int:
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    total_links = 0
+    failures = 0
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            print(f"{name}: file not found", file=sys.stderr)
+            failures += 1
+            continue
+        problems, n_links = check_file(path)
+        total_links += n_links
+        for lineno, target, reason in problems:
+            print(f"{name}:{lineno}: broken link {target!r} ({reason})")
+            failures += 1
+    print(f"checked {total_links} links in {len(argv)} files: "
+          f"{'OK' if failures == 0 else f'{failures} broken'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Extract ``>>>`` doctest blocks from markdown code fences.
+
+Pulls every fenced ```python block that contains doctest prompts out
+of the given markdown files and prints them as one doctest-able text
+document (the CI ``docs`` job pipes this into ``python -m doctest``)::
+
+    python scripts/extract_doctests.py docs/dse.md > dse_doctests.txt
+    PYTHONPATH=src python -m doctest dse_doctests.txt
+
+Blocks without ``>>>`` (plain examples, JSON schemas, shell snippets)
+are ignored.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_OPENERS = ("```python", "```py", "~~~python")
+
+
+def extract(text: str) -> list:
+    """Doctest-bearing python blocks of one markdown document."""
+    blocks = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        stripped = lines[i].strip()
+        if stripped in _OPENERS:
+            fence = stripped[:3]
+            body = []
+            i += 1
+            while i < len(lines) and lines[i].strip() != fence:
+                body.append(lines[i])
+                i += 1
+            if any(l.lstrip().startswith(">>>") for l in body):
+                blocks.append("\n".join(body))
+        i += 1
+    return blocks
+
+
+def main(argv) -> int:
+    if not argv:
+        print("usage: extract_doctests.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    n_blocks = 0
+    for name in argv:
+        text = Path(name).read_text(encoding="utf-8")
+        for block in extract(text):
+            print(f"Doctest block {n_blocks + 1} (from {name}):")
+            print()
+            print(block)
+            print()
+            n_blocks += 1
+    if n_blocks == 0:
+        print(f"no doctest blocks found in {', '.join(argv)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

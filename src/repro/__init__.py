@@ -32,6 +32,13 @@ Subpackages
     incremental-decode inference engine, continuous batching, an
     asyncio serving front-end, and the bridge replaying served
     traffic through the accelerator model.
+``repro.pipeline``
+    The shared evaluation substrate: content-addressed cache keys and
+    store, per-process context memos, and the parallel cell engine.
+``repro.dse``
+    Design-space exploration: declarative accelerator spaces with
+    iso-area normalization, cached sweeps joining the hardware model
+    with pipeline accuracy cells, and Pareto-frontier reporting.
 """
 
 from repro.dtypes import DataType, get_dtype, list_dtypes

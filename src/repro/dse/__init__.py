@@ -1,0 +1,48 @@
+"""repro.dse — declarative accelerator design-space exploration.
+
+The paper evaluates one fixed accelerator point (16 tiles of 8x8
+bit-serial PEs under iso-compute-area); this subsystem sweeps the
+whole neighbourhood: parameter axes over :class:`~repro.hw.arch.
+ArchConfig` fields x datatype/precision choices x workloads, pushed
+through the analytical hardware model and the cached
+:mod:`repro.pipeline` accuracy cells, then reduced to Pareto
+frontiers over accuracy, latency, energy, EDP and area.
+
+* :mod:`repro.dse.space` — axes, validity constraints, iso-area
+  normalization, presets, space-file (de)serialization,
+* :mod:`repro.dse.sweep` — expansion into content-addressed design
+  points, cached evaluation, ``--jobs N`` cell fan-out,
+* :mod:`repro.dse.pareto` — non-dominated filtering over arbitrary
+  objective tuples (min/max per axis),
+* :mod:`repro.dse.report` — frontier tables (ASCII/CSV/JSON/markdown)
+  and per-point detail,
+* :mod:`repro.dse.cli` — the ``bitmod-repro dse`` entry point.
+
+See ``docs/dse.md`` for the space-file schema and a worked example.
+"""
+
+from repro.dse.pareto import dominates, pareto_front, pareto_indices
+from repro.dse.space import (
+    PRESETS,
+    DatatypeChoice,
+    DesignSpace,
+    get_preset,
+    paper_tile_costs,
+)
+from repro.dse.sweep import DesignPoint, SweepResult, point_key, run_points, run_sweep
+
+__all__ = [
+    "dominates",
+    "pareto_front",
+    "pareto_indices",
+    "DatatypeChoice",
+    "DesignSpace",
+    "PRESETS",
+    "get_preset",
+    "paper_tile_costs",
+    "DesignPoint",
+    "SweepResult",
+    "point_key",
+    "run_points",
+    "run_sweep",
+]

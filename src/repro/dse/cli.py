@@ -1,0 +1,208 @@
+"""``bitmod-repro dse`` — the design-space exploration CLI.
+
+Usage::
+
+    bitmod-repro dse --preset paper-pareto --jobs 4
+    bitmod-repro dse --preset smoke --quick --markdown frontier.md
+    bitmod-repro dse --space myspace.json --csv points.csv --json sweep.json
+    bitmod-repro dse --preset bandwidth --objectives edp:min,speedup:max
+    bitmod-repro dse --list-presets
+
+The sweep reuses the pipeline cache: accuracy cells and design-point
+records are content-addressed under ``--cache-dir`` (default
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), so a warm rerun replays
+from disk and ``--jobs N`` fans cold accuracy cells over workers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+__all__ = ["main"]
+
+
+def _parse_objectives(text: str):
+    """Parse ``ppl:min,edp:min`` into (objectives, senses)."""
+    objectives, senses = [], []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" in part:
+            obj, sense = part.rsplit(":", 1)
+        else:
+            obj, sense = part, "min"
+        objectives.append(obj.strip())
+        senses.append(sense.strip())
+    if not objectives:
+        raise ValueError("--objectives must name at least one record field")
+    for s in senses:
+        if s not in ("min", "max"):
+            raise ValueError(
+                f"objective sense must be 'min' or 'max', got {s!r}"
+            )
+    return tuple(objectives), tuple(senses)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bitmod-repro dse",
+        description="Sweep accelerator design spaces and report Pareto frontiers.",
+    )
+    src = parser.add_mutually_exclusive_group()
+    src.add_argument(
+        "--preset",
+        metavar="NAME",
+        default=None,
+        help="curated design space (see --list-presets)",
+    )
+    src.add_argument(
+        "--space",
+        metavar="FILE.json",
+        default=None,
+        help="design-space description file (schema: docs/dse.md)",
+    )
+    parser.add_argument(
+        "--list-presets", action="store_true", help="list preset names and sizes"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="key accuracy cells in the quick-mode cache namespace, "
+        "shared with 'bitmod-repro --quick' experiment cells",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate accuracy cells on N worker processes",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="pipeline cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the cache",
+    )
+    parser.add_argument(
+        "--objectives",
+        metavar="OBJ:SENSE,...",
+        default="ppl:min,edp:min",
+        help="frontier objectives, e.g. 'ppl:min,edp:min' or "
+        "'edp:min,speedup:max' (default: ppl:min,edp:min)",
+    )
+    parser.add_argument(
+        "--all-points",
+        action="store_true",
+        help="print every point instead of only the frontier",
+    )
+    parser.add_argument(
+        "--csv", metavar="FILE", default=None, help="write all points as CSV"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write stats + space + all records as JSON",
+    )
+    parser.add_argument(
+        "--markdown",
+        metavar="FILE",
+        default=None,
+        help="write the frontier as a markdown table",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.dse.space import PRESETS, get_preset, load_space
+
+    if args.list_presets:
+        for name, space in sorted(PRESETS.items()):
+            print(
+                f"{name}: {space.n_candidates()} candidate points "
+                f"({len(space.datatypes)} datatypes x {len(space.models)} "
+                f"models x {len(space.tasks)} tasks)"
+            )
+        return 0
+
+    if args.preset is None and args.space is None:
+        parser.print_help()
+        return 1
+
+    try:
+        objectives, senses = _parse_objectives(args.objectives)
+        if args.space is not None:
+            space = load_space(args.space)
+            if args.quick and not space.quick:
+                space = space.with_(quick=True)
+        else:
+            space = get_preset(args.preset, quick=args.quick or None)
+    except (KeyError, ValueError, OSError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    from repro.dse.report import (
+        frontier_records,
+        frontier_table,
+        to_csv,
+        to_json,
+        to_markdown,
+    )
+    from repro.dse.sweep import run_sweep
+    from repro.pipeline import configure
+
+    engine = configure(
+        jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache
+    )
+    try:
+        result = run_sweep(space, engine=engine)
+    finally:
+        engine.close()
+
+    try:
+        front = frontier_records(result, objectives, senses)
+    except KeyError as e:
+        print(f"error: {e.args[0]}", file=sys.stderr)
+        return 2
+    table = frontier_table(
+        result,
+        objectives,
+        senses,
+        frontier_only=not args.all_points,
+        records=None if args.all_points else front,
+    )
+    print(table)
+    print()
+    s = result.stats()
+    cache = engine.stats()
+    print(
+        f"{s['points']} points ({s['computed']} computed, {s['cached']} "
+        f"cached, {s['skipped']} skipped) in {s['wall_seconds']:.1f}s; "
+        f"store hit rate {cache['hit_rate']:.0%} (dse records + cells)"
+    )
+
+    outputs = [
+        (args.csv, lambda: to_csv(result.records)),
+        (args.json, lambda: to_json(result)),
+        (args.markdown, lambda: to_markdown(front)),
+    ]
+    for dest, render in outputs:
+        if dest is None:
+            continue
+        try:
+            Path(dest).write_text(render(), encoding="utf-8")
+        except OSError as e:
+            print(f"error: cannot write {dest!r}: {e}", file=sys.stderr)
+            return 2
+        print(f"wrote {dest}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""Non-dominated (Pareto) filtering over arbitrary objective tuples.
+
+Generalizes the frontier logic that used to live only in the Fig. 9
+evaluation: any number of objectives, each independently minimized or
+maximized.  The conventions:
+
+* a point **dominates** another iff it is no worse on *every*
+  objective and strictly better on at least one;
+* exact ties on all objectives dominate in neither direction, so
+  duplicated points are all kept on the frontier;
+* a point with a NaN objective is incomparable — it neither dominates
+  nor appears on the frontier (``pareto_indices`` drops it).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+__all__ = ["dominates", "pareto_indices", "pareto_front"]
+
+_SENSES = ("min", "max")
+
+
+def _signed(row: Sequence[float], senses: Sequence[str]) -> Tuple[float, ...]:
+    """Map a row to all-minimization form (negate ``max`` axes)."""
+    return tuple(
+        -float(v) if s == "max" else float(v) for v, s in zip(row, senses)
+    )
+
+
+def _check(rows: Sequence[Sequence[float]], senses: Sequence[str]) -> None:
+    for s in senses:
+        if s not in _SENSES:
+            raise ValueError(f"objective sense must be 'min' or 'max', got {s!r}")
+    for row in rows:
+        if len(row) != len(senses):
+            raise ValueError(
+                f"objective tuple {tuple(row)!r} has {len(row)} values "
+                f"but {len(senses)} senses were given"
+            )
+
+
+def _dominates_signed(sa: Sequence[float], sb: Sequence[float]) -> bool:
+    """Dominance in all-minimization form (the one shared predicate)."""
+    return all(x <= y for x, y in zip(sa, sb)) and any(
+        x < y for x, y in zip(sa, sb)
+    )
+
+
+def dominates(
+    a: Sequence[float], b: Sequence[float], senses: Sequence[str]
+) -> bool:
+    """True iff ``a`` dominates ``b`` under the per-axis ``senses``.
+
+    ``senses`` holds ``"min"`` or ``"max"`` per objective.  Ties on
+    every axis (or any NaN on either side) return False.
+    """
+    _check((a, b), senses)
+    sa, sb = _signed(a, senses), _signed(b, senses)
+    if any(math.isnan(v) for v in sa + sb):
+        return False
+    return _dominates_signed(sa, sb)
+
+
+def pareto_indices(
+    rows: Sequence[Sequence[float]], senses: Sequence[str]
+) -> List[int]:
+    """Indices of the non-dominated rows, in input order.
+
+    Rows containing NaN are excluded from the frontier (they carry no
+    usable objective value) but never knock other rows off it.
+    """
+    _check(rows, senses)
+    signed = [_signed(r, senses) for r in rows]
+    valid = [i for i, r in enumerate(signed) if not any(math.isnan(v) for v in r)]
+    front: List[int] = []
+    for i in valid:
+        ri = signed[i]
+        if not any(
+            _dominates_signed(signed[j], ri) for j in valid if j != i
+        ):
+            front.append(i)
+    return front
+
+
+def pareto_front(
+    records: Sequence[dict],
+    objectives: Sequence[str],
+    senses: Sequence[str],
+) -> List[dict]:
+    """Non-dominated subset of ``records``, keyed by named objectives.
+
+    ``records`` are dicts (e.g. :mod:`repro.dse.sweep` point records);
+    ``objectives`` names the keys to compare and ``senses`` gives
+    ``"min"``/``"max"`` per key.  ``None`` values (sim-only points
+    carry ``ppl=None``) count as NaN — such records are incomparable
+    and never reach the frontier.  An objective key absent from
+    *every* record is a :class:`KeyError` (almost certainly a typo),
+    not an empty frontier.
+    """
+    if records:
+        known = set()
+        for r in records:
+            known.update(r)
+        unknown = [obj for obj in objectives if obj not in known]
+        if unknown:
+            raise KeyError(
+                f"unknown objective key(s) {', '.join(map(repr, unknown))}; "
+                f"record fields: {', '.join(sorted(known))}"
+            )
+    nan = float("nan")
+
+    def _value(r: dict, obj: str) -> float:
+        v = r.get(obj)
+        return nan if v is None else float(v)
+
+    rows = [tuple(_value(r, obj) for obj in objectives) for r in records]
+    return [records[i] for i in pareto_indices(rows, senses)]

@@ -1,0 +1,281 @@
+"""Sweep execution: cached, deduplicated design-point evaluation.
+
+Every :class:`~repro.dse.space.DesignPoint` reduces to a content
+address (:func:`point_key`, the same ``stable_digest`` machinery the
+pipeline cells use), so sweeps are deduplicated, resumable, and a
+warm rerun is pure JSON replay from the
+:class:`~repro.pipeline.store.CacheStore` under the ``dse/`` kind.
+
+A point's evaluation has two halves:
+
+* **accuracy** — one :class:`~repro.pipeline.cells.CellSpec` per
+  (model, datatype, granularity, quick) through the shared
+  :class:`~repro.pipeline.engine.Engine`; many architecture variants
+  share one cell, and the engine fans misses over ``--jobs N``
+  workers and its own on-disk cache;
+* **hardware** — the analytical simulator
+  (:func:`repro.hw.simulator.simulate`) on the point's concrete
+  :class:`~repro.hw.arch.ArchConfig`, normalized against the FP16
+  baseline accelerator on the same workload.
+
+:func:`run_points` is the low-level entry (a plain list of points —
+the ported Fig. 7/8 experiments are thin views over it);
+:func:`run_sweep` expands a whole :class:`~repro.dse.space.DesignSpace`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dse.space import DesignPoint, DesignSpace
+from repro.hw.baselines import AcceleratorSpec, make_accelerator
+from repro.hw.simulator import SimResult, simulate
+from repro.models.zoo import get_model_config
+from repro.pipeline.cells import CellSpec, cell_key
+from repro.pipeline.keys import stable_digest
+from repro.pipeline.store import CacheStore
+from repro.quant.config import QuantConfig
+
+__all__ = [
+    "DSE_KIND",
+    "DesignPoint",
+    "SweepResult",
+    "accelerator_for",
+    "point_key",
+    "run_points",
+    "run_sweep",
+]
+
+#: Store namespace for design-point records.
+DSE_KIND = "dse"
+
+#: Bump when the record layout or evaluation semantics change.
+DSE_SCHEMA_VERSION = 1
+
+
+def point_key(point: DesignPoint) -> str:
+    """Content address of one design point (every field participates).
+
+    Besides the point itself, the digest covers the full
+    :class:`~repro.models.config.ModelConfig` (not just the model
+    name), the FP16 baseline accelerator every record is normalized
+    against, and the content address of the accuracy cell the point
+    joins (``CELL_SCHEMA_VERSION``, evaluator batch/seq/sensitivity,
+    dataset) — editing any of them must invalidate cached records,
+    exactly as the pipeline cells key on ``ModelConfig.cache_key()``.
+    """
+    spec = _cell_spec(point)
+    return stable_digest(
+        {
+            "v": DSE_SCHEMA_VERSION,
+            "point": point,
+            "model_config": get_model_config(point.model).cache_key(),
+            "baseline": make_accelerator("fp16"),
+            "cell": None if spec is None else cell_key(spec),
+        }
+    )
+
+
+def accelerator_for(point: DesignPoint) -> AcceleratorSpec:
+    """The :class:`AcceleratorSpec` a point's simulation runs on."""
+    return AcceleratorSpec(
+        name=point.arch.name,
+        arch=point.arch,
+        supported_bits=(point.weight_bits,),
+        macs_per_cycle=point.macs_per_cycle,
+        kv_bits=point.kv_bits,
+    )
+
+
+@lru_cache(maxsize=None)
+def _fp16_baseline(model: str, task: str) -> SimResult:
+    """FP16 iso-area baseline run every point normalizes against."""
+    return simulate(get_model_config(model), make_accelerator("fp16"), task, 16)
+
+
+def _cell_spec(point: DesignPoint) -> Optional[CellSpec]:
+    """The accuracy cell a point needs (None for sim-only points)."""
+    if point.dtype is None:
+        return None
+    return CellSpec(
+        model=point.model,
+        dataset="wikitext",
+        quant=QuantConfig(
+            dtype=point.dtype.dtype,
+            granularity=point.dtype.granularity,
+            group_size=point.group_size,
+        ),
+        quick=point.quick,
+    )
+
+
+def _evaluate(point: DesignPoint, cell: Optional[dict]) -> dict:
+    """Compute one point's record (hardware sim + accuracy join)."""
+    cfg = get_model_config(point.model)
+    r = simulate(
+        cfg,
+        accelerator_for(point),
+        point.task,
+        point.weight_bits,
+        group_size=point.group_size,
+    )
+    base = _fp16_baseline(point.model, point.task)
+    freq = point.arch.frequency_ghz
+    time_ms = r.cycles / (freq * 1e9) * 1e3
+    edp = r.energy.total_uj * time_ms
+    base_edp = base.energy.total_uj * base.time_ms
+    arch = point.arch
+    record = {
+        "space": point.space,
+        "model": point.model,
+        "task": point.task,
+        "bits": point.weight_bits,
+        "dtype": None if point.dtype is None else point.dtype.dtype,
+        "granularity": None if point.dtype is None else point.dtype.granularity,
+        "arch": {
+            "name": arch.name,
+            "pe_rows": arch.pe_rows,
+            "pe_cols": arch.pe_cols,
+            "n_pes": arch.n_pes,
+            "pe_lanes": arch.pe_lanes,
+            "pes_per_tile": arch.pes_per_tile,
+            "frequency_ghz": arch.frequency_ghz,
+            "dram_gbps": arch.dram_gbps,
+            "weight_buffer_kb": arch.weight_buffer_kb,
+            "input_buffer_kb": arch.input_buffer_kb,
+        },
+        "area_mm2": arch.compute_area_um2() / 1e6,
+        "cycles": r.cycles,
+        "time_ms": time_ms,
+        "dram_uj": r.energy.dram_uj,
+        "buffer_uj": r.energy.buffer_uj,
+        "core_uj": r.energy.core_uj,
+        "total_uj": r.energy.total_uj,
+        "edp": edp,
+        "speedup": base.time_ms / time_ms,
+        "energy_norm": r.energy.total_uj / base.energy.total_uj,
+        "edp_norm": edp / base_edp,
+        "ppl": None,
+        "fp16_ppl": None,
+        "dppl": None,
+    }
+    if cell is not None:
+        record["ppl"] = cell["ppl"]
+        record["fp16_ppl"] = cell["fp16_ppl"]
+        record["dppl"] = cell["ppl"] - cell["fp16_ppl"]
+    return record
+
+
+def run_points(
+    points: Sequence[DesignPoint],
+    engine=None,
+    store: Optional[CacheStore] = None,
+) -> Tuple[List[dict], int]:
+    """Evaluate ``points``; returns ``(records, n_computed)``.
+
+    Records align with the input order; duplicate points (same content
+    address) are evaluated once.  ``store`` defaults to the engine's
+    cache store, so the CLI's ``--cache-dir``/``--no-cache`` apply to
+    design-point records and accuracy cells alike.  Accuracy cells run
+    through ``engine.run`` and therefore fan out over its ``--jobs N``
+    worker pool.
+    """
+    if engine is None:
+        from repro.pipeline import get_engine
+
+        engine = get_engine()
+    if store is None:
+        store = engine.store
+
+    keys = [point_key(p) for p in points]
+    unique: Dict[str, DesignPoint] = {}
+    for k, p in zip(keys, points):
+        unique.setdefault(k, p)
+
+    records: Dict[str, dict] = {}
+    missing: List[Tuple[str, DesignPoint]] = []
+    for k, p in unique.items():
+        cached = store.get_json(DSE_KIND, k)
+        if cached is not None:
+            records[k] = cached
+        else:
+            missing.append((k, p))
+
+    if missing:
+        # One engine pass for every accuracy cell the misses need;
+        # the engine deduplicates and parallelizes.
+        specs = [_cell_spec(p) for _k, p in missing]
+        needed = [s for s in specs if s is not None]
+        cells = iter(engine.run(needed)) if needed else iter(())
+        for (k, p), spec in zip(missing, specs):
+            cell = next(cells) if spec is not None else None
+            record = _evaluate(p, cell)
+            store.put_json(DSE_KIND, k, record)
+            records[k] = record
+
+    return [records[k] for k in keys], len(missing)
+
+
+@dataclass
+class SweepResult:
+    """Everything a finished sweep produced."""
+
+    space: DesignSpace
+    points: List[DesignPoint]
+    records: List[dict]
+    #: Rejected axis combinations with their constraint reasons.
+    skipped: List[Tuple[dict, str]] = field(default_factory=list)
+    #: Points evaluated this run (the rest replayed from cache).
+    computed: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def cached(self) -> int:
+        return len(self.records) - self.computed
+
+    def frontier(
+        self,
+        objectives: Sequence[str] = ("ppl", "edp"),
+        senses: Sequence[str] = ("min", "min"),
+    ) -> List[dict]:
+        """Non-dominated records under the named objectives.
+
+        Computed independently per (model, task) pair — EDP values of
+        different workloads are not comparable (see
+        :func:`repro.dse.report.frontier_records`).
+        """
+        from repro.dse.report import frontier_records
+
+        return frontier_records(self, objectives, senses)
+
+    def stats(self) -> dict:
+        return {
+            "space": self.space.name,
+            "points": len(self.records),
+            "skipped": len(self.skipped),
+            "computed": self.computed,
+            "cached": self.cached,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+def run_sweep(
+    space: DesignSpace,
+    engine=None,
+    store: Optional[CacheStore] = None,
+) -> SweepResult:
+    """Expand ``space`` and evaluate every valid design point."""
+    t0 = time.perf_counter()
+    points, skipped = space.points()
+    records, computed = run_points(points, engine=engine, store=store)
+    return SweepResult(
+        space=space,
+        points=points,
+        records=records,
+        skipped=skipped,
+        computed=computed,
+        wall_seconds=time.perf_counter() - t0,
+    )

@@ -1,12 +1,18 @@
-"""Fig. 8 — normalized energy breakdown (on-chip compute vs DRAM)."""
+"""Fig. 8 — normalized energy breakdown (on-chip compute vs DRAM).
+
+A thin view over the DSE engine: the same fixed ``paper-accels``
+design points as Fig. 7 (shared cache records via
+:func:`repro.experiments.fig07_speedup.paper_point`), read for their
+energy components instead of cycles.
+"""
 
 from __future__ import annotations
 
+from repro.dse.sweep import run_points
 from repro.experiments.common import ALL_MODELS, ExperimentResult
+from repro.experiments.fig07_speedup import paper_point
 from repro.experiments.policy import choose_weight_bits
 from repro.hw.baselines import make_accelerator
-from repro.hw.simulator import simulate
-from repro.models.zoo import get_model_config
 
 __all__ = ["run", "main"]
 
@@ -29,21 +35,30 @@ def run(quick: bool = False) -> ExperimentResult:
         "DRAM dominates generative energy; weight precision drives it.",
     )
     accels = {n: make_accelerator(n) for n in ("fp16", "ant", "olive", "bitmod")}
+
+    points = []
     for m in models:
-        cfg = get_model_config(m)
         for task in ("discriminative", "generative"):
-            base = simulate(cfg, accels["fp16"], task, 16)
+            points.append(paper_point(accels["fp16"], m, task, 16))
             for label, lossless in _CONFIGS:
                 accel_name = label.split("-")[0]
                 bits = choose_weight_bits(accel_name, m, task, lossless=lossless)
-                r = simulate(cfg, accels[accel_name], task, bits)
+                points.append(paper_point(accels[accel_name], m, task, bits))
+    records, _ = run_points(points)
+
+    it = iter(records)
+    for m in models:
+        for task in ("discriminative", "generative"):
+            base = next(it)
+            for label, _lossless in _CONFIGS:
+                r = next(it)
                 result.add_row(
                     m,
                     task,
                     label,
-                    r.energy.onchip_uj / base.energy.total_uj,
-                    r.energy.dram_uj / base.energy.total_uj,
-                    r.energy.total_uj / base.energy.total_uj,
+                    (r["buffer_uj"] + r["core_uj"]) / base["total_uj"],
+                    r["dram_uj"] / base["total_uj"],
+                    r["total_uj"] / base["total_uj"],
                 )
     return result
 

@@ -10,6 +10,7 @@ Usage::
     bitmod-repro --cache-dir /tmp/c table06   # explicit pipeline cache
     bitmod-repro --no-cache table06           # bypass the cache entirely
     bitmod-repro --list
+    bitmod-repro dse --preset paper-pareto    # design-space exploration
 
 Every experiment draws its evaluation cells from the shared
 :mod:`repro.pipeline` engine: unique (model × dataset × datatype ×
@@ -66,7 +67,31 @@ def run_experiment(name: str, quick: bool = False):
     return module.run(quick=quick)
 
 
+#: Runner options that consume the following token (a literal "dse"
+#: after one of these is an option value, not the subcommand).
+_VALUE_OPTIONS = {"--jobs", "--cache-dir", "--json"}
+
+
+def _dse_index(argv) -> int:
+    """Position of the ``dse`` subcommand token, or -1."""
+    for i, token in enumerate(argv):
+        if token == "dse" and (i == 0 or argv[i - 1] not in _VALUE_OPTIONS):
+            return i
+    return -1
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    dse_at = _dse_index(argv)
+    if dse_at >= 0:
+        # Design-space exploration has its own surface; delegate,
+        # keeping flags on either side of the subcommand token
+        # (the dse parser understands --jobs/--cache-dir/--no-cache).
+        from repro.dse.cli import main as dse_main
+
+        return dse_main(argv[:dse_at] + argv[dse_at + 1 :])
     parser = argparse.ArgumentParser(
         prog="bitmod-repro",
         description="Regenerate tables/figures of the BitMoD paper.",

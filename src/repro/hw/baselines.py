@@ -21,13 +21,30 @@ from typing import Tuple
 from repro.hw.arch import ArchConfig
 from repro.hw.energy import bitmod_pe_tile_cost, fp16_pe_tile_cost
 
-__all__ = ["AcceleratorSpec", "make_accelerator", "ACCELERATORS", "AREA_BUDGET_UM2"]
+__all__ = [
+    "AcceleratorSpec",
+    "make_accelerator",
+    "ACCELERATORS",
+    "AREA_BUDGET_UM2",
+    "ISO_AREA_SLACK",
+    "ARRAY_COLS",
+]
 
 _FP16_TILE = fp16_pe_tile_cost()
 _BITMOD_TILE = bitmod_pe_tile_cost()
 
 #: Iso-compute-area budget: the 4x4-tile FP16 baseline array.
 AREA_BUDGET_UM2 = 16 * _FP16_TILE.total_area
+
+#: Slack of the iso-area fit: the paper's Table X BitMoD array is ~4%
+#: larger than the 16-tile baseline yet still called "iso-compute".
+#: Shared with :mod:`repro.dse.space` so DSE sweeps stay area-
+#: comparable with the paper accelerators.
+ISO_AREA_SLACK = 1.05
+
+#: Systolic array width every fitted design keeps; rows absorb the PE
+#: count.  Shared with :mod:`repro.dse.space`.
+ARRAY_COLS = 32
 
 
 @dataclass(frozen=True)
@@ -63,12 +80,9 @@ class AcceleratorSpec:
 def _grid_for(pe_area: float, encoder_area_per_tile: float, pes_per_tile: int) -> Tuple[int, int]:
     """Rows/cols of the largest array fitting the area budget."""
     tile_area = pes_per_tile * pe_area + encoder_area_per_tile
-    # 5% slack mirrors the paper's Table X, where the 16-tile BitMoD
-    # array is ~4% larger than the 16-tile baseline ("iso-compute").
-    n_tiles = max(1, int((1.05 * AREA_BUDGET_UM2) // tile_area))
+    n_tiles = max(1, int((ISO_AREA_SLACK * AREA_BUDGET_UM2) // tile_area))
     n_pes = n_tiles * pes_per_tile
-    # Keep 32 columns (the systolic width); rows absorb the count.
-    cols = 32
+    cols = ARRAY_COLS
     rows = max(1, n_pes // cols)
     return rows, cols
 

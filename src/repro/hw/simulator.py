@@ -30,7 +30,21 @@ __all__ = ["SimResult", "simulate", "simulate_workload"]
 
 @dataclass
 class SimResult:
-    """Latency + energy of one workload run."""
+    """Latency + energy of one workload run.
+
+    Attributes
+    ----------
+    model, accelerator, task:
+        Identity of the simulated (model, accelerator, workload) triple.
+    weight_bits:
+        Weight precision the run used, in bits per weight.
+    cycles:
+        Total cycles of the workload (compute/memory overlap already
+        taken per pass).
+    energy:
+        :class:`~repro.hw.energy.EnergyBreakdown` in micro-joules,
+        split into DRAM / on-chip buffer / core(+encoder) components.
+    """
 
     model: str
     accelerator: str
@@ -41,11 +55,23 @@ class SimResult:
 
     @property
     def time_ms(self) -> float:
+        """Wall-clock latency in milliseconds **at 1 GHz**.
+
+        The paper evaluates every design at 1 GHz, so cycles map to
+        nanoseconds directly.  Design-space sweeps with a frequency
+        axis must divide by their own ``frequency_ghz`` instead (the
+        :mod:`repro.dse.sweep` records do).
+        """
         return self.cycles / 1e9 * 1e3  # 1 GHz
 
     @property
     def edp(self) -> float:
-        """Energy-delay product (uJ * ms)."""
+        """Energy-delay product in uJ * ms (lower is better).
+
+        The Fig. 9 Pareto metric: ``energy.total_uj * time_ms``.
+        Because both factors are normalized per request, EDP rewards
+        designs that are simultaneously fast *and* frugal.
+        """
         return self.energy.total_uj * self.time_ms
 
 
@@ -55,6 +81,7 @@ def _pass_result(
     weight_bits: float,
     m: int,
     context: int,
+    group_size: int = 128,
 ) -> tuple:
     """(cycles, energy) of one forward pass over ``m`` tokens."""
     arch = accel.arch
@@ -68,7 +95,11 @@ def _pass_result(
     gemms = cfg.block_gemms(m) + [cfg.lm_head_gemm(m)]
     for gemm in gemms:
         t = gemm_compute_cycles(
-            gemm, arch, terms_per_weight=terms, macs_per_cycle=accel.macs_per_cycle
+            gemm,
+            arch,
+            terms_per_weight=terms,
+            macs_per_cycle=accel.macs_per_cycle,
+            group_size=group_size,
         )
         compute_cycles += t.compute_cycles
         active_pe_cycles += t.active_pe_cycles
@@ -81,7 +112,11 @@ def _pass_result(
     # Attention activation-activation GEMMs at KV precision.
     for gemm in cfg.attention_gemms(m, context):
         t = gemm_compute_cycles(
-            gemm, arch, terms_per_weight=kv_terms, macs_per_cycle=accel.macs_per_cycle
+            gemm,
+            arch,
+            terms_per_weight=kv_terms,
+            macs_per_cycle=accel.macs_per_cycle,
+            group_size=group_size,
         )
         compute_cycles += t.compute_cycles
         active_pe_cycles += t.active_pe_cycles
@@ -111,15 +146,50 @@ def simulate(
     weight_bits: float,
     prompt_len: int = 256,
     gen_len: int = 256,
+    group_size: int = 128,
 ) -> SimResult:
-    """Simulate one request of the given task type."""
+    """Simulate one request of the given task type.
+
+    Parameters
+    ----------
+    cfg:
+        :class:`~repro.models.config.ModelConfig` supplying the
+        full-size GEMM shapes and DRAM traffic dimensions.
+    accel:
+        :class:`~repro.hw.baselines.AcceleratorSpec` — the
+        architecture, bit-serial term function, bit-parallel MAC rate,
+        and KV-cache precision.
+    task:
+        ``"discriminative"`` (one prefill pass over ``prompt_len``
+        tokens) or ``"generative"`` (prefill plus ``gen_len`` decode
+        steps, each refetching all weights).
+    weight_bits:
+        Weight precision in bits per weight (drives both the
+        bit-serial term count and the DRAM weight traffic).
+    prompt_len, gen_len:
+        Workload shape in tokens (paper Section V-A: 256/256).
+    group_size:
+        Weights per scaling-factor group (elements; 128 in the
+        paper), which sets the dequantization-stall cadence of the
+        bit-serial timing model.
+
+    Returns
+    -------
+    SimResult
+        Cycles plus the per-component
+        :class:`~repro.hw.energy.EnergyBreakdown` in uJ.
+    """
     if task == "discriminative":
-        cycles, energy = _pass_result(cfg, accel, weight_bits, prompt_len, prompt_len)
+        cycles, energy = _pass_result(
+            cfg, accel, weight_bits, prompt_len, prompt_len, group_size
+        )
     elif task == "generative":
-        cycles, energy = _pass_result(cfg, accel, weight_bits, prompt_len, prompt_len)
+        cycles, energy = _pass_result(
+            cfg, accel, weight_bits, prompt_len, prompt_len, group_size
+        )
         # Decode steps are near-identical; use the average context.
         avg_ctx = prompt_len + gen_len // 2
-        d_cycles, d_energy = _pass_result(cfg, accel, weight_bits, 1, avg_ctx)
+        d_cycles, d_energy = _pass_result(cfg, accel, weight_bits, 1, avg_ctx, group_size)
         cycles += gen_len * d_cycles
         energy = energy + EnergyBreakdown(
             dram_uj=gen_len * d_energy.dram_uj,
@@ -139,5 +209,10 @@ def simulate(
 
 
 def simulate_workload(cfg, accel, task, weight_bits, **kw) -> SimResult:
-    """Alias kept for the benchmark harness."""
+    """Alias of :func:`simulate` kept for the benchmark harness.
+
+    Accepts the same parameters: model config, accelerator spec, task
+    name, weight precision in bits, and the optional
+    ``prompt_len``/``gen_len`` token counts.
+    """
     return simulate(cfg, accel, task, weight_bits, **kw)

@@ -40,7 +40,32 @@ def gemm_compute_cycles(
     macs_per_cycle: float = 1.0,
     group_size: int = 128,
 ) -> GemmTiming:
-    """Compute cycles for ``gemm`` (already including count/repeat)."""
+    """Compute cycles for ``gemm`` (already including count/repeat).
+
+    Parameters
+    ----------
+    gemm:
+        :class:`~repro.models.config.GEMMShape`; its ``count`` and
+        ``repeat`` multipliers are folded into the returned cycles.
+    arch:
+        The PE array (grid dimensions, lanes, bit-serial flag).
+    terms_per_weight:
+        Bit-serial terms per weight (2-4; cycles per ``pe_lanes``-MAC
+        step).  Ignored for bit-parallel arrays.
+    macs_per_cycle:
+        MACs retired per cycle by one bit-parallel PE.  Ignored for
+        bit-serial arrays.
+    group_size:
+        Weights per scaling-factor group (128 in the paper); sets how
+        often a dequantization stall *could* occur.
+
+    Returns
+    -------
+    GemmTiming
+        ``compute_cycles`` (cycles), ``active_pe_cycles``
+        (PE-cycles, i.e. cycles x PEs actually busy — the quantity
+        per-PE power multiplies into pJ), and ``macs``.
+    """
     m_tiles = math.ceil(gemm.m / arch.pe_rows)
     n_tiles = math.ceil(gemm.n / arch.pe_cols)
     if arch.bit_serial:
@@ -68,9 +93,26 @@ def gemm_compute_cycles(
 def dequant_stalls(group_size: int, lanes: int, terms_per_weight: int, sf_bits: int = 8) -> int:
     """Pipeline stall cycles per group caused by dequantization.
 
-    Zero whenever the group dot product is at least as long as the
-    bit-serial scaling-factor multiply — true for every BitMoD
-    configuration (Section IV-B).
+    Parameters
+    ----------
+    group_size:
+        Weights per scaling-factor group (elements).
+    lanes:
+        Dot-product lanes of the PE (elements retired per term step).
+    terms_per_weight:
+        Bit-serial terms per weight (cycles per lane-group).
+    sf_bits:
+        Scaling-factor precision in bits; the bit-serial scale
+        multiply takes one cycle per bit, so 8-bit scales need 8
+        cycles of slack.
+
+    Returns
+    -------
+    int
+        Stall cycles per group: zero whenever the group dot product
+        (``group_size / lanes * terms_per_weight`` cycles) is at least
+        as long as the scaling-factor multiply — true for every BitMoD
+        configuration (Section IV-B).
     """
     group_cycles = (group_size // lanes) * terms_per_weight
     return max(0, sf_bits - group_cycles)

@@ -1,0 +1,46 @@
+"""Regression: the DSE-ported experiments must reproduce their
+pre-port output row for row.
+
+The golden files under ``tests/experiments/golden/`` were generated
+by the pre-port implementations of fig07/fig08/table10 (direct
+``simulate()`` calls); the ported versions are thin views over
+:mod:`repro.dse.sweep` and must produce byte-identical tables, both
+on a cold cache (records computed) and on a warm one (records
+replayed through the JSON store).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+CASES = [("fig07", True), ("fig08", True), ("table10", False)]
+
+
+def _golden(name: str) -> dict:
+    d = json.loads((GOLDEN_DIR / f"{name}.json").read_text(encoding="utf-8"))
+    d.pop("_quick")
+    return d
+
+
+@pytest.mark.parametrize("name,quick", CASES)
+def test_ported_experiment_matches_seed_output(name, quick):
+    golden = _golden(name)
+    got = run_experiment(name, quick=quick).to_dict()
+    assert got == golden, f"{name} no longer matches its pre-port output"
+
+
+def test_warm_rerun_still_matches():
+    """Second run replays cached DSE records — still byte-identical."""
+    for name, quick in CASES:
+        golden = _golden(name)
+        got = run_experiment(name, quick=quick).to_dict()
+        assert got == golden, f"{name} warm rerun diverged from seed output"
+        # The JSON wire format must also be stable (exact float repr).
+        assert json.dumps(got, sort_keys=True) == json.dumps(
+            golden, sort_keys=True
+        )

@@ -82,6 +82,26 @@ class TestRunnerCLI:
         assert main(["fig01", "--quick", "--jobs", "2", "--cache-dir", str(tmp_path)]) == 0
         assert "Fig. 1" in capsys.readouterr().out
 
+    def test_dse_subcommand_delegates(self, capsys):
+        assert main(["dse", "--list-presets"]) == 0
+        assert "paper-pareto" in capsys.readouterr().out
+
+    def test_dse_subcommand_after_flags(self, capsys):
+        """Flag-first ordering must still reach the dse surface."""
+        assert main(["--no-cache", "dse", "--list-presets"]) == 0
+        assert "paper-pareto" in capsys.readouterr().out
+
+    def test_dse_as_option_value_is_not_the_subcommand(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """A literal `--json dse` names an output dir, not the subcommand."""
+        monkeypatch.chdir(tmp_path)
+        assert (
+            main(["table10", "--json", "dse", "--cache-dir", str(tmp_path / "c")])
+            == 0
+        )
+        assert (tmp_path / "dse" / "table10.json").exists()
+
 
 class TestAblations:
     def test_group_size_tradeoff(self):

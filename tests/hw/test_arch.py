@@ -1,0 +1,55 @@
+"""ArchConfig invariant validation (clear errors over silent nonsense)."""
+
+import pytest
+
+from repro.hw.arch import BASELINE_FP16_ARCH, BITMOD_ARCH, ArchConfig
+
+
+def _cfg(**kw):
+    defaults = dict(name="t", pe_rows=32, pe_cols=32)
+    defaults.update(kw)
+    return ArchConfig(**defaults)
+
+
+class TestValidation:
+    def test_paper_archs_valid(self):
+        assert BITMOD_ARCH.n_pes % BITMOD_ARCH.pes_per_tile == 0
+        assert BASELINE_FP16_ARCH.n_pes % BASELINE_FP16_ARCH.pes_per_tile == 0
+
+    def test_grid_not_tile_integral(self):
+        with pytest.raises(ValueError, match="divisible by pes_per_tile"):
+            _cfg(pe_rows=33, pe_cols=32, pes_per_tile=64)
+
+    def test_pes_per_tile_larger_than_array(self):
+        with pytest.raises(ValueError, match="divisible by pes_per_tile"):
+            _cfg(pe_rows=4, pe_cols=4, pes_per_tile=64)
+
+    @pytest.mark.parametrize("freq", [0.0, -1.0])
+    def test_non_positive_frequency(self, freq):
+        with pytest.raises(ValueError, match="frequency_ghz must be positive"):
+            _cfg(frequency_ghz=freq)
+
+    @pytest.mark.parametrize("bw", [0.0, -25.6])
+    def test_non_positive_bandwidth(self, bw):
+        with pytest.raises(ValueError, match="dram_gbps must be positive"):
+            _cfg(dram_gbps=bw)
+
+    @pytest.mark.parametrize("field", ["weight_buffer_kb", "input_buffer_kb"])
+    def test_zero_sized_buffers(self, field):
+        with pytest.raises(ValueError, match=f"{field} must be positive"):
+            _cfg(**{field: 0})
+
+    @pytest.mark.parametrize(
+        "field", ["pe_rows", "pe_cols", "pe_lanes", "pes_per_tile"]
+    )
+    def test_non_positive_grid_fields(self, field):
+        with pytest.raises(ValueError, match=f"{field} must be a positive"):
+            _cfg(**{field: 0})
+
+    def test_error_names_the_config(self):
+        with pytest.raises(ValueError, match="'broken'"):
+            _cfg(name="broken", frequency_ghz=0.0)
+
+    def test_valid_config_untouched(self):
+        cfg = _cfg(pe_rows=36, pe_cols=32, pes_per_tile=64)
+        assert cfg.n_pes == 1152

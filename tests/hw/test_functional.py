@@ -50,7 +50,7 @@ class TestFunctionalGemm:
         per_output = (d // 4) * 2  # K/4 lanes * 2 terms
         assert res.pe_cycles == m * k * per_output
 
-        arch = ArchConfig(name="t", pe_rows=m, pe_cols=k, bit_serial=True)
+        arch = ArchConfig(name="t", pe_rows=m, pe_cols=k, bit_serial=True, pes_per_tile=m * k)
         t = gemm_compute_cycles(
             GEMMShape("g", m=m, k=d, n=k), arch, terms_per_weight=2
         )
