@@ -26,10 +26,18 @@ from repro.dse.space import (
     PRESETS,
     DatatypeChoice,
     DesignSpace,
+    PolicyChoice,
     get_preset,
     paper_tile_costs,
 )
-from repro.dse.sweep import DesignPoint, SweepResult, point_key, run_points, run_sweep
+from repro.dse.sweep import (
+    DesignPoint,
+    SweepResult,
+    point_key,
+    resolve_plan,
+    run_points,
+    run_sweep,
+)
 
 __all__ = [
     "dominates",
@@ -37,12 +45,14 @@ __all__ = [
     "pareto_indices",
     "DatatypeChoice",
     "DesignSpace",
+    "PolicyChoice",
     "PRESETS",
     "get_preset",
     "paper_tile_costs",
     "DesignPoint",
     "SweepResult",
     "point_key",
+    "resolve_plan",
     "run_points",
     "run_sweep",
 ]

@@ -124,9 +124,12 @@ def main(argv=None) -> int:
 
     if args.list_presets:
         for name, space in sorted(PRESETS.items()):
+            axes = f"{len(space.datatypes)} datatypes"
+            if space.policies:
+                axes += f" + {len(space.policies)} policies"
             print(
                 f"{name}: {space.n_candidates()} candidate points "
-                f"({len(space.datatypes)} datatypes x {len(space.models)} "
+                f"({axes} x {len(space.models)} "
                 f"models x {len(space.tasks)} tasks)"
             )
         return 0

@@ -43,6 +43,7 @@ SUMMARY_COLUMNS = [
     "task",
     "dtype",
     "bits",
+    "weight_mb",
     "pe_lanes",
     "pes_per_tile",
     "n_pes",
@@ -62,11 +63,16 @@ def _summary_row(r: Dict) -> List:
     a = r["arch"]
     ppl = r["ppl"] if r["ppl"] is not None else float("nan")
     dppl = r["dppl"] if r["dppl"] is not None else float("nan")
+    # Policy records label themselves by their solver instead of a
+    # single datatype name.
+    dtype = r.get("policy") or r["dtype"] or "-"
+    weight_mb = r.get("weight_mb")
     return [
         r["model"],
         r["task"],
-        r["dtype"] or "-",
+        dtype,
         r["bits"],
+        float("nan") if weight_mb is None else weight_mb,
         a["pe_lanes"],
         a["pes_per_tile"],
         a["n_pes"],
@@ -173,10 +179,14 @@ def point_detail(record: Dict) -> Dict:
 
 
 def _flat(records: Sequence[Dict]) -> List[Dict]:
-    """Flatten the nested ``arch`` dict for tabular exports."""
+    """Flatten the nested ``arch`` dict for tabular exports.
+
+    The nested per-layer ``plan`` dict of policy records is dropped —
+    it has no tabular shape; the JSON export carries it in full.
+    """
     out = []
     for r in records:
-        flat = {k: v for k, v in r.items() if k != "arch"}
+        flat = {k: v for k, v in r.items() if k not in ("arch", "plan")}
         flat.update({f"arch_{k}": v for k, v in r["arch"].items()})
         out.append(flat)
     return out

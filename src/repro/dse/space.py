@@ -38,12 +38,14 @@ __all__ = [
     "DatatypeChoice",
     "DesignPoint",
     "DesignSpace",
+    "PolicyChoice",
     "PRESETS",
     "get_preset",
     "load_space",
     "paper_tile_costs",
     "SWEEPABLE_FIELDS",
     "SUPPORTED_BITS",
+    "PLAN_SOLVERS",
 ]
 
 #: ArchConfig fields a space may put an axis on.  ``pe_rows``/
@@ -95,6 +97,54 @@ class DatatypeChoice:
     granularity: str = "group"
 
 
+#: Plan solvers a :class:`PolicyChoice` may name (see
+#: :func:`repro.policy.solvers.make_plan`).
+PLAN_SOLVERS = ("budget", "threshold")
+
+
+@dataclass(frozen=True)
+class PolicyChoice:
+    """One mixed-precision policy point of a sweep.
+
+    Instead of running one uniform datatype, the point solves a
+    per-layer :class:`~repro.policy.plan.QuantPlan` over the
+    ``ladder`` of candidate datatypes — ``"budget"`` allocates under a
+    full-size weight-memory budget (``budget_mb``), ``"threshold"``
+    caps each layer's measured damage (``threshold``).  ``metric``
+    names the sensitivity probe (``"layer_mse"`` or ``"dppl"``).
+    The ladder is filled from the space's ``datatypes`` at expansion
+    time when left empty.
+    """
+
+    solver: str
+    budget_mb: Optional[float] = None
+    threshold: Optional[float] = None
+    metric: str = "layer_mse"
+    ladder: Tuple[DatatypeChoice, ...] = ()
+
+    def __post_init__(self):
+        if self.solver not in PLAN_SOLVERS:
+            raise ValueError(
+                f"unknown plan solver {self.solver!r} "
+                f"(known: {', '.join(PLAN_SOLVERS)})"
+            )
+        if self.solver == "budget" and self.budget_mb is None:
+            raise ValueError("budget policies need budget_mb")
+        if self.solver == "threshold" and self.threshold is None:
+            raise ValueError("threshold policies need threshold")
+        if self.metric not in ("layer_mse", "dppl"):
+            raise ValueError(
+                f"unknown sensitivity metric {self.metric!r} "
+                "(known: layer_mse, dppl)"
+            )
+
+    @property
+    def label(self) -> str:
+        if self.solver == "budget":
+            return f"budget:{self.budget_mb:g}MB"
+        return f"threshold:{self.threshold:g}"
+
+
 @dataclass(frozen=True)
 class DesignPoint:
     """One fully-resolved design point: architecture x datatype x workload.
@@ -117,6 +167,10 @@ class DesignPoint:
     macs_per_cycle: float = 1.0
     group_size: int = 128
     quick: bool = False
+    #: Mixed-precision policy point: the plan is solved at evaluation
+    #: time (``dtype`` is ``None``, ``weight_bits`` is 0 — the real
+    #: per-layer precisions come out of the solver).
+    policy: Optional[PolicyChoice] = None
 
 
 @dataclass(frozen=True)
@@ -139,6 +193,11 @@ class DesignSpace:
     iso_area: bool = True
     quick: bool = False
     group_size: int = 128
+    #: Mixed-precision policy axis: each entry adds one plan-solved
+    #: point per (arch combo x model x task), alongside the uniform
+    #: ``datatypes`` points.  Policies with an empty ladder inherit
+    #: the space's ``datatypes`` as their candidate ladder.
+    policies: Tuple[PolicyChoice, ...] = ()
 
     def __post_init__(self):
         for fname, values in self.arch_axes:
@@ -180,7 +239,9 @@ class DesignSpace:
 
     def n_candidates(self) -> int:
         """Size of the raw product (before validity filtering)."""
-        n = len(self.datatypes) * len(self.models) * len(self.tasks)
+        n = (len(self.datatypes) + len(self.policies)) * len(self.models) * len(
+            self.tasks
+        )
         for _f, values in self.arch_axes:
             n *= len(values)
         return n
@@ -278,6 +339,41 @@ class DesignSpace:
             )
         return None
 
+    def _policy_reason(
+        self, arch: ArchConfig, pc: PolicyChoice, model: str
+    ) -> Optional[str]:
+        """Validity of one (arch, policy, model) triple; reason or None.
+
+        Every ladder datatype must itself be executable on the arch
+        (the plan may assign any of them), and a budget policy must sit
+        at or above the floor of its cheapest candidate assignment.
+        """
+        for dt in pc.ladder:
+            reason = self.check_point(arch, dt)
+            if reason is not None:
+                return f"ladder datatype {dt.dtype}: {reason}"
+        if pc.solver == "budget":
+            from repro.models.zoo import get_model_config
+            from repro.policy import plan_floor_bytes
+            from repro.quant.config import QuantConfig
+
+            candidates = [
+                QuantConfig(
+                    dtype=dt.dtype,
+                    granularity=dt.granularity,
+                    group_size=self.group_size,
+                )
+                for dt in pc.ladder
+            ]
+            floor = plan_floor_bytes(candidates, get_model_config(model))
+            if pc.budget_mb * 1e6 < floor:
+                return (
+                    f"budget {pc.budget_mb:g} MB is below the "
+                    f"{floor / 1e6:.0f} MB floor of the cheapest ladder "
+                    f"assignment on {model}"
+                )
+        return None
+
     # ------------------------------------------------------------------
     def points(self) -> Tuple[List[DesignPoint], List[Tuple[Dict, str]]]:
         """Expand to ``(valid_points, skipped)``.
@@ -287,12 +383,18 @@ class DesignSpace:
         """
         points: List[DesignPoint] = []
         skipped: List[Tuple[Dict, str]] = []
+        policies = tuple(
+            pc if pc.ladder else replace(pc, ladder=self.datatypes)
+            for pc in self.policies
+        )
         for params in self.arch_combos():
             try:
                 arch = self.resolve_arch(params)
             except ValueError as e:
                 for dt in self.datatypes:
                     skipped.append(({**params, "bits": dt.bits}, str(e)))
+                for pc in policies:
+                    skipped.append(({**params, "policy": pc.label}, str(e)))
                 continue
             for dt in self.datatypes:
                 reason = self.check_point(arch, dt)
@@ -313,12 +415,34 @@ class DesignSpace:
                                 quick=self.quick,
                             )
                         )
+            for pc in policies:
+                for model in self.models:
+                    reason = self._policy_reason(arch, pc, model)
+                    if reason is not None:
+                        skipped.append(
+                            ({**params, "policy": pc.label, "model": model}, reason)
+                        )
+                        continue
+                    for task in self.tasks:
+                        points.append(
+                            DesignPoint(
+                                space=self.name,
+                                arch=arch,
+                                model=model,
+                                task=task,
+                                weight_bits=0,
+                                dtype=None,
+                                group_size=self.group_size,
+                                quick=self.quick,
+                                policy=pc,
+                            )
+                        )
         return points, skipped
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
         """JSON-able form (the ``--space FILE.json`` schema)."""
-        return {
+        out = {
             "name": self.name,
             "arch_axes": {f: list(v) for f, v in self.arch_axes},
             "datatypes": [
@@ -331,6 +455,21 @@ class DesignSpace:
             "quick": self.quick,
             "group_size": self.group_size,
         }
+        if self.policies:
+            out["policies"] = [
+                {
+                    "solver": p.solver,
+                    "budget_mb": p.budget_mb,
+                    "threshold": p.threshold,
+                    "metric": p.metric,
+                    "ladder": [
+                        {"bits": d.bits, "dtype": d.dtype, "granularity": d.granularity}
+                        for d in p.ladder
+                    ],
+                }
+                for p in self.policies
+            ]
+        return out
 
     @classmethod
     def from_dict(cls, d: Dict) -> "DesignSpace":
@@ -344,6 +483,7 @@ class DesignSpace:
             "iso_area",
             "quick",
             "group_size",
+            "policies",
         }
         unknown = set(d) - known
         if unknown:
@@ -364,6 +504,18 @@ class DesignSpace:
             iso_area=bool(d.get("iso_area", True)),
             quick=bool(d.get("quick", False)),
             group_size=int(d.get("group_size", 128)),
+            policies=tuple(
+                PolicyChoice(
+                    solver=p["solver"],
+                    budget_mb=p.get("budget_mb"),
+                    threshold=p.get("threshold"),
+                    metric=p.get("metric", "layer_mse"),
+                    ladder=tuple(
+                        DatatypeChoice(**dt) for dt in p.get("ladder", ())
+                    ),
+                )
+                for p in d.get("policies", ())
+            ),
         )
 
     def with_(self, **kwargs) -> "DesignSpace":
@@ -420,6 +572,26 @@ PRESETS: Dict[str, DesignSpace] = {
         ),
         models=("opt-1.3b",),
         tasks=("generative",),
+    ),
+    # Mixed-precision deployments under a weight-memory cap: the
+    # budget solver sweeps budgets from just above the 3-bit floor to
+    # the 8-bit ceiling, against the uniform ladder as baselines.
+    # Frontier of interest: --objectives weight_mb:min,ppl:min.
+    "memory-budget": DesignSpace(
+        name="memory-budget",
+        arch_axes=(),
+        datatypes=(
+            DatatypeChoice(3, "bitmod_fp3"),
+            DatatypeChoice(4, "bitmod_fp4"),
+            DatatypeChoice(6, "int6_sym"),
+            DatatypeChoice(8, "int8_sym"),
+        ),
+        models=("opt-1.3b",),
+        tasks=("generative",),
+        policies=tuple(
+            PolicyChoice(solver="budget", budget_mb=mb)
+            for mb in (500.0, 550.0, 625.0, 700.0, 800.0, 900.0, 1000.0, 1100.0)
+        ),
     ),
     # How far does memory bandwidth alone carry each precision?
     "bandwidth": DesignSpace(

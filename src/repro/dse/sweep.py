@@ -32,11 +32,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dse.space import DesignPoint, DesignSpace
 from repro.hw.baselines import AcceleratorSpec, make_accelerator
-from repro.hw.simulator import SimResult, simulate
+from repro.hw.simulator import SimResult, simulate, simulate_plan
 from repro.models.zoo import get_model_config
 from repro.pipeline.cells import CellSpec, cell_key
 from repro.pipeline.keys import stable_digest
 from repro.pipeline.store import CacheStore
+from repro.policy import (
+    POLICY_SCHEMA_VERSION,
+    QuantPlan,
+    config_memory_bits,
+    make_plan,
+    plan_gemm_bits,
+    plan_weight_bytes,
+)
 from repro.quant.config import QuantConfig
 
 __all__ = [
@@ -45,6 +53,7 @@ __all__ = [
     "SweepResult",
     "accelerator_for",
     "point_key",
+    "resolve_plan",
     "run_points",
     "run_sweep",
 ]
@@ -53,7 +62,8 @@ __all__ = [
 DSE_KIND = "dse"
 
 #: Bump when the record layout or evaluation semantics change.
-DSE_SCHEMA_VERSION = 1
+#: v2: mixed-precision policy points + weight_mb/mean_bits fields.
+DSE_SCHEMA_VERSION = 2
 
 
 def point_key(point: DesignPoint) -> str:
@@ -66,8 +76,19 @@ def point_key(point: DesignPoint) -> str:
     joins (``CELL_SCHEMA_VERSION``, evaluator batch/seq/sensitivity,
     dataset) — editing any of them must invalidate cached records,
     exactly as the pipeline cells key on ``ModelConfig.cache_key()``.
+
+    Policy points cannot key on their exact accuracy cell (the plan —
+    and hence the cell — is solved at evaluation time from cached
+    sensitivity probes), so they key on the policy itself plus
+    ``POLICY_SCHEMA_VERSION`` (bumped whenever profiling or solver
+    semantics change) plus the key of the workload's FP16 anchor cell,
+    which carries every cell-layer invalidator (``CELL_SCHEMA_VERSION``,
+    evaluator batch/seq/sensitivity, dataset) the plan cell will share.
     """
     spec = _cell_spec(point)
+    if spec is None and point.policy is not None:
+        # The anchor cell of the same (model, dataset, quick) regime.
+        spec = CellSpec(model=point.model, dataset="wikitext", quick=point.quick)
     return stable_digest(
         {
             "v": DSE_SCHEMA_VERSION,
@@ -75,6 +96,7 @@ def point_key(point: DesignPoint) -> str:
             "model_config": get_model_config(point.model).cache_key(),
             "baseline": make_accelerator("fp16"),
             "cell": None if spec is None else cell_key(spec),
+            "policy_v": None if point.policy is None else POLICY_SCHEMA_VERSION,
         }
     )
 
@@ -96,8 +118,18 @@ def _fp16_baseline(model: str, task: str) -> SimResult:
     return simulate(get_model_config(model), make_accelerator("fp16"), task, 16)
 
 
-def _cell_spec(point: DesignPoint) -> Optional[CellSpec]:
-    """The accuracy cell a point needs (None for sim-only points)."""
+def _cell_spec(
+    point: DesignPoint, plan: Optional[QuantPlan] = None
+) -> Optional[CellSpec]:
+    """The accuracy cell a point needs (None for sim-only points).
+
+    Policy points need their resolved ``plan``; before resolution (at
+    keying time) they report no cell.
+    """
+    if point.policy is not None:
+        if plan is None:
+            return None
+        return CellSpec(model=point.model, dataset="wikitext", plan=plan, quick=point.quick)
     if point.dtype is None:
         return None
     return CellSpec(
@@ -112,16 +144,74 @@ def _cell_spec(point: DesignPoint) -> Optional[CellSpec]:
     )
 
 
-def _evaluate(point: DesignPoint, cell: Optional[dict]) -> dict:
-    """Compute one point's record (hardware sim + accuracy join)."""
+def resolve_plan(point: DesignPoint, engine=None) -> QuantPlan:
+    """Solve the :class:`~repro.policy.plan.QuantPlan` of a policy point.
+
+    Sensitivity probes run as pipeline cells through ``engine`` (and
+    its store), so re-solving across budgets, sweeps and processes is
+    replay, not recompute.
+    """
+    pc = point.policy
+    if pc is None:
+        raise ValueError(f"design point {point} carries no policy")
+    candidates = [
+        QuantConfig(
+            dtype=dt.dtype, granularity=dt.granularity, group_size=point.group_size
+        )
+        for dt in pc.ladder
+    ]
+    return make_plan(
+        point.model,
+        pc.solver,
+        candidates,
+        budget_mb=pc.budget_mb,
+        threshold=pc.threshold,
+        metric=pc.metric,
+        quick=point.quick,
+        engine=engine,
+        name=pc.label,
+    )
+
+
+def _weight_mb(point: DesignPoint, plan: Optional[QuantPlan]) -> Optional[float]:
+    """Full-size block-weight storage (metadata included) in MB."""
     cfg = get_model_config(point.model)
-    r = simulate(
-        cfg,
-        accelerator_for(point),
-        point.task,
-        point.weight_bits,
+    if plan is not None:
+        return plan_weight_bytes(plan, cfg) / 1e6
+    if point.dtype is None:
+        return None
+    qc = QuantConfig(
+        dtype=point.dtype.dtype,
+        granularity=point.dtype.granularity,
         group_size=point.group_size,
     )
+    total = 0.0
+    for gemm in cfg.block_gemms(1):
+        total += gemm.weight_elements * config_memory_bits(qc, gemm.k) / 8.0
+    return total / 1e6
+
+
+def _evaluate(
+    point: DesignPoint, cell: Optional[dict], plan: Optional[QuantPlan] = None
+) -> dict:
+    """Compute one point's record (hardware sim + accuracy join)."""
+    cfg = get_model_config(point.model)
+    if plan is not None:
+        r = simulate_plan(
+            cfg,
+            accelerator_for(point),
+            point.task,
+            plan_gemm_bits(plan, cfg),
+            group_size=point.group_size,
+        )
+    else:
+        r = simulate(
+            cfg,
+            accelerator_for(point),
+            point.task,
+            point.weight_bits,
+            group_size=point.group_size,
+        )
     base = _fp16_baseline(point.model, point.task)
     freq = point.arch.frequency_ghz
     time_ms = r.cycles / (freq * 1e9) * 1e3
@@ -132,9 +222,18 @@ def _evaluate(point: DesignPoint, cell: Optional[dict]) -> dict:
         "space": point.space,
         "model": point.model,
         "task": point.task,
-        "bits": point.weight_bits,
-        "dtype": None if point.dtype is None else point.dtype.dtype,
+        # Policy points report the element-weighted mean of the plan's
+        # per-layer precisions (what the simulator ran at).
+        "bits": point.weight_bits if plan is None else r.weight_bits,
+        "dtype": (
+            "plan"
+            if plan is not None
+            else None if point.dtype is None else point.dtype.dtype
+        ),
         "granularity": None if point.dtype is None else point.dtype.granularity,
+        "policy": None if point.policy is None else point.policy.label,
+        "plan": None if plan is None else plan.to_dict(),
+        "weight_mb": _weight_mb(point, plan),
         "arch": {
             "name": arch.name,
             "pe_rows": arch.pe_rows,
@@ -205,14 +304,22 @@ def run_points(
             missing.append((k, p))
 
     if missing:
+        # Policy points first solve their plans — the sensitivity
+        # probes are engine cells, deduplicated against the store, so
+        # N budgets over one (model, ladder, metric) profile once.
+        plans: Dict[str, QuantPlan] = {
+            k: resolve_plan(p, engine=engine)
+            for k, p in missing
+            if p.policy is not None
+        }
         # One engine pass for every accuracy cell the misses need;
         # the engine deduplicates and parallelizes.
-        specs = [_cell_spec(p) for _k, p in missing]
+        specs = [_cell_spec(p, plans.get(k)) for k, p in missing]
         needed = [s for s in specs if s is not None]
         cells = iter(engine.run(needed)) if needed else iter(())
         for (k, p), spec in zip(missing, specs):
             cell = next(cells) if spec is not None else None
-            record = _evaluate(p, cell)
+            record = _evaluate(p, cell, plans.get(k))
             store.put_json(DSE_KIND, k, record)
             records[k] = record
 

@@ -128,6 +128,14 @@ class PerplexityEvaluator:
 
         return self.evaluate_quantizer(quantize)
 
+    def evaluate_plan(self, plan) -> PerplexityResult:
+        """Evaluate a per-layer :class:`~repro.policy.plan.QuantPlan`.
+
+        Layers outside the plan stay FP16; a uniform plan scores
+        identically to :meth:`evaluate_config` with its shared config.
+        """
+        return self.evaluate_quantizer(plan.as_quantizer())
+
     def fp16_result(self) -> PerplexityResult:
         """The (trivially exact) FP16 row of a table."""
         return PerplexityResult(

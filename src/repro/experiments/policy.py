@@ -1,63 +1,23 @@
 """Weight-precision policy for the accelerator comparison (Fig. 7/8).
 
-The paper's framing: ANT and OliVe "must adopt a higher weight
-precision to compensate for the significant degradation in perplexity"
-because their datatypes cannot hold per-group quality at low
-precision, while BitMoD runs lossless at INT6 or lossy at 4/3 bits.
+A thin view over :mod:`repro.policy`: the measured quality policy —
+an accelerator may use its lowest supported precision only if its own
+datatype, at its native granularity, keeps the Wikitext perplexity
+increase under a quality threshold on that model — lives in
+:func:`repro.policy.solvers.accelerator_weight_bits`.  This module
+only re-exports it under the historical name the Fig. 7/8 views use.
 
-We make that policy *measured*: an accelerator may use its lowest
-supported precision only if its own datatype, at its native
-granularity, keeps the Wikitext perplexity increase under a quality
-threshold on that model; otherwise it falls back to the next supported
-precision.  ANT and OliVe natively support per-channel quantization
-only (no dequantization hardware for per-group scales — Table III).
+The measured delta-perplexity is an engine-backed pipeline cell
+(content-addressed store + per-engine memo), replacing the old
+module-level ``lru_cache`` that went stale when ``--cache-dir`` or
+``--no-cache`` reconfigured the engine within a process.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-
-from repro.pipeline import get_engine
-from repro.quant.config import QuantConfig
+from repro.policy.solvers import QUALITY_THRESHOLD_DPPL, accelerator_weight_bits
 
 __all__ = ["choose_weight_bits", "QUALITY_THRESHOLD_DPPL"]
 
-#: Acceptable perplexity increase over FP16 for a "lossy" deployment.
-QUALITY_THRESHOLD_DPPL = 1.0
-
-
-@lru_cache(maxsize=None)
-def _delta_ppl(model: str, dtype: str, granularity: str) -> float:
-    engine = get_engine()
-    cell = engine.ppl(model, "wikitext", QuantConfig(dtype=dtype, granularity=granularity))
-    return cell["ppl"] - engine.fp16_ppl(model, "wikitext")
-
-
-def choose_weight_bits(
-    accel: str,
-    model: str,
-    task: str,
-    lossless: bool = False,
-    threshold: float = QUALITY_THRESHOLD_DPPL,
-) -> int:
-    """Weight precision an accelerator uses on a model/task.
-
-    * ``fp16`` — always 16.
-    * ``bitmod`` lossless — INT6 (near-zero loss per Table II).
-    * ``bitmod`` lossy — 4-bit (discriminative) / 3-bit (generative),
-      the paper's Section V-C configuration.
-    * ``ant`` / ``olive`` — 4-bit when their own per-channel datatype
-      stays within ``threshold`` perplexity increase, else 8-bit.
-    """
-    if accel == "fp16":
-        return 16
-    if accel == "bitmod":
-        if lossless:
-            return 6
-        return 4 if task == "discriminative" else 3
-    if accel in ("ant", "olive"):
-        dtype = f"{accel}4"
-        if _delta_ppl(model, dtype, "channel") <= threshold:
-            return 4
-        return 8
-    raise KeyError(f"unknown accelerator {accel!r}")
+#: Historical name of :func:`repro.policy.solvers.accelerator_weight_bits`.
+choose_weight_bits = accelerator_weight_bits

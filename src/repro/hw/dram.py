@@ -11,6 +11,7 @@ paper's memory-bound generative results.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.models.config import ModelConfig
 
@@ -34,11 +35,31 @@ class Traffic:
 
 @dataclass(frozen=True)
 class TrafficModel:
-    """Per-pass DRAM traffic for a model at given precisions."""
+    """Per-pass DRAM traffic for a model at given precisions.
+
+    ``weight_bits_map`` (optional, name-sorted ``(gemm_name, bits)``
+    pairs) assigns each streamed GEMM — the block projections plus
+    ``lm_head`` — its own precision, the mixed-precision deployments
+    of :mod:`repro.policy`; names it does not cover fall back to
+    ``weight_bits``.
+    """
 
     config: ModelConfig
     weight_bits: float = 16.0
     kv_bits: float = 16.0
+    weight_bits_map: Optional[Tuple[Tuple[str, float], ...]] = None
+
+    def _streamed_weight_bytes(self) -> float:
+        """Bytes of the weights read in full every pass (blocks + LM
+        head), honouring the per-GEMM precision map when present."""
+        cfg = self.config
+        if self.weight_bits_map is None:
+            return cfg.streamed_weight_elements * self.weight_bits / 8.0
+        bits = dict(self.weight_bits_map)
+        total = 0.0
+        for gemm in cfg.block_gemms(1) + [cfg.lm_head_gemm(1)]:
+            total += gemm.weight_elements * bits.get(gemm.name, self.weight_bits) / 8.0
+        return total
 
     def pass_traffic(self, m: int, context: int) -> Traffic:
         """One forward pass over ``m`` new tokens with ``context``
@@ -47,8 +68,7 @@ class TrafficModel:
         # Streamed weights (blocks + LM head) at the quantized
         # precision, plus the m embedding-row lookups in FP16.
         weight_bytes = (
-            cfg.streamed_weight_elements * self.weight_bits / 8.0
-            + m * cfg.hidden * _FP16_BYTES
+            self._streamed_weight_bytes() + m * cfg.hidden * _FP16_BYTES
         )
         kv_dim = cfg.n_kv_heads * cfg.head_dim
         # Write m new KV entries, read back the full context, per layer.

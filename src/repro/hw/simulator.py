@@ -13,7 +13,8 @@ tasks emit 256 tokens, each refetching all weights.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional
 
 from repro.hw.baselines import AcceleratorSpec
 from repro.hw.dram import TrafficModel
@@ -25,7 +26,7 @@ from repro.hw.energy import (
 from repro.hw.timing import gemm_compute_cycles
 from repro.models.config import ModelConfig
 
-__all__ = ["SimResult", "simulate", "simulate_workload"]
+__all__ = ["SimResult", "simulate", "simulate_plan", "simulate_workload"]
 
 
 @dataclass
@@ -82,28 +83,40 @@ def _pass_result(
     m: int,
     context: int,
     group_size: int = 128,
+    gemm_bits: Optional[Mapping[str, float]] = None,
 ) -> tuple:
-    """(cycles, energy) of one forward pass over ``m`` tokens."""
+    """(cycles, energy) of one forward pass over ``m`` tokens.
+
+    ``gemm_bits`` optionally assigns each weight GEMM (block
+    projections and ``lm_head``) its own precision — the per-layer
+    aggregation behind :func:`simulate_plan`.  GEMMs it does not name
+    fall back to ``weight_bits``.
+    """
     arch = accel.arch
     sram_pj = sram_energy_pj_per_byte(arch.weight_buffer_kb)
-    terms = accel.terms_per_weight(int(round(weight_bits)))
     kv_terms = accel.terms_per_weight(accel.kv_bits)
+
+    def bits_of(name: str) -> float:
+        if gemm_bits is None:
+            return weight_bits
+        return gemm_bits.get(name, weight_bits)
 
     compute_cycles = 0.0
     active_pe_cycles = 0.0
     buffer_pj = 0.0
     gemms = cfg.block_gemms(m) + [cfg.lm_head_gemm(m)]
     for gemm in gemms:
+        bits = bits_of(gemm.name)
         t = gemm_compute_cycles(
             gemm,
             arch,
-            terms_per_weight=terms,
+            terms_per_weight=accel.terms_per_weight(int(round(bits))),
             macs_per_cycle=accel.macs_per_cycle,
             group_size=group_size,
         )
         compute_cycles += t.compute_cycles
         active_pe_cycles += t.active_pe_cycles
-        w_bytes = gemm.weight_elements * weight_bits / 8.0
+        w_bytes = gemm.weight_elements * bits / 8.0
         a_bytes = gemm.m * gemm.k * gemm.count * gemm.repeat * 2.0
         m_tiles = math.ceil(gemm.m / arch.pe_rows)
         n_tiles = math.ceil(gemm.n / arch.pe_cols)
@@ -121,7 +134,14 @@ def _pass_result(
         compute_cycles += t.compute_cycles
         active_pe_cycles += t.active_pe_cycles
 
-    traffic = TrafficModel(cfg, weight_bits=weight_bits, kv_bits=accel.kv_bits)
+    traffic = TrafficModel(
+        cfg,
+        weight_bits=weight_bits,
+        kv_bits=accel.kv_bits,
+        weight_bits_map=(
+            None if gemm_bits is None else tuple(sorted(gemm_bits.items()))
+        ),
+    )
     tr = traffic.pass_traffic(m, context)
     bytes_per_cycle = arch.dram_gbps / arch.frequency_ghz
     memory_cycles = tr.total_bytes / bytes_per_cycle
@@ -147,6 +167,7 @@ def simulate(
     prompt_len: int = 256,
     gen_len: int = 256,
     group_size: int = 128,
+    gemm_bits: Optional[Mapping[str, float]] = None,
 ) -> SimResult:
     """Simulate one request of the given task type.
 
@@ -172,6 +193,10 @@ def simulate(
         Weights per scaling-factor group (elements; 128 in the
         paper), which sets the dequantization-stall cadence of the
         bit-serial timing model.
+    gemm_bits:
+        Optional per-GEMM precision override (see
+        :func:`simulate_plan`, the intended entry point); GEMMs it
+        does not name run at ``weight_bits``.
 
     Returns
     -------
@@ -181,15 +206,17 @@ def simulate(
     """
     if task == "discriminative":
         cycles, energy = _pass_result(
-            cfg, accel, weight_bits, prompt_len, prompt_len, group_size
+            cfg, accel, weight_bits, prompt_len, prompt_len, group_size, gemm_bits
         )
     elif task == "generative":
         cycles, energy = _pass_result(
-            cfg, accel, weight_bits, prompt_len, prompt_len, group_size
+            cfg, accel, weight_bits, prompt_len, prompt_len, group_size, gemm_bits
         )
         # Decode steps are near-identical; use the average context.
         avg_ctx = prompt_len + gen_len // 2
-        d_cycles, d_energy = _pass_result(cfg, accel, weight_bits, 1, avg_ctx, group_size)
+        d_cycles, d_energy = _pass_result(
+            cfg, accel, weight_bits, 1, avg_ctx, group_size, gemm_bits
+        )
         cycles += gen_len * d_cycles
         energy = energy + EnergyBreakdown(
             dram_uj=gen_len * d_energy.dram_uj,
@@ -206,6 +233,47 @@ def simulate(
         cycles=cycles,
         energy=energy,
     )
+
+
+def simulate_plan(
+    cfg: ModelConfig,
+    accel: AcceleratorSpec,
+    task: str,
+    gemm_bits: Mapping[str, float],
+    prompt_len: int = 256,
+    gen_len: int = 256,
+    group_size: int = 128,
+) -> SimResult:
+    """Simulate one request under a per-layer precision assignment.
+
+    ``gemm_bits`` maps weight-GEMM names (``q_proj``, ``fc1``, ...,
+    ``lm_head``) to bits per weight — typically
+    :func:`repro.policy.plan.plan_gemm_bits` aggregating a
+    :class:`~repro.policy.plan.QuantPlan`.  Each GEMM's compute terms
+    and DRAM traffic are taken at its own precision and summed across
+    the workload; unnamed GEMMs run at FP16.  A uniform assignment
+    reproduces :func:`simulate` at that precision exactly.
+
+    The reported ``weight_bits`` is the element-weighted mean over the
+    streamed weights.
+    """
+    r = simulate(
+        cfg,
+        accel,
+        task,
+        16.0,  # unnamed GEMMs stay FP16
+        prompt_len=prompt_len,
+        gen_len=gen_len,
+        group_size=group_size,
+        gemm_bits=gemm_bits,
+    )
+    streamed = cfg.block_gemms(1) + [cfg.lm_head_gemm(1)]
+    elements = sum(g.weight_elements for g in streamed)
+    mean_bits = (
+        sum(g.weight_elements * gemm_bits.get(g.name, 16.0) for g in streamed)
+        / elements
+    )
+    return replace(r, weight_bits=mean_bits)
 
 
 def simulate_workload(cfg, accel, task, weight_bits, **kw) -> SimResult:

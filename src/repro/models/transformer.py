@@ -147,6 +147,12 @@ class CausalLM:
         clone.weights = new_weights
         return clone
 
+    def apply_plan(self, plan) -> "CausalLM":
+        """Return a copy quantized per a
+        :class:`~repro.policy.plan.QuantPlan` (layers the plan does not
+        name keep their FP16 weights)."""
+        return self.apply_quantizer(plan.as_quantizer())
+
     # ------------------------------------------------------------------
     # Forward pass.
     # ------------------------------------------------------------------

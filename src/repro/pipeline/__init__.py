@@ -35,6 +35,7 @@ __all__ = [
     "configure",
     "reset",
     "clear_context",
+    "get_plan_model",
 ]
 
 _LAZY = {
@@ -47,6 +48,7 @@ _LAZY = {
     "configure": "repro.pipeline.engine",
     "reset": "repro.pipeline.engine",
     "clear_context": "repro.pipeline.context",
+    "get_plan_model": "repro.pipeline.context",
 }
 
 

@@ -15,11 +15,14 @@ the quick flag — everything that determines the cell's value.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.models.zoo import get_model_config
 from repro.pipeline.keys import stable_digest
 from repro.quant.config import QuantConfig, quantize_tensor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (policy -> cells)
+    from repro.policy.plan import QuantPlan
 
 __all__ = ["CellSpec", "cell_key", "compute_cell", "CELL_KIND"]
 
@@ -33,6 +36,10 @@ CELL_SCHEMA_VERSION = 1
 _PPL_BATCH = 4
 _PPL_SEQ = 128
 
+# Calibration defaults baked into layer_mse keys (see collect_calibration).
+_CALIB_BATCH = 2
+_CALIB_SEQ = 64
+
 
 @dataclass(frozen=True)
 class CellSpec:
@@ -45,6 +52,14 @@ class CellSpec:
       (``model``, ``dataset``); ``quant=None`` yields the FP16 anchor.
     * ``"acc"`` — discriminative accuracy (%) on task ``dataset`` with
       ``n_items`` items; ``quant=None`` yields the FP16 accuracy.
+    * ``"layer_mse"`` — calibration-activation output MSE of the one
+      layer a single-layer ``plan`` quantizes (the cheap sensitivity
+      probe of :mod:`repro.policy.sensitivity`).
+
+    ``plan`` is the mixed-precision alternative to the uniform
+    ``quant``: a :class:`~repro.policy.plan.QuantPlan` assigning each
+    block linear its own config (absent layers stay FP16).  ``plan``
+    and ``quant``/``method`` are mutually exclusive.
     """
 
     model: str
@@ -56,6 +71,7 @@ class CellSpec:
     n_items: int = 128
     seed: int = 0
     quick: bool = False
+    plan: Optional["QuantPlan"] = None
 
 
 def _build_method(spec: CellSpec):
@@ -66,10 +82,27 @@ def _build_method(spec: CellSpec):
     return cls(spec.quant, **dict(spec.method_params))
 
 
+def _check_plan(spec: CellSpec) -> None:
+    """Reject unsupported plan combinations early, at keying time."""
+    if spec.plan is None:
+        return
+    if spec.quant is not None or spec.method is not None:
+        raise ValueError(
+            "CellSpec.plan is mutually exclusive with quant/method "
+            "(a plan already names each layer's config)"
+        )
+    if spec.kind == "layer_mse" and len(spec.plan) != 1:
+        raise ValueError(
+            f"layer_mse cells probe exactly one layer; the plan "
+            f"quantizes {len(spec.plan)}"
+        )
+
+
 def cell_key(spec: CellSpec) -> str:
     """Content address of ``spec`` (see module docstring)."""
     from repro.eval.perplexity import SENSITIVITY
 
+    _check_plan(spec)
     config = get_model_config(spec.model)
     parts = {
         "v": CELL_SCHEMA_VERSION,
@@ -81,8 +114,14 @@ def cell_key(spec: CellSpec) -> str:
         "seed": spec.seed,
         "quick": spec.quick,
     }
+    # Plan-less specs keep their historical digests (adding the key
+    # only when present leaves every pre-plan cache entry valid).
+    if spec.plan is not None:
+        parts["plan"] = spec.plan.cache_key()
     if spec.kind == "acc":
         parts["eval"] = {"n_items": spec.n_items}
+    elif spec.kind == "layer_mse":
+        parts["eval"] = {"calib_batch": _CALIB_BATCH, "calib_seq": _CALIB_SEQ}
     else:
         parts["eval"] = {
             "batch": _PPL_BATCH,
@@ -95,12 +134,19 @@ def cell_key(spec: CellSpec) -> str:
 def compute_cell(spec: CellSpec) -> dict:
     """Evaluate one cell and return its JSON-able result record."""
     from repro.eval.perplexity import PerplexityEvaluator
-    from repro.pipeline.context import get_quantized_model, get_task_evaluator
+    from repro.pipeline.context import (
+        get_plan_model,
+        get_quantized_model,
+        get_task_evaluator,
+    )
 
+    _check_plan(spec)
     config = get_model_config(spec.model)
 
     if spec.kind == "acc":
         ev = get_task_evaluator(config, spec.dataset, n_items=spec.n_items, seed=spec.seed)
+        if spec.plan is not None:
+            return {"accuracy": ev.evaluate_quantizer(spec.plan.as_quantizer())}
         if spec.quant is None:
             return {"accuracy": ev.fp16_accuracy * 100.0}
         qcfg = spec.quant
@@ -114,7 +160,9 @@ def compute_cell(spec: CellSpec) -> dict:
         ev = PerplexityEvaluator(
             config, spec.dataset, seed=spec.seed, batch=_PPL_BATCH, seq=_PPL_SEQ
         )
-        if spec.quant is None:
+        if spec.plan is not None:
+            r = ev.evaluate_model(get_plan_model(config, spec.plan, seed=spec.seed))
+        elif spec.quant is None:
             r = ev.fp16_result()
         elif spec.method is None:
             r = ev.evaluate_config(spec.quant)
@@ -123,4 +171,23 @@ def compute_cell(spec: CellSpec) -> dict:
             r = ev.evaluate_model(qmodel)
         return {"ppl": r.ppl, "divergence": r.divergence, "fp16_ppl": r.fp16_ppl}
 
-    raise ValueError(f"unknown cell kind {spec.kind!r} (known: ppl, acc)")
+    if spec.kind == "layer_mse":
+        from repro.methods.base import layer_output_mse
+        from repro.pipeline.context import get_calibration, get_model
+
+        if spec.plan is None:
+            raise ValueError("layer_mse cells need a single-layer plan")
+        ((layer, qcfg),) = spec.plan.items()
+        model = get_model(config, spec.seed)
+        linears = model.named_linears()
+        if layer not in linears:
+            known = ", ".join(sorted(linears))
+            raise KeyError(f"unknown layer {layer!r} for {spec.model}; known: {known}")
+        calib = get_calibration(
+            config, seed=spec.seed, dataset=spec.dataset, batch=_CALIB_BATCH, seq=_CALIB_SEQ
+        )
+        w = linears[layer]
+        w_q = quantize_tensor(w, qcfg).w_deq
+        return {"layer_mse": layer_output_mse(calib[layer], w, w_q)}
+
+    raise ValueError(f"unknown cell kind {spec.kind!r} (known: ppl, acc, layer_mse)")

@@ -18,6 +18,9 @@ activations.  This module is the per-process memo under the pipeline:
 * :func:`get_quantized_model` — one quantized clone per
   (model, PTQ-method key), so evaluating a method on N datasets
   quantizes once.
+* :func:`get_plan_model` — one mixed-precision clone per
+  (model, :class:`~repro.policy.plan.QuantPlan` key), so a plan's
+  perplexity and accuracy cells share the quantization work.
 
 Everything here is *in-process* memoization; the cross-run, on-disk
 layer lives in :mod:`repro.pipeline.store` and is keyed compatibly via
@@ -42,6 +45,7 @@ __all__ = [
     "get_task_evaluator",
     "get_calibration",
     "get_quantized_model",
+    "get_plan_model",
     "clear_context",
 ]
 
@@ -50,6 +54,7 @@ _PPL: Dict[Tuple, "PplContext"] = {}
 _TASKS: Dict[Tuple, object] = {}
 _CALIB: Dict[Tuple, Dict[str, np.ndarray]] = {}
 _QUANTIZED: Dict[Tuple, CausalLM] = {}
+_PLANNED: Dict[Tuple, CausalLM] = {}
 
 
 def clear_context() -> None:
@@ -59,6 +64,7 @@ def clear_context() -> None:
     _TASKS.clear()
     _CALIB.clear()
     _QUANTIZED.clear()
+    _PLANNED.clear()
 
 
 def get_model(config: ModelConfig, seed: int = 0) -> CausalLM:
@@ -158,4 +164,20 @@ def get_quantized_model(
         if calib is None:
             calib = get_calibration(config, seed)
         qmodel = _QUANTIZED[key] = method.quantize_model(get_model(config, seed), calib)
+    return qmodel
+
+
+def get_plan_model(config: ModelConfig, plan, seed: int = 0) -> CausalLM:
+    """Apply a mixed-precision plan to (config, seed) exactly once.
+
+    ``plan`` is a :class:`~repro.policy.plan.QuantPlan`; the memo key
+    is its content-addressed ``cache_key()``, so a plan's perplexity
+    and accuracy cells (and any repeat evaluations) share one
+    quantized clone.
+    """
+    key = (config.cache_key(), seed, plan.cache_key())
+    qmodel = _PLANNED.get(key)
+    if qmodel is None:
+        model = get_model(config, seed)
+        qmodel = _PLANNED[key] = model.apply_quantizer(plan.as_quantizer())
     return qmodel

@@ -83,6 +83,13 @@ class Engine:
         self.jobs = max(1, int(jobs))
         self.computed = 0
         self._pool: Optional[ProcessPoolExecutor] = None
+        # In-process result memo: repeat evaluations of a key within
+        # one engine's lifetime never re-read the store (and are not
+        # recomputed even with the store disabled).  Reconfiguring the
+        # engine (--cache-dir/--no-cache) builds a fresh instance, so
+        # the memo can never outlive the store it was filled from —
+        # unlike the module-level lru_cache it replaces.
+        self._memo: Dict[str, dict] = {}
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -121,7 +128,9 @@ class Engine:
         results: Dict[str, dict] = {}
         missing: List[Tuple[str, CellSpec]] = []
         for k, s in unique.items():
-            cached = self.store.get_json(CELL_KIND, k)
+            cached = self._memo.get(k)
+            if cached is None:
+                cached = self.store.get_json(CELL_KIND, k)
             if cached is not None:
                 results[k] = cached
             else:
@@ -138,6 +147,7 @@ class Engine:
                     self.store.put_json(CELL_KIND, k, result)
                     results[k] = result
 
+        self._memo.update(results)
         return [results[k] for k in keys]
 
     def _run_parallel(

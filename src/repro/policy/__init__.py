@@ -1,0 +1,64 @@
+"""repro.policy — per-layer mixed-precision planning engine.
+
+The subsystem that turns the paper's adaptive-datatype idea into
+model-level deployments:
+
+* :mod:`repro.policy.plan` — :class:`QuantPlan`, the frozen
+  layer-name -> :class:`~repro.quant.config.QuantConfig` mapping with
+  a content-addressed ``cache_key()``, plus the memory/precision
+  accounting that bridges plans into the hardware layer;
+* :mod:`repro.policy.sensitivity` — per-layer damage profiling
+  (delta-PPL or calibration output MSE) as cached pipeline cells;
+* :mod:`repro.policy.solvers` — uniform / threshold / greedy-knapsack
+  budget allocation, and the engine-backed accelerator precision
+  policy behind Fig. 7/8.
+
+Plans thread through every layer above the quantizer: evaluation
+cells (``CellSpec.plan``), serve artifacts (per-layer packed dtypes),
+the hardware simulator (``simulate_plan``), and the DSE policy axis
+(``DesignSpace.policies``).
+"""
+
+from repro.policy.plan import (
+    QuantPlan,
+    config_memory_bits,
+    layer_names,
+    plan_gemm_bits,
+    plan_weight_bytes,
+)
+from repro.policy.sensitivity import (
+    SENSITIVITY_METRICS,
+    SensitivityProfile,
+    profile_sensitivity,
+)
+from repro.policy.solvers import (
+    QUALITY_THRESHOLD_DPPL,
+    accelerator_weight_bits,
+    budget_plan,
+    make_plan,
+    plan_floor_bytes,
+    threshold_plan,
+    uniform_plan,
+)
+
+__all__ = [
+    "QuantPlan",
+    "layer_names",
+    "config_memory_bits",
+    "plan_weight_bytes",
+    "plan_gemm_bits",
+    "SensitivityProfile",
+    "profile_sensitivity",
+    "SENSITIVITY_METRICS",
+    "uniform_plan",
+    "threshold_plan",
+    "budget_plan",
+    "plan_floor_bytes",
+    "make_plan",
+    "accelerator_weight_bits",
+    "QUALITY_THRESHOLD_DPPL",
+]
+
+#: Bump when plan-resolution semantics (profiling metrics, solver
+#: behaviour) change incompatibly — cached DSE policy records key on it.
+POLICY_SCHEMA_VERSION = 1

@@ -1,0 +1,323 @@
+"""Per-layer mixed-precision quantization plans.
+
+A :class:`QuantPlan` is the first-class object behind the paper's
+adaptive-datatype story at *model* granularity: a frozen mapping from
+transformer layer names (the keys of ``CausalLM.named_linears()``,
+e.g. ``"layers.0.q_proj"``) to the :class:`~repro.quant.config.QuantConfig`
+each layer is quantized with.  Layers absent from a plan stay FP16 —
+the convention the single-layer sensitivity probes rely on.
+
+Plans are content-addressed: :meth:`QuantPlan.cache_key` composes the
+per-layer ``QuantConfig.cache_key()`` digests, so plans flow through
+the PR-3 content-addressed store exactly like uniform configs — a plan
+cell, a plan-quantized serve artifact, and a plan design point all key
+on the same digest machinery.
+
+The memory-accounting helpers (:func:`config_memory_bits`,
+:func:`plan_weight_bytes`, :func:`plan_gemm_bits`) bridge plans into
+the hardware layer: storage bits per weight *including group metadata*
+for the budget solver and DRAM traffic model, and per-GEMM element
+precisions for the bit-serial timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.quant.config import QuantConfig, quantize_tensor
+
+__all__ = [
+    "QuantPlan",
+    "layer_names",
+    "config_memory_bits",
+    "plan_weight_bytes",
+    "plan_gemm_bits",
+]
+
+#: Bits per weight of an unquantized (FP16) layer.
+FP16_BITS = 16.0
+
+
+def layer_names(config: ModelConfig) -> List[str]:
+    """The quantizable layer names of ``config``'s sim-scale model.
+
+    Matches ``CausalLM.named_linears()`` without building the model:
+    every decoder-block linear, in layer-major order.
+    """
+    return [
+        f"layers.{i}.{proj}"
+        for i in range(config.sim_layers)
+        for proj in config.sim_shapes()
+    ]
+
+
+def config_memory_bits(config: QuantConfig, row_len: int) -> float:
+    """Storage bits per weight of ``config`` on rows of length ``row_len``.
+
+    Includes group metadata (scaling factors, zero points, special-value
+    selectors) via ``DataType.memory_bits_per_weight`` — the same
+    accounting as ``QuantResult.memory_bits``, computed without
+    quantizing anything.
+    """
+    dtype = config.resolve_dtype()
+    group = config.group_size if config.granularity == "group" else row_len
+    return dtype.memory_bits_per_weight(group)
+
+
+@dataclass(frozen=True)
+class QuantPlan:
+    """A frozen per-layer quantization assignment.
+
+    ``layers`` is a name-sorted tuple of ``(layer_name, QuantConfig)``
+    pairs; ``name`` is a display label that does **not** participate in
+    the cache key (two plans with equal content but different labels
+    share cache entries).
+    """
+
+    name: str
+    layers: Tuple[Tuple[str, QuantConfig], ...] = ()
+
+    def __post_init__(self):
+        names = [n for n, _ in self.layers]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"plan {self.name!r}: duplicate layers {dupes}")
+        if list(names) != sorted(names):
+            object.__setattr__(
+                self, "layers", tuple(sorted(self.layers, key=lambda kv: kv[0]))
+            )
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mapping(
+        cls, mapping: Mapping[str, QuantConfig], name: str = "plan"
+    ) -> "QuantPlan":
+        return cls(name=name, layers=tuple(sorted(mapping.items())))
+
+    @classmethod
+    def uniform(
+        cls,
+        config: QuantConfig,
+        layers: Iterable[str],
+        name: Optional[str] = None,
+    ) -> "QuantPlan":
+        """Every named layer quantized with the same ``config``.
+
+        A uniform plan reproduces global-``QuantConfig`` behaviour
+        exactly: its quantizer output is bit-identical to quantizing
+        each layer with ``config`` directly.
+        """
+        if name is None:
+            dt = config.dtype if isinstance(config.dtype, str) else config.resolve_dtype().name
+            name = f"uniform:{dt}"
+        return cls(name=name, layers=tuple((n, config) for n in sorted(layers)))
+
+    @classmethod
+    def single_layer(
+        cls, layer: str, config: QuantConfig, name: Optional[str] = None
+    ) -> "QuantPlan":
+        """One quantized layer, everything else FP16 (sensitivity probe)."""
+        return cls(name=name or f"probe:{layer}", layers=((layer, config),))
+
+    # ------------------------------------------------------------------
+    # Mapping access.
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __contains__(self, layer: str) -> bool:
+        return any(n == layer for n, _ in self.layers)
+
+    def items(self) -> Tuple[Tuple[str, QuantConfig], ...]:
+        return self.layers
+
+    def layer_list(self) -> List[str]:
+        return [n for n, _ in self.layers]
+
+    def config_for(self, layer: str) -> Optional[QuantConfig]:
+        """The config quantizing ``layer``; ``None`` = stays FP16."""
+        for n, c in self.layers:
+            if n == layer:
+                return c
+        return None
+
+    def with_layer(self, layer: str, config: QuantConfig) -> "QuantPlan":
+        """Functional single-layer update."""
+        mapping = dict(self.layers)
+        mapping[layer] = config
+        return QuantPlan.from_mapping(mapping, name=self.name)
+
+    def uniform_config(self) -> Optional[QuantConfig]:
+        """The shared config if the plan is uniform, else ``None``."""
+        configs = {c for _n, c in self.layers}
+        return next(iter(configs)) if len(configs) == 1 else None
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def as_quantizer(self) -> Callable[[str, np.ndarray], np.ndarray]:
+        """The ``(name, w) -> w_deq`` function ``apply_quantizer`` takes.
+
+        Layers outside the plan pass through unquantized (FP16).
+        """
+        mapping = dict(self.layers)
+
+        def quantize(layer_name: str, w: np.ndarray) -> np.ndarray:
+            config = mapping.get(layer_name)
+            if config is None:
+                return w
+            return quantize_tensor(w, config).w_deq
+
+        return quantize
+
+    # ------------------------------------------------------------------
+    # Content addressing and serialization.
+    # ------------------------------------------------------------------
+    def cache_key(self) -> str:
+        """Stable digest composed from the per-layer config digests.
+
+        The display ``name`` is excluded: plans key by content, so two
+        solvers arriving at the same assignment share pipeline cells,
+        packed artifacts, and design-point records.
+        """
+        from repro.pipeline.keys import stable_digest
+
+        return stable_digest(
+            {"layers": {n: c.cache_key() for n, c in self.layers}}
+        )
+
+    def resolve_names(self) -> "QuantPlan":
+        """Normalize every dtype to its registry name (serialization)."""
+        return QuantPlan(
+            name=self.name,
+            layers=tuple(
+                (
+                    n,
+                    c if isinstance(c.dtype, str) else c.with_(dtype=c.resolve_dtype().name),
+                )
+                for n, c in self.layers
+            ),
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-able form (the serve-artifact header schema)."""
+        return {
+            "name": self.name,
+            "layers": [
+                {
+                    "layer": n,
+                    "dtype": c.dtype if isinstance(c.dtype, str) else c.resolve_dtype().name,
+                    "granularity": c.granularity,
+                    "group_size": c.group_size,
+                    "scale_bits": c.scale_bits,
+                    "clip_ratio": c.clip_ratio,
+                }
+                for n, c in self.layers
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "QuantPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=d["name"],
+            layers=tuple(
+                (
+                    e["layer"],
+                    QuantConfig(
+                        dtype=e["dtype"],
+                        granularity=e["granularity"],
+                        group_size=e["group_size"],
+                        scale_bits=e["scale_bits"],
+                        clip_ratio=e["clip_ratio"],
+                    ),
+                )
+                for e in d["layers"]
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable per-layer assignment table."""
+        lines = [f"QuantPlan {self.name!r} ({len(self.layers)} layers)"]
+        for n, c in self.layers:
+            dt = c.dtype if isinstance(c.dtype, str) else c.resolve_dtype().name
+            lines.append(f"  {n:<24} {dt:<14} {c.granularity}/{c.group_size}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Memory accounting and the hardware bridge.
+# ----------------------------------------------------------------------
+
+
+def _proj_bits(
+    plan: QuantPlan,
+    config: ModelConfig,
+    proj: str,
+    row_len: int,
+    element_only: bool,
+) -> float:
+    """Mean bits per weight of one projection kind across sim layers.
+
+    The sim-scale plan names ``sim_layers`` instances of each block
+    linear; the full-size model repeats the projection ``n_layers``
+    times.  Averaging over the sim layers is the faithful aggregate:
+    each sim layer stands for an equal share of the full stack.
+    """
+    bits = []
+    for i in range(config.sim_layers):
+        c = plan.config_for(f"layers.{i}.{proj}")
+        if c is None:
+            bits.append(FP16_BITS)
+        elif element_only:
+            bits.append(float(c.resolve_dtype().bits))
+        else:
+            bits.append(config_memory_bits(c, row_len))
+    return float(np.mean(bits)) if bits else FP16_BITS
+
+
+def plan_weight_bytes(plan: QuantPlan, config: ModelConfig) -> float:
+    """Full-size storage bytes of the decoder-block weights under ``plan``.
+
+    Metadata included (``memory_bits_per_weight``); the embedding, norms
+    and LM head stay FP16 and are excluded — this is the quantity the
+    memory-budget solver constrains.
+    """
+    total = 0.0
+    for gemm in config.block_gemms(1):
+        bits = _proj_bits(plan, config, gemm.name, gemm.k, element_only=False)
+        total += gemm.weight_elements * bits / 8.0
+    return total
+
+
+def plan_gemm_bits(plan: QuantPlan, config: ModelConfig) -> Dict[str, float]:
+    """Per-GEMM element precisions driving the hardware simulator.
+
+    Maps every block-GEMM name (``q_proj``, ``fc1``, ...) to the mean
+    *element* bits of the plan's layers for that projection, plus an
+    ``lm_head`` entry at the element-weighted mean of all block
+    projections (the LM head streams at the deployment's packed
+    precision, the same convention as
+    ``serve.bridge.hardware_report``).  A uniform b-bit plan therefore
+    maps every GEMM to exactly b and reproduces ``simulate(...,
+    weight_bits=b)``.
+    """
+    bits: Dict[str, float] = {}
+    weighted = 0.0
+    elements = 0
+    for gemm in config.block_gemms(1):
+        b = _proj_bits(plan, config, gemm.name, gemm.k, element_only=True)
+        bits[gemm.name] = b
+        weighted += b * gemm.weight_elements
+        elements += gemm.weight_elements
+    bits["lm_head"] = weighted / elements if elements else FP16_BITS
+    return bits

@@ -1,0 +1,150 @@
+"""Layer-sensitivity profiling through cached pipeline cells.
+
+Which layers can afford low precision?  The profiler answers by
+scoring every (layer, candidate-config) pair with one of two metrics,
+each evaluated as a content-addressed pipeline cell so the expensive
+half amortizes through the PR-3 store across budgets, solvers, and
+runs:
+
+* ``"dppl"`` — quantize *only* that layer (single-layer
+  :class:`~repro.policy.plan.QuantPlan`, everything else FP16) and
+  measure the perplexity increase over the FP16 anchor.  The gold
+  metric: a real forward pass per cell.
+* ``"layer_mse"`` — the calibration-activation output MSE of
+  :func:`repro.methods.base.layer_output_mse`: one matmul per cell,
+  two orders of magnitude cheaper, and the standard proxy of the
+  mixed-precision literature.
+
+Scores are "damage" values: lower is better, and a higher-precision
+candidate never needs to score better — solvers only assume the
+per-layer orderings the scores actually measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.pipeline.cells import CellSpec
+from repro.policy.plan import QuantPlan, layer_names
+from repro.quant.config import QuantConfig
+
+__all__ = ["SensitivityProfile", "profile_sensitivity", "SENSITIVITY_METRICS"]
+
+SENSITIVITY_METRICS = ("dppl", "layer_mse")
+
+
+@dataclass(frozen=True)
+class SensitivityProfile:
+    """Per-layer damage scores for a candidate-config ladder.
+
+    ``scores[i][j]`` is the damage of quantizing ``layers[i]`` with
+    ``candidates[j]`` (all other layers FP16).
+    """
+
+    model: str
+    dataset: str
+    metric: str
+    quick: bool
+    candidates: Tuple[QuantConfig, ...]
+    layers: Tuple[str, ...]
+    scores: Tuple[Tuple[float, ...], ...]
+
+    def score(self, layer: str, candidate: int) -> float:
+        return self.scores[self.layers.index(layer)][candidate]
+
+    def ranked_layers(self, candidate: int) -> List[str]:
+        """Layers most-damaged-first under one candidate config."""
+        order = sorted(
+            range(len(self.layers)),
+            key=lambda i: (-self.scores[i][candidate], self.layers[i]),
+        )
+        return [self.layers[i] for i in order]
+
+    def cache_key(self) -> str:
+        from repro.pipeline.keys import stable_digest
+
+        return stable_digest(
+            {
+                "model": self.model,
+                "dataset": self.dataset,
+                "metric": self.metric,
+                "quick": self.quick,
+                "candidates": [c.cache_key() for c in self.candidates],
+                "layers": list(self.layers),
+                "scores": [list(row) for row in self.scores],
+            }
+        )
+
+
+def _probe_spec(
+    model: str, dataset: str, metric: str, layer: str, config: QuantConfig, quick: bool, seed: int
+) -> CellSpec:
+    plan = QuantPlan.single_layer(layer, config)
+    if metric == "dppl":
+        return CellSpec(model=model, dataset=dataset, kind="ppl", plan=plan, quick=quick, seed=seed)
+    return CellSpec(
+        model=model, dataset=dataset, kind="layer_mse", plan=plan, quick=quick, seed=seed
+    )
+
+
+def profile_sensitivity(
+    model: str,
+    candidates: Sequence[QuantConfig],
+    dataset: str = "wikitext",
+    metric: str = "dppl",
+    layers: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    seed: int = 0,
+    engine=None,
+) -> SensitivityProfile:
+    """Score every (layer, candidate) pair as cached pipeline cells.
+
+    One cell per pair, deduplicated and fanned out by the engine
+    (``--jobs N`` applies), persisted in the content-addressed store —
+    a second profiling of the same (model, ladder, metric) is pure
+    replay, regardless of which solver or budget asks.
+    """
+    if metric not in SENSITIVITY_METRICS:
+        raise ValueError(
+            f"unknown sensitivity metric {metric!r} "
+            f"(known: {', '.join(SENSITIVITY_METRICS)})"
+        )
+    if not candidates:
+        raise ValueError("profile_sensitivity needs at least one candidate config")
+    if engine is None:
+        from repro.pipeline import get_engine
+
+        engine = get_engine()
+
+    from repro.models.zoo import get_model_config
+
+    config = get_model_config(model)
+    names = list(layers) if layers is not None else layer_names(config)
+
+    specs = [
+        _probe_spec(model, dataset, metric, layer, cand, quick, seed)
+        for layer in names
+        for cand in candidates
+    ]
+    cells = engine.run(specs)
+
+    n_cand = len(candidates)
+    rows: List[Tuple[float, ...]] = []
+    for i, _layer in enumerate(names):
+        chunk = cells[i * n_cand : (i + 1) * n_cand]
+        if metric == "dppl":
+            anchor = engine.fp16_ppl(model, dataset)
+            rows.append(tuple(float(c["ppl"] - anchor) for c in chunk))
+        else:
+            rows.append(tuple(float(c["layer_mse"]) for c in chunk))
+
+    return SensitivityProfile(
+        model=model,
+        dataset=dataset,
+        metric=metric,
+        quick=quick,
+        candidates=tuple(candidates),
+        layers=tuple(names),
+        scores=tuple(rows),
+    )

@@ -1,0 +1,300 @@
+"""Allocation solvers: sensitivity scores -> per-layer precision plans.
+
+Three solvers cover the deployment scenarios of the ROADMAP:
+
+* :func:`uniform_plan` — every layer shares one config; reproduces the
+  historical global-``QuantConfig`` behaviour bit-for-bit.
+* :func:`threshold_plan` — per layer, the cheapest candidate whose
+  measured damage stays under a quality threshold (the per-layer
+  generalization of the accelerator policy that
+  ``experiments.policy.choose_weight_bits`` applies per model).
+* :func:`budget_plan` — greedy knapsack under a full-size
+  weight-memory budget: start every layer at the cheapest candidate,
+  then repeatedly buy the upgrade with the best damage-reduction per
+  extra byte until the next upgrade no longer fits.  The upgrade
+  sequence is budget-independent, so a larger budget takes a strict
+  superset of upgrades — memory-vs-damage is monotone by construction.
+
+:func:`accelerator_weight_bits` is the engine-backed replacement for
+the old ``lru_cache`` memo in ``experiments/policy.py``: the measured
+delta-perplexity lives in content-addressed pipeline cells (honouring
+``--cache-dir``/``--no-cache`` reconfiguration within a process, which
+the module-level memo did not).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.models.config import ModelConfig
+from repro.policy.plan import QuantPlan, config_memory_bits, layer_names
+from repro.policy.sensitivity import SensitivityProfile, profile_sensitivity
+from repro.quant.config import QuantConfig
+
+__all__ = [
+    "uniform_plan",
+    "threshold_plan",
+    "budget_plan",
+    "plan_floor_bytes",
+    "make_plan",
+    "accelerator_weight_bits",
+    "QUALITY_THRESHOLD_DPPL",
+]
+
+#: Acceptable perplexity increase over FP16 for a "lossy" deployment.
+QUALITY_THRESHOLD_DPPL = 1.0
+
+
+def uniform_plan(
+    config: ModelConfig, qconfig: QuantConfig, name: Optional[str] = None
+) -> QuantPlan:
+    """Every decoder-block linear of ``config`` quantized with ``qconfig``."""
+    return QuantPlan.uniform(qconfig, layer_names(config), name=name)
+
+
+# ----------------------------------------------------------------------
+# Shared cost model: full-size bytes attributable to one sim layer.
+# ----------------------------------------------------------------------
+
+
+def _layer_costs(
+    profile: SensitivityProfile, config: ModelConfig
+) -> Dict[str, List[float]]:
+    """Full-size storage bytes per (layer, candidate).
+
+    Each sim layer stands for ``n_layers / sim_layers`` full-size
+    instances of its projection, so its byte share is the projection's
+    total weight elements divided by ``sim_layers``.
+    """
+    gemms = {g.name: g for g in config.block_gemms(1)}
+    costs: Dict[str, List[float]] = {}
+    for layer in profile.layers:
+        proj = layer.split(".")[-1]
+        gemm = gemms[proj]
+        share = gemm.weight_elements / config.sim_layers
+        costs[layer] = [
+            share * config_memory_bits(c, gemm.k) / 8.0 for c in profile.candidates
+        ]
+    return costs
+
+
+def _cost_order(costs: Sequence[float], scores: Sequence[float]) -> List[int]:
+    """Candidate indices cheapest-first (ties: lower damage first)."""
+    return sorted(range(len(costs)), key=lambda j: (costs[j], scores[j], j))
+
+
+def plan_floor_bytes(
+    candidates: Sequence[QuantConfig], config: ModelConfig
+) -> float:
+    """Bytes of the all-cheapest assignment — the lowest budget any
+    plan over ``candidates`` can meet."""
+    total = 0.0
+    for gemm in config.block_gemms(1):
+        total += gemm.weight_elements * min(
+            config_memory_bits(c, gemm.k) for c in candidates
+        ) / 8.0
+    return total
+
+
+def threshold_plan(
+    profile: SensitivityProfile,
+    config: ModelConfig,
+    threshold: float,
+    name: Optional[str] = None,
+) -> QuantPlan:
+    """Cheapest candidate per layer whose damage is within ``threshold``.
+
+    Layers where even the most expensive candidate exceeds the
+    threshold get that most expensive (least damaging by cost order)
+    candidate — the per-layer analogue of ANT/OliVe falling back to
+    8-bit when their 4-bit quality is unacceptable.
+    """
+    costs = _layer_costs(profile, config)
+    assignment: Dict[str, QuantConfig] = {}
+    for i, layer in enumerate(profile.layers):
+        order = _cost_order(costs[layer], profile.scores[i])
+        pick = order[-1]
+        for j in order:
+            if profile.scores[i][j] <= threshold:
+                pick = j
+                break
+        assignment[layer] = profile.candidates[pick]
+    return QuantPlan.from_mapping(
+        assignment, name=name or f"threshold:{threshold:g}"
+    )
+
+
+def budget_plan(
+    profile: SensitivityProfile,
+    config: ModelConfig,
+    budget_bytes: float,
+    name: Optional[str] = None,
+) -> QuantPlan:
+    """Greedy knapsack under a full-size weight-memory budget.
+
+    Raises :class:`ValueError` when even the all-cheapest assignment
+    exceeds ``budget_bytes``.  The greedy upgrade sequence does not
+    depend on the budget (it stops at the first upgrade that does not
+    fit), so plans for increasing budgets form a chain: more memory
+    never increases total measured damage.
+    """
+    costs = _layer_costs(profile, config)
+    orders = {
+        layer: _cost_order(costs[layer], profile.scores[i])
+        for i, layer in enumerate(profile.layers)
+    }
+    # Position in each layer's cheapest-first candidate order.
+    position = {layer: 0 for layer in profile.layers}
+    total = sum(costs[layer][orders[layer][0]] for layer in profile.layers)
+    if total > budget_bytes:
+        raise ValueError(
+            f"budget {budget_bytes / 1e6:.1f} MB is below the floor "
+            f"{total / 1e6:.1f} MB of the cheapest candidate assignment"
+        )
+
+    def next_upgrade(layer: str) -> Optional[Tuple[float, float, float, int]]:
+        """(ratio, gain, extra, target_pos) of the layer's best next step.
+
+        The target is the nearest *strictly improving* rung up the
+        layer's cost order — dominated rungs (more bytes, no less
+        damage) are jumped over rather than terminating the chain, so
+        a cheap candidate that happens to score worse than its
+        predecessor never blocks a genuinely better one above it.
+        """
+        i = profile.layers.index(layer)
+        order = orders[layer]
+        pos = position[layer]
+        cur_score = profile.scores[i][order[pos]]
+        cur_cost = costs[layer][order[pos]]
+        for target in range(pos + 1, len(order)):
+            gain = cur_score - profile.scores[i][order[target]]
+            if gain <= 0.0:
+                continue
+            extra = costs[layer][order[target]] - cur_cost
+            ratio = math.inf if extra <= 0.0 else gain / extra
+            return (ratio, gain, extra, target)
+        return None
+
+    while True:
+        best = None
+        for layer in profile.layers:
+            r = next_upgrade(layer)
+            if r is None:
+                continue
+            key = (r[0], r[1], layer)
+            if best is None or key > best[0]:
+                best = (key, layer, r[2], r[3])
+        if best is None:
+            break
+        _key, layer, extra, target = best
+        if total + extra > budget_bytes:
+            break
+        position[layer] = target
+        total += extra
+
+    assignment = {
+        layer: profile.candidates[orders[layer][position[layer]]]
+        for layer in profile.layers
+    }
+    return QuantPlan.from_mapping(
+        assignment, name=name or f"budget:{budget_bytes / 1e6:.0f}MB"
+    )
+
+
+# ----------------------------------------------------------------------
+# High-level entry point (the DSE policy axis lands here).
+# ----------------------------------------------------------------------
+
+
+def make_plan(
+    model: str,
+    solver: str,
+    candidates: Sequence[QuantConfig],
+    budget_mb: Optional[float] = None,
+    threshold: Optional[float] = None,
+    metric: str = "layer_mse",
+    dataset: str = "wikitext",
+    quick: bool = False,
+    engine=None,
+    name: Optional[str] = None,
+) -> QuantPlan:
+    """Profile ``model`` and solve one plan.
+
+    ``solver`` is ``"budget"`` (needs ``budget_mb``), ``"threshold"``
+    (needs ``threshold``) or ``"uniform"`` (single candidate, no
+    profiling).  Profiling cells amortize through the pipeline store
+    across budgets and solvers.
+    """
+    from repro.models.zoo import get_model_config
+
+    config = get_model_config(model)
+    if solver == "uniform":
+        if len(candidates) != 1:
+            raise ValueError("uniform solver takes exactly one candidate config")
+        return uniform_plan(config, candidates[0], name=name)
+    if solver not in ("budget", "threshold"):
+        raise ValueError(
+            f"unknown plan solver {solver!r} (known: budget, threshold, uniform)"
+        )
+    profile = profile_sensitivity(
+        model,
+        candidates,
+        dataset=dataset,
+        metric=metric,
+        quick=quick,
+        engine=engine,
+    )
+    if solver == "budget":
+        if budget_mb is None:
+            raise ValueError("budget solver needs budget_mb")
+        return budget_plan(profile, config, budget_mb * 1e6, name=name)
+    if threshold is None:
+        raise ValueError("threshold solver needs threshold")
+    return threshold_plan(profile, config, threshold, name=name)
+
+
+# ----------------------------------------------------------------------
+# The accelerator weight-precision policy (Fig. 7/8).
+# ----------------------------------------------------------------------
+
+
+def accelerator_weight_bits(
+    accel: str,
+    model: str,
+    task: str,
+    lossless: bool = False,
+    threshold: float = QUALITY_THRESHOLD_DPPL,
+    engine=None,
+) -> int:
+    """Weight precision an accelerator uses on a model/task.
+
+    * ``fp16`` — always 16.
+    * ``bitmod`` lossless — INT6 (near-zero loss per Table II).
+    * ``bitmod`` lossy — 4-bit (discriminative) / 3-bit (generative),
+      the paper's Section V-C configuration.
+    * ``ant`` / ``olive`` — 4-bit when their own per-channel datatype
+      stays within ``threshold`` perplexity increase, else 8-bit.
+
+    The measured delta-perplexity is an engine cell: cached in the
+    content-addressed store (and the engine's in-process memo), so it
+    follows ``--cache-dir``/``--no-cache`` reconfiguration instead of
+    living in a module-level memo.
+    """
+    if accel == "fp16":
+        return 16
+    if accel == "bitmod":
+        if lossless:
+            return 6
+        return 4 if task == "discriminative" else 3
+    if accel in ("ant", "olive"):
+        if engine is None:
+            from repro.pipeline import get_engine
+
+            engine = get_engine()
+        cell = engine.ppl(
+            model, "wikitext", QuantConfig(dtype=f"{accel}4", granularity="channel")
+        )
+        dppl = cell["ppl"] - engine.fp16_ppl(model, "wikitext")
+        return 4 if dppl <= threshold else 8
+    raise KeyError(f"unknown accelerator {accel!r}")

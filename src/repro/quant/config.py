@@ -29,11 +29,17 @@ from repro.dtypes.mx import MXType
 from repro.dtypes.olive import OliveType
 from repro.dtypes.registry import get_dtype
 from repro.quant.adaptive import quantize_rows_ant, quantize_rows_bitmod
-from repro.quant.granularity import RowLayout, from_rows, rows_per_channel, to_rows
+from repro.quant.granularity import (
+    GRANULARITIES,
+    RowLayout,
+    from_rows,
+    rows_per_channel,
+    to_rows,
+)
 from repro.quant.quantizer import RowQuant, quantize_rows_grid
 from repro.quant.scale import quantize_scales
 
-__all__ = ["QuantConfig", "QuantResult", "quantize_tensor"]
+__all__ = ["QuantConfig", "QuantResult", "quantize_tensor", "GRANULARITIES"]
 
 
 @dataclass(frozen=True)
@@ -62,6 +68,21 @@ class QuantConfig:
     group_size: int = 128
     scale_bits: Optional[int] = 8
     clip_ratio: float = 1.0
+
+    def __post_init__(self):
+        if self.granularity not in GRANULARITIES:
+            raise ValueError(
+                f"granularity must be one of {', '.join(GRANULARITIES)}; "
+                f"got {self.granularity!r}"
+            )
+        if not isinstance(self.group_size, int) or self.group_size < 1:
+            raise ValueError(
+                f"group_size must be a positive integer; got {self.group_size!r}"
+            )
+        if not 0.0 < self.clip_ratio <= 1.0:
+            raise ValueError(
+                f"clip_ratio must lie in (0, 1]; got {self.clip_ratio!r}"
+            )
 
     def resolve_dtype(self) -> DataType:
         if isinstance(self.dtype, DataType):

@@ -98,8 +98,16 @@ def pack_tensor(w: np.ndarray, config: QuantConfig) -> PackedTensor:
     """Quantize ``w`` and serialize it into a DRAM image.
 
     Supports integer and BitMoD/grid datatypes (the formats the BitMoD
-    accelerator executes).
+    accelerator executes) at group or channel granularity; the stored
+    ``group_size`` is the *effective* scale-row length (the channel
+    size for per-channel quantization), which is what makes the
+    container self-describing on unpack.
     """
+    if config.granularity == "tensor":
+        raise ValueError(
+            "per-tensor granularity has no packed container representation; "
+            "pack at 'group' or 'channel' granularity"
+        )
     dtype = config.resolve_dtype()
     result = quantize_tensor(w, config)
     rows, layout = to_rows(w, result.layout.granularity, result.layout.group_size)
@@ -154,7 +162,9 @@ def pack_tensor(w: np.ndarray, config: QuantConfig) -> PackedTensor:
         dtype_name=dtype.name,
         bits=dtype.bits,
         shape=tuple(w.shape),
-        group_size=layout.group_size,
+        # Effective scale-row length: the group size at group
+        # granularity, the channel size at channel granularity.
+        group_size=rows.shape[1],
         element_data=pack_bits(codes, dtype.bits),
         sf_codes=sf_codes,
         channel_scales=channel_scales,

@@ -8,6 +8,13 @@ leftovers (embedding, norms, LM head) stored raw, and the policy
 needed to reproduce the quantization (dtype, granularity, group size,
 scale bits, KV-cache precision).
 
+Quantization is described either by one global
+:class:`~repro.quant.config.QuantConfig` or by a per-layer
+:class:`~repro.policy.plan.QuantPlan` — a mixed-precision artifact
+serializes each tensor at its own dtype/granularity and carries the
+plan in the header, so heterogeneous deployments reload byte-exactly
+just like uniform ones.
+
 File layout (little-endian)::
 
     bytes 0..7    magic  b"RPROSRV\\x01"
@@ -37,6 +44,7 @@ from repro.models.transformer import CausalLM
 from repro.models.zoo import get_model_config
 from repro.pipeline.keys import array_digest, stable_digest
 from repro.pipeline.store import CacheStore
+from repro.policy.plan import QuantPlan
 from repro.quant.config import QuantConfig
 from repro.quant.kv import KVQuantConfig
 from repro.quant.packing import PackedTensor, pack_tensor, unpack_tensor
@@ -54,7 +62,9 @@ __all__ = [
 PACKED_KIND = "packed"
 
 #: Bump when the PackedTensor wire format changes incompatibly.
-PACKED_SCHEMA_VERSION = 1
+#: v2: ``group_size`` records the effective scale-row length (channel
+#: length at channel granularity), not the config's nominal group size.
+PACKED_SCHEMA_VERSION = 2
 
 ARTIFACT_MAGIC = b"RPROSRV\x01"
 ARTIFACT_VERSION = 1
@@ -70,6 +80,9 @@ class ModelArtifact:
     kv_quant: Optional[KVQuantConfig]
     packed: Dict[str, PackedTensor] = field(default_factory=dict)
     raw_weights: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: Per-layer mixed-precision plan, when the artifact was packed
+    #: from one (``None`` = uniform ``quant_config`` artifact).
+    plan: Optional[QuantPlan] = None
 
     @property
     def packed_bytes(self) -> int:
@@ -84,9 +97,20 @@ class ModelArtifact:
         return bits / elements if elements else 16.0
 
     def tensor_config(self, name: str) -> QuantConfig:
-        """The :class:`QuantConfig` that unpacks tensor ``name``."""
+        """The :class:`QuantConfig` that unpacks tensor ``name``.
+
+        Mixed-precision artifacts resolve the layer's own plan entry
+        (granularity/scale bits/clipping may differ per layer); the
+        packed image's dtype name and group size stay authoritative
+        either way.
+        """
         p = self.packed[name]
-        return self.quant_config.with_(dtype=p.dtype_name, group_size=p.group_size)
+        base = self.quant_config
+        if self.plan is not None:
+            planned = self.plan.config_for(name)
+            if planned is not None:
+                base = planned
+        return base.with_(dtype=p.dtype_name, group_size=p.group_size)
 
     def instantiate(self) -> CausalLM:
         """Rebuild the quantized :class:`CausalLM` from the artifact."""
@@ -177,43 +201,64 @@ def pack_tensor_cached(
 
 def pack_model(
     model: CausalLM,
-    quant_config: QuantConfig,
+    quant: Union[QuantConfig, QuantPlan],
     store: Optional[CacheStore] = None,
 ) -> Tuple[Dict[str, PackedTensor], Dict[str, np.ndarray]]:
     """Quantize + bit-pack every block linear of ``model``.
 
-    Returns ``(packed, raw)``: the packed linears and the FP16
-    weights that stay unquantized (embedding, norms, LM head).  With a
-    ``store``, each tensor's packed image is served from the
-    content-addressed cache when its (weight bytes, quant key) address
-    has been packed before — rebuilding an artifact for an already-
-    quantized model touches no quantizer at all.
+    ``quant`` is one global :class:`QuantConfig` or a per-layer
+    :class:`~repro.policy.plan.QuantPlan` — plan layers pack at their
+    own config, and layers the plan leaves out stay with the raw FP16
+    weights.  Returns ``(packed, raw)``: the packed linears and the
+    FP16 weights that stay unquantized (embedding, norms, LM head,
+    unplanned linears).  With a ``store``, each tensor's packed image
+    is served from the content-addressed cache when its (weight bytes,
+    quant key) address has been packed before — rebuilding an artifact
+    for an already-quantized model touches no quantizer at all.
     """
     linears = model.named_linears()
-    packed = {
-        name: pack_tensor_cached(w, quant_config, store) for name, w in linears.items()
-    }
-    raw = {k: v for k, v in model.weights.items() if k not in linears}
+    packed: Dict[str, PackedTensor] = {}
+    for name, w in linears.items():
+        config = quant.config_for(name) if isinstance(quant, QuantPlan) else quant
+        if config is None:
+            continue
+        packed[name] = pack_tensor_cached(w, config, store)
+    raw = {k: v for k, v in model.weights.items() if k not in packed}
     return packed, raw
 
 
 def save_artifact(
     path: Union[str, Path],
     model: CausalLM,
-    quant_config: QuantConfig,
+    quant_config: Union[QuantConfig, QuantPlan],
     kv_quant: Optional[KVQuantConfig] = None,
     store: Optional[CacheStore] = None,
 ) -> ModelArtifact:
     """Quantize ``model`` and write the packed artifact to ``path``.
 
-    The quantization dtype must be a registry name (artifacts store
-    names, not instances) so the artifact is loadable anywhere.
-    ``store`` routes the per-tensor quantization through the pipeline's
-    content-addressed cache (see :func:`pack_model`).
+    ``quant_config`` is a global :class:`QuantConfig` or a per-layer
+    :class:`~repro.policy.plan.QuantPlan`.  Quantization dtypes must
+    be registry names (artifacts store names, not instances) so the
+    artifact is loadable anywhere; plans are normalized via
+    ``resolve_names()``.  ``store`` routes the per-tensor quantization
+    through the pipeline's content-addressed cache (see
+    :func:`pack_model`).
     """
-    if not isinstance(quant_config.dtype, str):
-        quant_config = quant_config.with_(dtype=quant_config.resolve_dtype().name)
-    packed, raw = pack_model(model, quant_config, store)
+    plan = None
+    if isinstance(quant_config, QuantPlan):
+        plan = quant_config.resolve_names()
+        if len(plan) == 0:
+            raise ValueError("cannot pack an artifact from an empty plan")
+        # The header's global quant block falls back to the first
+        # layer's config; every packed tensor resolves through the
+        # plan, so the fallback only labels the artifact.
+        quant_config = plan.layers[0][1]
+        quant = plan
+    else:
+        if not isinstance(quant_config.dtype, str):
+            quant_config = quant_config.with_(dtype=quant_config.resolve_dtype().name)
+        quant = quant_config
+    packed, raw = pack_model(model, quant, store)
     artifact = ModelArtifact(
         model_name=model.config.name,
         seed=model.seed,
@@ -221,6 +266,7 @@ def save_artifact(
         kv_quant=kv_quant,
         packed=packed,
         raw_weights=raw,
+        plan=plan,
     )
     write_artifact(path, artifact)
     return artifact
@@ -318,6 +364,8 @@ def write_artifact(path: Union[str, Path], artifact: ModelArtifact) -> None:
         ),
         "tensors": tensors,
     }
+    if artifact.plan is not None:
+        header["plan"] = artifact.plan.to_dict()
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
 
     with open(path, "wb") as f:
@@ -386,4 +434,7 @@ def load_artifact(path: Union[str, Path]) -> ModelArtifact:
         kv_quant=None if kv is None else KVQuantConfig(bits=kv["bits"], per_head=kv["per_head"]),
         packed=packed,
         raw_weights=raw,
+        # Uniform artifacts (and containers written before plans
+        # existed) simply carry no plan block.
+        plan=None if "plan" not in header else QuantPlan.from_dict(header["plan"]),
     )

@@ -1,0 +1,172 @@
+"""Tests for the DSE policy axis: expansion, records, frontier shape."""
+
+import pytest
+
+from repro.dse.space import (
+    DatatypeChoice,
+    DesignSpace,
+    PolicyChoice,
+    get_preset,
+)
+from repro.dse.sweep import resolve_plan, run_points, run_sweep
+from repro.pipeline import Engine
+from repro.pipeline.store import CacheStore
+
+LADDER = (
+    DatatypeChoice(3, "bitmod_fp3"),
+    DatatypeChoice(4, "bitmod_fp4"),
+    DatatypeChoice(8, "int8_sym"),
+)
+
+
+def _space(**kwargs):
+    defaults = dict(
+        name="policy-test",
+        datatypes=LADDER,
+        models=("opt-1.3b",),
+        tasks=("generative",),
+        quick=True,
+    )
+    defaults.update(kwargs)
+    return DesignSpace(**defaults)
+
+
+class TestPolicyChoice:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown plan solver"):
+            PolicyChoice(solver="bogus", budget_mb=1.0)
+        with pytest.raises(ValueError, match="need budget_mb"):
+            PolicyChoice(solver="budget")
+        with pytest.raises(ValueError, match="need threshold"):
+            PolicyChoice(solver="threshold")
+        with pytest.raises(ValueError, match="unknown sensitivity metric"):
+            PolicyChoice(solver="budget", budget_mb=1.0, metric="bogus")
+
+    def test_labels(self):
+        assert PolicyChoice(solver="budget", budget_mb=500).label == "budget:500MB"
+        assert PolicyChoice(solver="threshold", threshold=0.5).label == "threshold:0.5"
+
+
+class TestExpansion:
+    def test_policies_add_points(self):
+        space = _space(
+            policies=(PolicyChoice(solver="budget", budget_mb=600.0),)
+        )
+        points, skipped = space.points()
+        policy_points = [p for p in points if p.policy is not None]
+        assert len(policy_points) == 1
+        assert len(points) == len(LADDER) + 1
+        assert not skipped
+        # The empty ladder inherited the space datatypes.
+        assert policy_points[0].policy.ladder == LADDER
+        assert policy_points[0].dtype is None
+
+    def test_infeasible_budget_skipped_with_reason(self):
+        space = _space(policies=(PolicyChoice(solver="budget", budget_mb=1.0),))
+        points, skipped = space.points()
+        assert all(p.policy is None for p in points)
+        assert any("below the" in reason for _params, reason in skipped)
+
+    def test_n_candidates_counts_policies(self):
+        space = _space(policies=(PolicyChoice(solver="threshold", threshold=0.1),))
+        assert space.n_candidates() == len(LADDER) + 1
+
+    def test_round_trip_via_dict(self):
+        space = _space(
+            policies=(
+                PolicyChoice(solver="budget", budget_mb=600.0),
+                PolicyChoice(solver="threshold", threshold=0.25, metric="dppl"),
+            )
+        )
+        assert DesignSpace.from_dict(space.to_dict()) == space
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        space = _space(
+            policies=tuple(
+                PolicyChoice(solver="budget", budget_mb=mb)
+                for mb in (500.0, 700.0, 900.0)
+            )
+        )
+        engine = Engine(store=CacheStore(tmp_path_factory.mktemp("dse-policy")))
+        with engine:
+            return run_sweep(space, engine=engine)
+
+    def test_policy_records_fields(self, result):
+        policy_records = [r for r in result.records if r["policy"] is not None]
+        assert len(policy_records) == 3
+        for r in policy_records:
+            assert r["dtype"] == "plan"
+            assert r["plan"] is not None and r["plan"]["layers"]
+            assert 3.0 <= r["bits"] <= 8.0
+            assert r["weight_mb"] is not None
+            assert r["ppl"] is not None
+
+    def test_budget_respected_and_monotone(self, result):
+        policy_records = sorted(
+            (r for r in result.records if r["policy"] is not None),
+            key=lambda r: r["weight_mb"],
+        )
+        budgets = [500.0, 700.0, 900.0]
+        for r, budget in zip(policy_records, budgets):
+            assert r["weight_mb"] <= budget
+        ppls = [r["ppl"] for r in policy_records]
+        assert all(a >= b for a, b in zip(ppls, ppls[1:]))
+        times = [r["time_ms"] for r in policy_records]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_memory_ppl_frontier_is_monotone(self, result):
+        front = sorted(
+            result.frontier(objectives=("weight_mb", "ppl"), senses=("min", "min")),
+            key=lambda r: r["weight_mb"],
+        )
+        assert len(front) >= 2
+        ppls = [r["ppl"] for r in front]
+        assert all(a > b for a, b in zip(ppls, ppls[1:]))
+
+    def test_uniform_datatype_records_carry_weight_mb(self, result):
+        uniform = [r for r in result.records if r["policy"] is None]
+        assert all(r["weight_mb"] is not None for r in uniform)
+        by_bits = sorted(uniform, key=lambda r: r["bits"])
+        sizes = [r["weight_mb"] for r in by_bits]
+        assert sizes == sorted(sizes)
+
+    def test_warm_rerun_is_pure_replay(self, result, tmp_path):
+        engine = Engine(store=CacheStore(tmp_path))
+        space = _space(
+            policies=(PolicyChoice(solver="budget", budget_mb=700.0),)
+        )
+        with engine:
+            cold = run_sweep(space, engine=engine)
+        warm_engine = Engine(store=CacheStore(tmp_path))
+        with warm_engine:
+            warm = run_sweep(space, engine=warm_engine)
+        assert warm.records == cold.records
+        assert warm.computed == 0
+
+
+class TestResolvePlan:
+    def test_non_policy_point_rejected(self):
+        space = _space()
+        points, _ = space.points()
+        with pytest.raises(ValueError, match="carries no policy"):
+            resolve_plan(points[0])
+
+    def test_same_policy_resolves_identically(self, tmp_path):
+        space = _space(policies=(PolicyChoice(solver="budget", budget_mb=800.0),))
+        (point,) = [p for p in space.points()[0] if p.policy is not None]
+        engine = Engine(store=CacheStore(tmp_path))
+        a = resolve_plan(point, engine=engine)
+        b = resolve_plan(point, engine=engine)
+        assert a.cache_key() == b.cache_key()
+
+
+class TestPreset:
+    def test_memory_budget_preset_expands(self):
+        space = get_preset("memory-budget", quick=True)
+        points, skipped = space.points()
+        assert not skipped
+        assert sum(1 for p in points if p.policy is not None) == 8
+        assert sum(1 for p in points if p.dtype is not None) == 4

@@ -87,3 +87,81 @@ class TestPaperShapes:
         small = simulate(get_model_config("opt-1.3b"), accels["fp16"], "generative", 16)
         big = simulate(get_model_config("llama-2-13b"), accels["fp16"], "generative", 16)
         assert big.cycles > 4 * small.cycles
+
+
+class TestSimulatePlan:
+    """Per-layer precision aggregation (repro.policy bridge)."""
+
+    def _names(self, cfg):
+        return [g.name for g in cfg.block_gemms(1)] + ["lm_head"]
+
+    def test_uniform_assignment_reproduces_simulate(self, accels, llama):
+        from repro.hw.simulator import simulate_plan
+
+        for task in ("discriminative", "generative"):
+            for bits in (3, 4, 6, 8):
+                ref = simulate(llama, accels["bitmod"], task, bits)
+                uni = simulate_plan(
+                    llama,
+                    accels["bitmod"],
+                    task,
+                    {n: float(bits) for n in self._names(llama)},
+                )
+                assert uni.cycles == ref.cycles
+                assert uni.energy == ref.energy
+                assert uni.weight_bits == bits
+
+    def test_mixed_assignment_between_extremes(self, accels, llama):
+        from repro.hw.simulator import simulate_plan
+
+        bits = {n: 3.0 for n in self._names(llama)}
+        bits["down_proj"] = 8.0
+        bits["lm_head"] = 8.0
+        lo = simulate(llama, accels["bitmod"], "generative", 3)
+        hi = simulate(llama, accels["bitmod"], "generative", 8)
+        mid = simulate_plan(llama, accels["bitmod"], "generative", bits)
+        assert lo.cycles < mid.cycles < hi.cycles
+        assert lo.energy.total_uj < mid.energy.total_uj < hi.energy.total_uj
+        assert 3.0 < mid.weight_bits < 8.0
+
+    def test_unnamed_gemms_default_to_fp16(self, accels, llama):
+        from repro.hw.simulator import simulate_plan
+
+        empty = simulate_plan(llama, accels["bitmod"], "generative", {})
+        ref = simulate(llama, accels["bitmod"], "generative", 16)
+        assert empty.cycles == ref.cycles
+        assert empty.weight_bits == 16.0
+
+    def test_unknown_task_rejected(self, accels, llama):
+        from repro.hw.simulator import simulate_plan
+
+        with pytest.raises(ValueError, match="task must be"):
+            simulate_plan(llama, accels["bitmod"], "translation", {})
+
+
+class TestTrafficBitsMap:
+    def test_uniform_map_matches_scalar_bits(self, llama):
+        from repro.hw.dram import TrafficModel
+
+        names = [g.name for g in llama.block_gemms(1)] + ["lm_head"]
+        scalar = TrafficModel(llama, weight_bits=4.0, kv_bits=8.0)
+        mapped = TrafficModel(
+            llama,
+            weight_bits=4.0,
+            kv_bits=8.0,
+            weight_bits_map=tuple((n, 4.0) for n in names),
+        )
+        assert scalar.pass_traffic(1, 256) == mapped.pass_traffic(1, 256)
+
+    def test_partial_map_falls_back(self, llama):
+        from repro.hw.dram import TrafficModel
+
+        lean = TrafficModel(
+            llama,
+            weight_bits=16.0,
+            kv_bits=8.0,
+            weight_bits_map=(("lm_head", 4.0),),
+        )
+        full = TrafficModel(llama, weight_bits=16.0, kv_bits=8.0)
+        saved = full.pass_traffic(1, 256).weight_bytes - lean.pass_traffic(1, 256).weight_bytes
+        assert saved == pytest.approx(llama.vocab * llama.hidden * 12.0 / 8.0)

@@ -1,0 +1,154 @@
+"""Tests for QuantPlan: construction, keys, execution, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.models.zoo import get_model_config
+from repro.policy import (
+    QuantPlan,
+    config_memory_bits,
+    layer_names,
+    plan_gemm_bits,
+    plan_weight_bytes,
+    uniform_plan,
+)
+from repro.quant.config import QuantConfig, quantize_tensor
+
+CFG = get_model_config("opt-1.3b")
+FP4 = QuantConfig(dtype="bitmod_fp4")
+FP3 = QuantConfig(dtype="bitmod_fp3")
+
+
+class TestConstruction:
+    def test_layer_names_match_named_linears(self):
+        from repro.models.transformer import CausalLM
+
+        model = CausalLM(CFG, seed=0)
+        assert layer_names(CFG) == sorted(model.named_linears(), key=layer_names(CFG).index)
+        assert set(layer_names(CFG)) == set(model.named_linears())
+
+    def test_layers_sorted_and_deduplicated(self):
+        plan = QuantPlan(
+            name="p", layers=(("layers.1.fc1", FP4), ("layers.0.fc1", FP3))
+        )
+        assert plan.layer_list() == ["layers.0.fc1", "layers.1.fc1"]
+        with pytest.raises(ValueError, match="duplicate layers"):
+            QuantPlan(name="p", layers=(("a", FP4), ("a", FP3)))
+
+    def test_uniform_helpers(self):
+        plan = uniform_plan(CFG, FP4)
+        assert len(plan) == len(layer_names(CFG))
+        assert plan.uniform_config() == FP4
+        mixed = plan.with_layer("layers.0.fc1", FP3)
+        assert mixed.uniform_config() is None
+        assert mixed.config_for("layers.0.fc1") == FP3
+
+    def test_config_for_missing_layer_is_fp16(self):
+        plan = QuantPlan.single_layer("layers.0.fc1", FP4)
+        assert plan.config_for("layers.0.fc2") is None
+        assert "layers.0.fc1" in plan and "layers.0.fc2" not in plan
+
+
+class TestQuantizer:
+    def test_uniform_plan_matches_global_config(self, rng):
+        w = rng.standard_normal((16, 256))
+        fn = uniform_plan(CFG, FP4).as_quantizer()
+        ref = quantize_tensor(w, FP4).w_deq
+        assert np.array_equal(fn("layers.0.q_proj", w), ref)
+
+    def test_unplanned_layer_passes_through(self, rng):
+        w = rng.standard_normal((8, 128))
+        fn = QuantPlan.single_layer("layers.0.fc1", FP4).as_quantizer()
+        assert fn("layers.2.fc2", w) is w
+
+    def test_apply_plan_clones(self):
+        from repro.models.transformer import CausalLM
+
+        model = CausalLM(CFG, seed=0)
+        clone = model.apply_plan(QuantPlan.single_layer("layers.0.q_proj", FP3))
+        assert clone is not model
+        assert not np.array_equal(
+            clone.weights["layers.0.q_proj"], model.weights["layers.0.q_proj"]
+        )
+        assert np.array_equal(
+            clone.weights["layers.0.k_proj"], model.weights["layers.0.k_proj"]
+        )
+
+
+class TestCacheKey:
+    def test_name_excluded_from_key(self):
+        a = QuantPlan.single_layer("layers.0.fc1", FP4, name="a")
+        b = QuantPlan.single_layer("layers.0.fc1", FP4, name="b")
+        assert a.cache_key() == b.cache_key()
+
+    def test_key_sensitive_to_single_layer_change(self):
+        base = uniform_plan(CFG, FP4)
+        assert base.cache_key() != base.with_layer("layers.0.fc1", FP3).cache_key()
+        assert (
+            base.cache_key()
+            != base.with_layer("layers.0.fc1", FP4.with_(group_size=64)).cache_key()
+        )
+
+    def test_key_insensitive_to_construction_order(self):
+        a = QuantPlan(name="p", layers=(("x", FP4), ("y", FP3)))
+        b = QuantPlan(name="p", layers=(("y", FP3), ("x", FP4)))
+        assert a.cache_key() == b.cache_key()
+
+    def test_dtype_name_and_instance_key_identically(self):
+        from repro.dtypes.registry import get_dtype
+
+        by_name = QuantPlan.single_layer("l", QuantConfig(dtype="bitmod_fp4"))
+        by_inst = QuantPlan.single_layer("l", QuantConfig(dtype=get_dtype("bitmod_fp4")))
+        assert by_name.cache_key() == by_inst.cache_key()
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        plan = uniform_plan(CFG, FP4).with_layer(
+            "layers.0.fc1", QuantConfig(dtype="int6_sym", granularity="channel")
+        )
+        back = QuantPlan.from_dict(plan.to_dict())
+        assert back == plan.resolve_names()
+        assert back.cache_key() == plan.cache_key()
+
+    def test_summary_mentions_layers(self):
+        s = uniform_plan(CFG, FP4).summary()
+        assert "layers.0.q_proj" in s and "bitmod_fp4" in s
+
+
+class TestAccounting:
+    def test_config_memory_bits_matches_quant_result(self, rng):
+        w = rng.standard_normal((16, 256))
+        for cfg in (FP4, QuantConfig(dtype="int6_sym", granularity="channel")):
+            result = quantize_tensor(w, cfg)
+            assert config_memory_bits(cfg, 256) * w.size == pytest.approx(
+                result.memory_bits
+            )
+
+    def test_uniform_weight_bytes_scale_with_bits(self):
+        b3 = plan_weight_bytes(uniform_plan(CFG, FP3), CFG)
+        b4 = plan_weight_bytes(uniform_plan(CFG, FP4), CFG)
+        assert b3 < b4
+        # Element bits dominate: ratio close to 3/4 (metadata adds a bit).
+        assert b3 / b4 == pytest.approx(3.0 / 4.0, rel=0.05)
+
+    def test_gemm_bits_uniform(self):
+        bits = plan_gemm_bits(uniform_plan(CFG, FP4), CFG)
+        assert set(bits) == {g.name for g in CFG.block_gemms(1)} | {"lm_head"}
+        assert all(b == 4.0 for b in bits.values())
+
+    def test_gemm_bits_mixed_mean(self):
+        plan = uniform_plan(CFG, FP3)
+        # Upgrade one of four fc1 layers to 8-bit: mean = (8+3*3)/4.
+        plan = plan.with_layer("layers.0.fc1", QuantConfig(dtype="int8_sym"))
+        bits = plan_gemm_bits(plan, CFG)
+        assert bits["fc1"] == pytest.approx((8 + 3 * 3) / 4)
+        assert bits["q_proj"] == 3.0
+
+    def test_unplanned_layers_count_as_fp16(self):
+        empty = QuantPlan(name="none")
+        bits = plan_gemm_bits(empty, CFG)
+        assert all(b == 16.0 for b in bits.values())
+        assert plan_weight_bytes(empty, CFG) == pytest.approx(
+            sum(g.weight_elements for g in CFG.block_gemms(1)) * 2.0
+        )

@@ -1,0 +1,123 @@
+"""Tests for the sensitivity profiler and its cached probe cells."""
+
+import pytest
+
+from repro.models.zoo import get_model_config
+from repro.pipeline import CellSpec, Engine, cell_key
+from repro.pipeline.store import CacheStore
+from repro.policy import QuantPlan, layer_names, profile_sensitivity
+from repro.quant.config import QuantConfig
+
+MODEL = "opt-1.3b"
+CFG = get_model_config(MODEL)
+LADDER = (
+    QuantConfig(dtype="bitmod_fp3"),
+    QuantConfig(dtype="bitmod_fp4"),
+    QuantConfig(dtype="int8_sym"),
+)
+
+
+class TestLayerMseCells:
+    def test_cell_value_matches_direct_computation(self, tmp_path):
+        from repro.methods.base import layer_output_mse
+        from repro.pipeline.cells import compute_cell
+        from repro.pipeline.context import get_calibration, get_model
+
+        layer = "layers.0.q_proj"
+        spec = CellSpec(
+            model=MODEL,
+            kind="layer_mse",
+            plan=QuantPlan.single_layer(layer, LADDER[0]),
+        )
+        cell = compute_cell(spec)
+        model = get_model(CFG, 0)
+        calib = get_calibration(CFG, seed=0, dataset="wikitext", batch=2, seq=64)
+        from repro.quant.config import quantize_tensor
+
+        w = model.named_linears()[layer]
+        expected = layer_output_mse(
+            calib[layer], w, quantize_tensor(w, LADDER[0]).w_deq
+        )
+        assert cell["layer_mse"] == pytest.approx(expected)
+
+    def test_layer_mse_needs_single_layer_plan(self):
+        with pytest.raises(ValueError, match="exactly one layer"):
+            cell_key(
+                CellSpec(
+                    model=MODEL,
+                    kind="layer_mse",
+                    plan=QuantPlan.uniform(LADDER[0], ["a", "b"]),
+                )
+            )
+
+    def test_plan_exclusive_with_quant(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            cell_key(
+                CellSpec(
+                    model=MODEL,
+                    quant=LADDER[0],
+                    plan=QuantPlan.single_layer("layers.0.fc1", LADDER[0]),
+                )
+            )
+
+    def test_unknown_layer_lists_known(self):
+        from repro.pipeline.cells import compute_cell
+
+        with pytest.raises(KeyError, match="known: "):
+            compute_cell(
+                CellSpec(
+                    model=MODEL,
+                    kind="layer_mse",
+                    plan=QuantPlan.single_layer("layers.99.bogus", LADDER[0]),
+                )
+            )
+
+
+class TestProfiler:
+    def test_layer_mse_profile_shape_and_caching(self, tmp_path):
+        engine = Engine(store=CacheStore(tmp_path))
+        prof = profile_sensitivity(MODEL, LADDER, metric="layer_mse", engine=engine)
+        n_layers = len(layer_names(CFG))
+        assert len(prof.layers) == n_layers
+        assert all(len(row) == len(LADDER) for row in prof.scores)
+        assert all(s >= 0.0 for row in prof.scores for s in row)
+        assert engine.computed == n_layers * len(LADDER)
+
+        # Second profiling (fresh engine, same store) is pure replay.
+        warm = Engine(store=CacheStore(tmp_path))
+        again = profile_sensitivity(MODEL, LADDER, metric="layer_mse", engine=warm)
+        assert again == prof
+        assert warm.computed == 0
+
+    def test_fewer_bits_more_damage_on_average(self, tmp_path):
+        engine = Engine(store=CacheStore(tmp_path))
+        prof = profile_sensitivity(MODEL, LADDER, metric="layer_mse", engine=engine)
+        mean = [
+            sum(row[j] for row in prof.scores) / len(prof.scores)
+            for j in range(len(LADDER))
+        ]
+        assert mean[0] > mean[1] > mean[2]  # fp3 > fp4 > int8 damage
+
+    def test_dppl_metric_uses_ppl_cells(self, tmp_path):
+        engine = Engine(store=CacheStore(tmp_path))
+        layers = layer_names(CFG)[:2]
+        prof = profile_sensitivity(
+            MODEL, LADDER[:1], metric="dppl", layers=layers, engine=engine
+        )
+        assert prof.scores[0][0] >= 0.0
+        assert engine.computed == 2
+
+    def test_ranked_layers_orders_by_damage(self, tmp_path):
+        engine = Engine(store=CacheStore(tmp_path))
+        prof = profile_sensitivity(MODEL, LADDER[:1], metric="layer_mse", engine=engine)
+        ranked = prof.ranked_layers(0)
+        damages = [prof.score(l, 0) for l in ranked]
+        assert damages == sorted(damages, reverse=True)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown sensitivity metric"):
+            profile_sensitivity(MODEL, LADDER, metric="bogus")
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError, match="at least one candidate"):
+            profile_sensitivity(MODEL, ())

@@ -1,0 +1,181 @@
+"""Tests for the allocation solvers and the accelerator policy."""
+
+import pytest
+
+from repro.models.zoo import get_model_config
+from repro.pipeline import Engine
+from repro.pipeline.store import CacheStore
+from repro.policy import (
+    budget_plan,
+    make_plan,
+    plan_floor_bytes,
+    plan_weight_bytes,
+    profile_sensitivity,
+    threshold_plan,
+    uniform_plan,
+)
+from repro.quant.config import QuantConfig
+
+MODEL = "opt-1.3b"
+CFG = get_model_config(MODEL)
+LADDER = (
+    QuantConfig(dtype="bitmod_fp3"),
+    QuantConfig(dtype="bitmod_fp4"),
+    QuantConfig(dtype="int6_sym"),
+    QuantConfig(dtype="int8_sym"),
+)
+
+
+@pytest.fixture(scope="module")
+def profile(tmp_path_factory):
+    engine = Engine(store=CacheStore(tmp_path_factory.mktemp("policy-cells")))
+    return profile_sensitivity(MODEL, LADDER, metric="layer_mse", engine=engine)
+
+
+def _total_damage(profile, plan):
+    total = 0.0
+    for i, layer in enumerate(profile.layers):
+        total += profile.scores[i][profile.candidates.index(plan.config_for(layer))]
+    return total
+
+
+class TestThresholdSolver:
+    def test_huge_threshold_picks_cheapest_everywhere(self, profile):
+        plan = threshold_plan(profile, CFG, threshold=1e9)
+        assert plan.uniform_config() == LADDER[0]
+
+    def test_zero_threshold_falls_back_to_richest(self, profile):
+        plan = threshold_plan(profile, CFG, threshold=0.0)
+        assert plan.uniform_config() == LADDER[-1]
+
+    def test_intermediate_threshold_is_mixed_and_compliant(self, profile):
+        mid = sorted(s for row in profile.scores for s in row)[
+            len(profile.layers) * len(LADDER) // 2
+        ]
+        plan = threshold_plan(profile, CFG, threshold=mid)
+        dtypes = {c.dtype for _n, c in plan.items()}
+        assert len(dtypes) > 1
+        for i, layer in enumerate(profile.layers):
+            j = profile.candidates.index(plan.config_for(layer))
+            score = profile.scores[i][j]
+            # Either compliant, or the layer's best available candidate.
+            assert score <= mid or j == len(LADDER) - 1
+
+
+class TestBudgetSolver:
+    def test_floor_budget_yields_cheapest_plan(self, profile):
+        floor = plan_floor_bytes(LADDER, CFG)
+        plan = budget_plan(profile, CFG, floor * 1.0001)
+        assert plan.uniform_config() == LADDER[0]
+        assert plan_weight_bytes(plan, CFG) <= floor * 1.0001
+
+    def test_below_floor_rejected(self, profile):
+        floor = plan_floor_bytes(LADDER, CFG)
+        with pytest.raises(ValueError, match="below the floor"):
+            budget_plan(profile, CFG, floor * 0.9)
+
+    def test_huge_budget_buys_every_useful_upgrade(self, profile):
+        plan = budget_plan(profile, CFG, 1e12)
+        # Greedy stops only when no upgrade reduces damage further.
+        tight = budget_plan(profile, CFG, plan_weight_bytes(plan, CFG) + 1.0)
+        assert tight.cache_key() == plan.cache_key()
+
+    def test_dominated_rung_does_not_block_chain(self):
+        """A mid-ladder candidate scoring worse than its cheaper
+        neighbour must be jumped over, not terminate the layer's
+        upgrade chain."""
+        from repro.policy.sensitivity import SensitivityProfile
+
+        prof = SensitivityProfile(
+            model=MODEL,
+            dataset="wikitext",
+            metric="layer_mse",
+            quick=False,
+            candidates=LADDER[:3],  # fp3 / fp4 / int6, cost ascending
+            layers=("layers.0.q_proj",),
+            # fp4 measures *worse* than fp3; int6 is strictly best.
+            scores=((5.0, 6.0, 0.1),),
+        )
+        plan = budget_plan(prof, CFG, 1e12)
+        assert plan.config_for("layers.0.q_proj") == LADDER[2]
+
+    def test_monotone_in_budget(self, profile):
+        floor = plan_floor_bytes(LADDER, CFG)
+        budgets = [floor * f for f in (1.01, 1.2, 1.5, 1.9, 2.4)]
+        plans = [budget_plan(profile, CFG, b) for b in budgets]
+        sizes = [plan_weight_bytes(p, CFG) for p in plans]
+        damages = [_total_damage(profile, p) for p in plans]
+        for b, s in zip(budgets, sizes):
+            assert s <= b
+        assert sizes == sorted(sizes)
+        assert all(d1 >= d2 for d1, d2 in zip(damages, damages[1:]))
+
+
+class TestMakePlan:
+    def test_uniform_solver(self):
+        plan = make_plan(MODEL, "uniform", [LADDER[1]])
+        assert plan == uniform_plan(CFG, LADDER[1])
+
+    def test_uniform_solver_needs_one_candidate(self):
+        with pytest.raises(ValueError, match="exactly one candidate"):
+            make_plan(MODEL, "uniform", LADDER)
+
+    def test_budget_solver_through_engine(self, tmp_path):
+        engine = Engine(store=CacheStore(tmp_path))
+        floor = plan_floor_bytes(LADDER, CFG)
+        plan = make_plan(
+            MODEL,
+            "budget",
+            LADDER,
+            budget_mb=floor / 1e6 * 1.3,
+            metric="layer_mse",
+            engine=engine,
+        )
+        assert plan_weight_bytes(plan, CFG) <= floor * 1.3
+
+    def test_missing_parameters_rejected(self):
+        with pytest.raises(ValueError, match="budget solver needs budget_mb"):
+            make_plan(MODEL, "budget", LADDER)
+        with pytest.raises(ValueError, match="threshold solver needs threshold"):
+            make_plan(MODEL, "threshold", LADDER)
+        with pytest.raises(ValueError, match="unknown plan solver"):
+            make_plan(MODEL, "bogus", LADDER)
+
+
+class TestAcceleratorPolicy:
+    """The engine-backed replacement of the old lru_cache memo."""
+
+    def test_respects_engine_reconfiguration(self, tmp_path, monkeypatch):
+        """The measured policy must follow the live engine, not a stale
+        module-level memo (the bug the refactor removes)."""
+        from repro import pipeline
+        from repro.experiments.policy import choose_weight_bits
+
+        monkeypatch.setattr(
+            pipeline.engine,
+            "_ENGINE",
+            Engine(store=CacheStore(tmp_path / "a")),
+        )
+        bits_a = choose_weight_bits("ant", "llama-2-13b", "generative")
+        store_a_entries = len(list((tmp_path / "a").rglob("*.json")))
+        assert store_a_entries > 0
+
+        # Reconfigure to a different cache dir: the cells must land in
+        # the *new* store (a process-lifetime memo would skip it).
+        monkeypatch.setattr(
+            pipeline.engine,
+            "_ENGINE",
+            Engine(store=CacheStore(tmp_path / "b")),
+        )
+        bits_b = choose_weight_bits("ant", "llama-2-13b", "generative")
+        assert bits_a == bits_b
+        assert len(list((tmp_path / "b").rglob("*.json"))) > 0
+
+    def test_memoized_within_engine(self, tmp_path):
+        engine = Engine(store=CacheStore(tmp_path))
+        from repro.policy import accelerator_weight_bits
+
+        accelerator_weight_bits("olive", "opt-1.3b", "generative", engine=engine)
+        computed = engine.computed
+        accelerator_weight_bits("olive", "opt-1.3b", "discriminative", engine=engine)
+        assert engine.computed == computed  # same cell, engine memo hit

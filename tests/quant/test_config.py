@@ -77,6 +77,37 @@ class TestDispatch:
         assert cfg2.dtype == "fp4"
 
 
+class TestValidation:
+    """QuantConfig.__post_init__ rejects malformed configurations."""
+
+    def test_unknown_granularity(self):
+        with pytest.raises(ValueError, match="granularity must be one of"):
+            QuantConfig(granularity="per-channel")
+
+    def test_valid_granularities_accepted(self):
+        for g in ("tensor", "channel", "group"):
+            assert QuantConfig(granularity=g).granularity == g
+
+    def test_group_size_must_be_positive_int(self):
+        with pytest.raises(ValueError, match="group_size must be a positive"):
+            QuantConfig(group_size=0)
+        with pytest.raises(ValueError, match="group_size must be a positive"):
+            QuantConfig(group_size=-128)
+        with pytest.raises(ValueError, match="group_size must be a positive"):
+            QuantConfig(group_size=128.0)
+
+    def test_clip_ratio_bounds(self):
+        with pytest.raises(ValueError, match=r"clip_ratio must lie in \(0, 1\]"):
+            QuantConfig(clip_ratio=0.0)
+        with pytest.raises(ValueError, match=r"clip_ratio must lie in \(0, 1\]"):
+            QuantConfig(clip_ratio=1.2)
+        assert QuantConfig(clip_ratio=0.7).clip_ratio == 0.7
+
+    def test_with_helper_revalidates(self):
+        with pytest.raises(ValueError, match="granularity"):
+            QuantConfig().with_(granularity="rows")
+
+
 class TestErrorMetrics:
     def test_mse_zero_for_identical(self, weights):
         assert mse(weights, weights) == 0.0

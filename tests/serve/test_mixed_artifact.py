@@ -1,0 +1,159 @@
+"""Mixed-precision serve artifacts: byte-exact round trips + replay.
+
+The satellite requirement of the repro.policy PR: saving a model
+under a heterogeneous per-layer plan and loading it back must be
+byte-exact (packed images, plan, instantiated weights), and the
+bit-accurate PE replay must agree with the dequantized reference per
+layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.transformer import CausalLM
+from repro.models.zoo import get_model_config
+from repro.policy import QuantPlan, layer_names
+from repro.quant.config import QuantConfig, quantize_tensor
+from repro.serve.artifact import load_artifact, save_artifact
+from repro.serve.engine import InferenceEngine
+
+CFG = get_model_config("opt-1.3b")
+
+#: PE-executable ladder (symmetric ints + BitMoD extended floats).
+LADDER = (
+    QuantConfig(dtype="bitmod_fp3"),
+    QuantConfig(dtype="bitmod_fp4", granularity="channel"),
+    QuantConfig(dtype="int6_sym"),
+    QuantConfig(dtype="int8_sym", group_size=64),
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CausalLM(CFG, seed=0)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    names = layer_names(CFG)
+    # Heterogeneous assignment cycling dtype/granularity/group size,
+    # with one layer deliberately left FP16.
+    mapping = {n: LADDER[i % len(LADDER)] for i, n in enumerate(names[:-1])}
+    return QuantPlan.from_mapping(mapping, name="mixed-test")
+
+
+@pytest.fixture(scope="module")
+def saved(model, plan, tmp_path_factory):
+    path = tmp_path_factory.mktemp("artifacts") / "mixed.rpro"
+    artifact = save_artifact(path, model, plan)
+    return path, artifact
+
+
+class TestRoundTrip:
+    def test_plan_survives(self, saved, plan):
+        _path, artifact = saved
+        back = load_artifact(saved[0])
+        assert back.plan == plan.resolve_names()
+        assert back.plan == artifact.plan
+
+    def test_packed_tensors_byte_exact(self, saved):
+        path, artifact = saved
+        back = load_artifact(path)
+        assert set(back.packed) == set(artifact.packed)
+        for name, p in artifact.packed.items():
+            q = back.packed[name]
+            assert q.dtype_name == p.dtype_name
+            assert q.bits == p.bits
+            assert q.shape == p.shape
+            assert q.group_size == p.group_size
+            assert q.element_data == p.element_data
+            assert np.array_equal(q.sf_codes, p.sf_codes)
+            assert np.array_equal(q.channel_scales, p.channel_scales)
+            if p.sv_selectors is None:
+                assert q.sv_selectors is None
+            else:
+                assert np.array_equal(q.sv_selectors, p.sv_selectors)
+
+    def test_per_layer_dtypes_heterogeneous(self, saved, plan):
+        _path, artifact = saved
+        for name, config in plan.items():
+            assert artifact.packed[name].dtype_name == config.dtype
+        assert len({p.dtype_name for p in artifact.packed.values()}) > 1
+
+    def test_instantiated_weights_match_quantizer(self, saved, model, plan):
+        path, _artifact = saved
+        rebuilt = load_artifact(path).instantiate()
+        for name, config in plan.items():
+            ref = quantize_tensor(model.weights[name], config).w_deq
+            np.testing.assert_allclose(rebuilt.weights[name], ref, atol=1e-12)
+
+    def test_instantiation_deterministic(self, saved):
+        """Loading twice yields bit-identical models (the round trip
+        itself is exact; only the scale reconstruction is float math)."""
+        path, _artifact = saved
+        a = load_artifact(path).instantiate()
+        b = load_artifact(path).instantiate()
+        for name in a.weights:
+            assert np.array_equal(a.weights[name], b.weights[name]), name
+
+    def test_unplanned_layer_stays_fp16(self, saved, model):
+        path, _artifact = saved
+        rebuilt = load_artifact(path).instantiate()
+        fp16_layer = layer_names(CFG)[-1]
+        assert np.array_equal(rebuilt.weights[fp16_layer], model.weights[fp16_layer])
+
+    def test_mean_bits_below_uniform_8bit(self, saved):
+        _path, artifact = saved
+        assert artifact.mean_bits_per_weight < 8.0
+
+
+class TestFunctionalReplay:
+    def test_replay_agrees_with_dequantized_path(self, saved):
+        """The satellite's cross-check: the bit-accurate PE datapath on
+        the packed images matches x @ w_deq.T per layer."""
+        path, artifact = saved
+        engine = InferenceEngine.from_artifact(load_artifact(path))
+        replays = engine.functional_replay(batch_size=3)
+        assert {r.layer for r in replays} == set(artifact.packed)
+        for r in replays:
+            # FP16 accumulation tolerance of the PE datapath.
+            assert r.max_abs_err < 0.05, (r.layer, r.max_abs_err)
+            assert r.pe_cycles > 0
+
+    def test_generation_runs_on_mixed_model(self, saved):
+        engine = InferenceEngine.from_artifact_file(saved[0])
+        seq = engine.generate(np.array([1, 2, 3, 4]))
+        assert len(seq.generated) == seq.generation.max_new_tokens
+
+
+class TestUniformCompatibility:
+    def test_uniform_artifact_unchanged(self, model, tmp_path):
+        """Plain QuantConfig artifacts neither gain a plan block nor
+        change behaviour."""
+        path = tmp_path / "uniform.rpro"
+        save_artifact(path, model, QuantConfig(dtype="bitmod_fp4"))
+        back = load_artifact(path)
+        assert back.plan is None
+        ref = quantize_tensor(
+            model.weights["layers.0.q_proj"], QuantConfig(dtype="bitmod_fp4")
+        ).w_deq
+        np.testing.assert_allclose(
+            back.instantiate().weights["layers.0.q_proj"], ref, atol=1e-12
+        )
+
+    def test_uniform_plan_artifact_equals_config_artifact(self, model, tmp_path):
+        """A uniform plan packs byte-identically to the global config
+        (acceptance: uniform plans reproduce global-config behaviour)."""
+        config = QuantConfig(dtype="bitmod_fp4")
+        a = save_artifact(tmp_path / "a.rpro", model, config)
+        b = save_artifact(
+            tmp_path / "b.rpro", model, QuantPlan.uniform(config, layer_names(CFG))
+        )
+        assert set(a.packed) == set(b.packed)
+        for name in a.packed:
+            assert a.packed[name].element_data == b.packed[name].element_data
+            assert np.array_equal(a.packed[name].sf_codes, b.packed[name].sf_codes)
+
+    def test_empty_plan_rejected(self, model, tmp_path):
+        with pytest.raises(ValueError, match="empty plan"):
+            save_artifact(tmp_path / "e.rpro", model, QuantPlan(name="empty"))
