@@ -39,6 +39,11 @@ Subpackages
     Design-space exploration: declarative accelerator spaces with
     iso-area normalization, cached sweeps joining the hardware model
     with pipeline accuracy cells, and Pareto-frontier reporting.
+``repro.obs``
+    Observability: a span tracer with JSONL/Perfetto chrome-trace
+    export and cross-process merging, a metrics registry (counters,
+    gauges, histograms; JSON snapshots and Prometheus exposition),
+    and structured logging — disabled by default, near-zero cost.
 """
 
 from repro.dtypes import DataType, get_dtype, list_dtypes

@@ -6,6 +6,7 @@ Usage::
     bitmod-repro dse --preset smoke --quick --markdown frontier.md
     bitmod-repro dse --space myspace.json --csv points.csv --json sweep.json
     bitmod-repro dse --preset bandwidth --objectives edp:min,speedup:max
+    bitmod-repro dse --preset smoke --trace out/dse.json --metrics out/dse-metrics.json
     bitmod-repro dse --list-presets
 
 The sweep reuses the pipeline cache: accuracy cells and design-point
@@ -118,9 +119,39 @@ def main(argv=None) -> int:
         default=None,
         help="write the frontier as a markdown table",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT",
+        default=None,
+        help="enable span tracing and write the sweep's trace to OUT "
+        "(.json = chrome trace_event for Perfetto, otherwise JSONL)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="OUT",
+        default=None,
+        help="write the sweep's metrics-registry snapshot as JSON",
+    )
+    parser.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        default=None,
+        help="logging level for the repro.* loggers "
+        "(debug/info/warning/error; default: $REPRO_LOG or warning)",
+    )
     args = parser.parse_args(argv)
 
+    from repro import obs
     from repro.dse.space import PRESETS, get_preset, load_space
+
+    try:
+        obs.setup_logging(args.log_level)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    obs.reset()
+    if args.trace is not None:
+        obs.set_tracing(True)
 
     if args.list_presets:
         for name, space in sorted(PRESETS.items()):
@@ -190,10 +221,13 @@ def main(argv=None) -> int:
         f"store hit rate {cache['hit_rate']:.0%} (dse records + cells)"
     )
 
+    import json as _json
+
     outputs = [
         (args.csv, lambda: to_csv(result.records)),
         (args.json, lambda: to_json(result)),
         (args.markdown, lambda: to_markdown(front)),
+        (args.metrics, lambda: _json.dumps(obs.snapshot(), indent=2)),
     ]
     for dest, render in outputs:
         if dest is None:
@@ -204,6 +238,10 @@ def main(argv=None) -> int:
             print(f"error: cannot write {dest!r}: {e}", file=sys.stderr)
             return 2
         print(f"wrote {dest}")
+    if args.trace is not None:
+        spans = obs.get_tracer().drain()
+        obs.write_trace(args.trace, spans)
+        print(f"wrote {args.trace} ({len(spans)} spans)")
     return 0
 
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.dse.space import DesignPoint, DesignSpace
 from repro.hw.baselines import AcceleratorSpec, make_accelerator
 from repro.hw.simulator import SimResult, simulate, simulate_plan
@@ -57,6 +58,8 @@ __all__ = [
     "run_points",
     "run_sweep",
 ]
+
+_log = obs.get_logger(__name__)
 
 #: Store namespace for design-point records.
 DSE_KIND = "dse"
@@ -289,41 +292,56 @@ def run_points(
     if store is None:
         store = engine.store
 
-    keys = [point_key(p) for p in points]
-    unique: Dict[str, DesignPoint] = {}
-    for k, p in zip(keys, points):
-        unique.setdefault(k, p)
+    with obs.span("dse.run_points", n_points=len(points)):
+        keys = [point_key(p) for p in points]
+        unique: Dict[str, DesignPoint] = {}
+        for k, p in zip(keys, points):
+            unique.setdefault(k, p)
 
-    records: Dict[str, dict] = {}
-    missing: List[Tuple[str, DesignPoint]] = []
-    for k, p in unique.items():
-        cached = store.get_json(DSE_KIND, k)
-        if cached is not None:
-            records[k] = cached
-        else:
-            missing.append((k, p))
+        records: Dict[str, dict] = {}
+        missing: List[Tuple[str, DesignPoint]] = []
+        for k, p in unique.items():
+            cached = store.get_json(DSE_KIND, k)
+            if cached is not None:
+                records[k] = cached
+            else:
+                missing.append((k, p))
+        obs.counter("dse.points.cached").inc(len(unique) - len(missing))
+        obs.counter("dse.points.computed").inc(len(missing))
 
-    if missing:
-        # Policy points first solve their plans — the sensitivity
-        # probes are engine cells, deduplicated against the store, so
-        # N budgets over one (model, ladder, metric) profile once.
-        plans: Dict[str, QuantPlan] = {
-            k: resolve_plan(p, engine=engine)
-            for k, p in missing
-            if p.policy is not None
-        }
-        # One engine pass for every accuracy cell the misses need;
-        # the engine deduplicates and parallelizes.
-        specs = [_cell_spec(p, plans.get(k)) for k, p in missing]
-        needed = [s for s in specs if s is not None]
-        cells = iter(engine.run(needed)) if needed else iter(())
-        for (k, p), spec in zip(missing, specs):
-            cell = next(cells) if spec is not None else None
-            record = _evaluate(p, cell, plans.get(k))
-            store.put_json(DSE_KIND, k, record)
-            records[k] = record
+        if missing:
+            traced = obs.tracing_enabled()
+            # Policy points first solve their plans — the sensitivity
+            # probes are engine cells, deduplicated against the store, so
+            # N budgets over one (model, ladder, metric) profile once.
+            with obs.span("dse.resolve_plans"):
+                plans: Dict[str, QuantPlan] = {
+                    k: resolve_plan(p, engine=engine)
+                    for k, p in missing
+                    if p.policy is not None
+                }
+            # One engine pass for every accuracy cell the misses need;
+            # the engine deduplicates and parallelizes.
+            specs = [_cell_spec(p, plans.get(k)) for k, p in missing]
+            needed = [s for s in specs if s is not None]
+            cells = iter(engine.run(needed)) if needed else iter(())
+            for (k, p), spec in zip(missing, specs):
+                cell = next(cells) if spec is not None else None
+                with (
+                    obs.span(
+                        "dse.point",
+                        space=p.space,
+                        model=p.model,
+                        arch=p.arch.name,
+                    )
+                    if traced
+                    else obs.NOOP_SPAN
+                ):
+                    record = _evaluate(p, cell, plans.get(k))
+                store.put_json(DSE_KIND, k, record)
+                records[k] = record
 
-    return [records[k] for k in keys], len(missing)
+        return [records[k] for k in keys], len(missing)
 
 
 @dataclass
@@ -376,8 +394,19 @@ def run_sweep(
 ) -> SweepResult:
     """Expand ``space`` and evaluate every valid design point."""
     t0 = time.perf_counter()
-    points, skipped = space.points()
-    records, computed = run_points(points, engine=engine, store=store)
+    with obs.span("dse.sweep", space=space.name):
+        points, skipped = space.points()
+        for _params, reason in skipped:
+            obs.counter("dse.skipped", reason=reason).inc()
+        records, computed = run_points(points, engine=engine, store=store)
+    _log.info(
+        "sweep %s: %d points (%d computed, %d skipped) in %.1fs",
+        space.name,
+        len(records),
+        computed,
+        len(skipped),
+        time.perf_counter() - t0,
+    )
     return SweepResult(
         space=space,
         points=points,

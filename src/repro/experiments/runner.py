@@ -11,6 +11,8 @@ Usage::
     bitmod-repro --no-cache table06           # bypass the cache entirely
     bitmod-repro --list
     bitmod-repro dse --preset paper-pareto    # design-space exploration
+    bitmod-repro --all --quick --trace out/trace.json --metrics out/metrics.json
+    bitmod-repro obs summarize out/trace.json # trace/metrics tooling
 
 Every experiment draws its evaluation cells from the shared
 :mod:`repro.pipeline` engine: unique (model × dataset × datatype ×
@@ -68,14 +70,21 @@ def run_experiment(name: str, quick: bool = False):
 
 
 #: Runner options that consume the following token (a literal "dse"
-#: after one of these is an option value, not the subcommand).
-_VALUE_OPTIONS = {"--jobs", "--cache-dir", "--json"}
+#: or "obs" after one of these is an option value, not a subcommand).
+_VALUE_OPTIONS = {
+    "--jobs",
+    "--cache-dir",
+    "--json",
+    "--trace",
+    "--metrics",
+    "--log-level",
+}
 
 
-def _dse_index(argv) -> int:
-    """Position of the ``dse`` subcommand token, or -1."""
+def _subcommand_index(argv, name: str) -> int:
+    """Position of the ``name`` subcommand token, or -1."""
     for i, token in enumerate(argv):
-        if token == "dse" and (i == 0 or argv[i - 1] not in _VALUE_OPTIONS):
+        if token == name and (i == 0 or argv[i - 1] not in _VALUE_OPTIONS):
             return i
     return -1
 
@@ -84,7 +93,13 @@ def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     argv = list(argv)
-    dse_at = _dse_index(argv)
+    obs_at = _subcommand_index(argv, "obs")
+    if obs_at >= 0:
+        # Trace/metrics tooling has its own argparse surface.
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[:obs_at] + argv[obs_at + 1 :])
+    dse_at = _subcommand_index(argv, "dse")
     if dse_at >= 0:
         # Design-space exploration has its own surface; delegate,
         # keeping flags on either side of the subcommand token
@@ -130,6 +145,26 @@ def main(argv=None) -> int:
         action="store_true",
         help="after table06, print the paper-vs-measured comparison",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT",
+        default=None,
+        help="enable span tracing and write the run's trace to OUT "
+        "(.json = chrome trace_event for Perfetto, otherwise JSONL)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="OUT",
+        default=None,
+        help="write the run's metrics-registry snapshot as JSON",
+    )
+    parser.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        default=None,
+        help="logging level for the repro.* loggers "
+        "(debug/info/warning/error; default: $REPRO_LOG or warning)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -141,7 +176,19 @@ def main(argv=None) -> int:
         parser.print_help()
         return 1
 
+    from repro import obs
     from repro.pipeline import configure
+
+    try:
+        log = obs.setup_logging(args.log_level)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    # A fresh registry + tracer per run, so the snapshot written next
+    # to the results covers exactly this invocation.
+    obs.reset()
+    if args.trace is not None:
+        obs.set_tracing(True)
 
     engine = configure(
         jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache
@@ -155,7 +202,13 @@ def main(argv=None) -> int:
     t0 = time.perf_counter()
     try:
         for name in names:
-            result = run_experiment(name, quick=args.quick)
+            t_exp = time.perf_counter()
+            with obs.span("experiment", name=name, quick=args.quick):
+                result = run_experiment(name, quick=args.quick)
+            obs.histogram("runner.experiment_seconds").record(
+                time.perf_counter() - t_exp
+            )
+            log.info("experiment %s done in %.2fs", name, time.perf_counter() - t_exp)
             print(result)
             print()
             if out_dir is not None:
@@ -170,6 +223,9 @@ def main(argv=None) -> int:
         engine.close()
 
     if out_dir is not None:
+        # The historical keys stay put; "metrics" carries the full
+        # registry snapshot (cache hit/miss counters, per-cell-kind
+        # wall-time histograms, ...) for `bitmod-repro obs diff`.
         meta = {
             "experiments": names,
             "quick": args.quick,
@@ -177,10 +233,22 @@ def main(argv=None) -> int:
             "wall_seconds": time.perf_counter() - t0,
             "cache": engine.stats(),
             "cache_dir": None if args.no_cache else str(engine.store.root),
+            "metrics": obs.snapshot(),
         }
         (out_dir / "_run_meta.json").write_text(
             json.dumps(meta, indent=2), encoding="utf-8"
         )
+    if args.metrics is not None:
+        path = Path(args.metrics)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(obs.snapshot(), indent=2), encoding="utf-8"
+        )
+        print(f"wrote metrics snapshot {args.metrics}")
+    if args.trace is not None:
+        spans = obs.get_tracer().drain()
+        obs.write_trace(args.trace, spans)
+        print(f"wrote trace {args.trace} ({len(spans)} spans)")
     return 0
 
 

@@ -39,6 +39,7 @@ from repro.dtypes.integer import IntegerType
 from repro.hw.bitserial import BitSerialTerm, booth_encode, fixed_point_decompose
 from repro.hw.pe import BitMoDPE, PEConfig
 from repro.hw.termtable import ASYMMETRIC_REJECT_MSG, decode_packed_terms
+from repro.obs.trace import TRACER
 from repro.quant.config import QuantConfig
 from repro.quant.packing import PackedTensor, pack_tensor, unpack_bits
 
@@ -97,9 +98,24 @@ class FunctionalGemm:
         The packed tensor's term decode is computed once and cached on
         ``packed``, so repeated calls (the serving replay case) pay
         only the PE array arithmetic.
+
+        Traced runs emit one coarse ``kernel.gemm`` span per call
+        (the disabled path costs a single branch).
         """
         self._check_supported()
         x = self._validated_shapes(x, packed.shape)
+        if TRACER.enabled:
+            with TRACER.span(
+                "kernel.gemm",
+                dtype=self.config.dtype,
+                m=int(x.shape[0]),
+                k=int(packed.shape[0]),
+                d=int(packed.shape[1]),
+            ):
+                return self._run_packed(x, packed)
+        return self._run_packed(x, packed)
+
+    def _run_packed(self, x: np.ndarray, packed: PackedTensor) -> GemmExecution:
         m = x.shape[0]
         k, d = packed.shape
         g = packed.group_size

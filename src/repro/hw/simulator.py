@@ -18,6 +18,7 @@ from typing import Mapping, Optional
 
 from repro.hw.baselines import AcceleratorSpec
 from repro.hw.dram import TrafficModel
+from repro.obs.trace import NOOP_SPAN, TRACER
 from repro.hw.energy import (
     DRAM_ENERGY_PJ_PER_BYTE,
     EnergyBreakdown,
@@ -104,35 +105,48 @@ def _pass_result(
     compute_cycles = 0.0
     active_pe_cycles = 0.0
     buffer_pj = 0.0
+    # Hot loop: tracing guards cost exactly one branch when disabled
+    # (span kwargs are only built under the enabled arm).
+    traced = TRACER.enabled
     gemms = cfg.block_gemms(m) + [cfg.lm_head_gemm(m)]
     for gemm in gemms:
-        bits = bits_of(gemm.name)
-        t = gemm_compute_cycles(
-            gemm,
-            arch,
-            terms_per_weight=accel.terms_per_weight(int(round(bits))),
-            macs_per_cycle=accel.macs_per_cycle,
-            group_size=group_size,
-        )
-        compute_cycles += t.compute_cycles
-        active_pe_cycles += t.active_pe_cycles
-        w_bytes = gemm.weight_elements * bits / 8.0
-        a_bytes = gemm.m * gemm.k * gemm.count * gemm.repeat * 2.0
-        m_tiles = math.ceil(gemm.m / arch.pe_rows)
-        n_tiles = math.ceil(gemm.n / arch.pe_cols)
-        buffer_pj += (w_bytes * m_tiles + a_bytes * n_tiles) * sram_pj
+        with (
+            TRACER.span("hw.gemm", name=gemm.name, m=gemm.m, k=gemm.k, n=gemm.n)
+            if traced
+            else NOOP_SPAN
+        ):
+            bits = bits_of(gemm.name)
+            t = gemm_compute_cycles(
+                gemm,
+                arch,
+                terms_per_weight=accel.terms_per_weight(int(round(bits))),
+                macs_per_cycle=accel.macs_per_cycle,
+                group_size=group_size,
+            )
+            compute_cycles += t.compute_cycles
+            active_pe_cycles += t.active_pe_cycles
+            w_bytes = gemm.weight_elements * bits / 8.0
+            a_bytes = gemm.m * gemm.k * gemm.count * gemm.repeat * 2.0
+            m_tiles = math.ceil(gemm.m / arch.pe_rows)
+            n_tiles = math.ceil(gemm.n / arch.pe_cols)
+            buffer_pj += (w_bytes * m_tiles + a_bytes * n_tiles) * sram_pj
 
     # Attention activation-activation GEMMs at KV precision.
     for gemm in cfg.attention_gemms(m, context):
-        t = gemm_compute_cycles(
-            gemm,
-            arch,
-            terms_per_weight=kv_terms,
-            macs_per_cycle=accel.macs_per_cycle,
-            group_size=group_size,
-        )
-        compute_cycles += t.compute_cycles
-        active_pe_cycles += t.active_pe_cycles
+        with (
+            TRACER.span("hw.gemm", name=gemm.name, m=gemm.m, k=gemm.k, n=gemm.n)
+            if traced
+            else NOOP_SPAN
+        ):
+            t = gemm_compute_cycles(
+                gemm,
+                arch,
+                terms_per_weight=kv_terms,
+                macs_per_cycle=accel.macs_per_cycle,
+                group_size=group_size,
+            )
+            compute_cycles += t.compute_cycles
+            active_pe_cycles += t.active_pe_cycles
 
     traffic = TrafficModel(
         cfg,
@@ -204,27 +218,38 @@ def simulate(
         Cycles plus the per-component
         :class:`~repro.hw.energy.EnergyBreakdown` in uJ.
     """
-    if task == "discriminative":
-        cycles, energy = _pass_result(
-            cfg, accel, weight_bits, prompt_len, prompt_len, group_size, gemm_bits
+    with (
+        TRACER.span(
+            "hw.simulate",
+            model=cfg.name,
+            accelerator=accel.name,
+            task=task,
+            weight_bits=weight_bits,
         )
-    elif task == "generative":
-        cycles, energy = _pass_result(
-            cfg, accel, weight_bits, prompt_len, prompt_len, group_size, gemm_bits
-        )
-        # Decode steps are near-identical; use the average context.
-        avg_ctx = prompt_len + gen_len // 2
-        d_cycles, d_energy = _pass_result(
-            cfg, accel, weight_bits, 1, avg_ctx, group_size, gemm_bits
-        )
-        cycles += gen_len * d_cycles
-        energy = energy + EnergyBreakdown(
-            dram_uj=gen_len * d_energy.dram_uj,
-            buffer_uj=gen_len * d_energy.buffer_uj,
-            core_uj=gen_len * d_energy.core_uj,
-        )
-    else:
-        raise ValueError("task must be 'discriminative' or 'generative'")
+        if TRACER.enabled
+        else NOOP_SPAN
+    ):
+        if task == "discriminative":
+            cycles, energy = _pass_result(
+                cfg, accel, weight_bits, prompt_len, prompt_len, group_size, gemm_bits
+            )
+        elif task == "generative":
+            cycles, energy = _pass_result(
+                cfg, accel, weight_bits, prompt_len, prompt_len, group_size, gemm_bits
+            )
+            # Decode steps are near-identical; use the average context.
+            avg_ctx = prompt_len + gen_len // 2
+            d_cycles, d_energy = _pass_result(
+                cfg, accel, weight_bits, 1, avg_ctx, group_size, gemm_bits
+            )
+            cycles += gen_len * d_cycles
+            energy = energy + EnergyBreakdown(
+                dram_uj=gen_len * d_energy.dram_uj,
+                buffer_uj=gen_len * d_energy.buffer_uj,
+                core_uj=gen_len * d_energy.core_uj,
+            )
+        else:
+            raise ValueError("task must be 'discriminative' or 'generative'")
     return SimResult(
         model=cfg.name,
         accelerator=accel.name,

@@ -1,0 +1,121 @@
+"""``bitmod-repro obs`` — trace and metrics tooling.
+
+Usage::
+
+    bitmod-repro obs summarize out/trace.jsonl       # per-span-name table
+    bitmod-repro obs convert out/trace.jsonl out/trace.json
+    bitmod-repro obs diff out/warm.metrics.json out/cold.metrics.json
+
+``summarize`` reads either span shape (JSONL or chrome-trace JSON) and
+prints an aggregate table by span name.  ``convert`` turns a JSONL
+span log into Chrome ``trace_event`` JSON loadable in Perfetto /
+``chrome://tracing``.  ``diff`` compares two metrics snapshots (the
+files ``--metrics OUT`` writes) series by series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.metrics import diff_snapshots
+from repro.obs.trace import chrome_trace, load_spans, summarize_spans
+
+__all__ = ["main"]
+
+
+def _cmd_summarize(args) -> int:
+    spans = load_spans(args.trace)
+    if not spans:
+        print("no spans in trace")
+        return 0
+    rows = summarize_spans(spans)
+    t0 = min(s["ts_ns"] for s in spans)
+    t1 = max(s["ts_ns"] + s["dur_ns"] for s in spans)
+    pids = sorted({s["pid"] for s in spans})
+    header = f"{'span':<28} {'count':>7} {'total_ms':>10} {'mean_ms':>10} {'max_ms':>10}"
+    print(header)
+    print("-" * len(header))
+    for r in rows[: args.top]:
+        print(
+            f"{r['name']:<28} {r['count']:>7} {r['total_ms']:>10.2f} "
+            f"{r['mean_ms']:>10.3f} {r['max_ms']:>10.3f}"
+        )
+    if len(rows) > args.top:
+        print(f"... {len(rows) - args.top} more span names")
+    print()
+    print(
+        f"{len(spans)} spans, {len(rows)} names, {len(pids)} process(es); "
+        f"trace wall {(t1 - t0) / 1e6:.1f} ms"
+    )
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    spans = load_spans(args.src)
+    out = Path(args.dest)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(chrome_trace(spans), indent=1) + "\n", encoding="utf-8")
+    print(f"wrote {args.dest} ({len(spans)} spans)")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    a = json.loads(Path(args.before).read_text(encoding="utf-8"))
+    b = json.loads(Path(args.after).read_text(encoding="utf-8"))
+    # Accept both a bare snapshot and a _run_meta.json carrying one.
+    a = a.get("metrics", a)
+    b = b.get("metrics", b)
+    d = diff_snapshots(a, b)
+    changed = sum(len(v) for v in d.values())
+    if not changed:
+        print("no metric changes")
+        return 0
+    for group in ("counters", "gauges"):
+        for key, v in d[group].items():
+            print(f"{group[:-1]} {key}: {v['before']} -> {v['after']} ({v['delta']:+g})")
+    for key, fields in d["histograms"].items():
+        parts = ", ".join(
+            f"{f}: {v['before']:g} -> {v['after']:g}" for f, v in fields.items()
+        )
+        print(f"histogram {key}: {parts}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bitmod-repro obs",
+        description="Summarize traces, convert span logs, diff metric snapshots.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p = sub.add_parser("summarize", help="aggregate a trace by span name")
+    p.add_argument("trace", help="trace file (.jsonl span log or chrome .json)")
+    p.add_argument("--top", type=int, default=20, metavar="N", help="rows to print")
+    p.set_defaults(func=_cmd_summarize)
+
+    p = sub.add_parser("convert", help="convert a JSONL span log to chrome-trace JSON")
+    p.add_argument("src", help="input span log (.jsonl)")
+    p.add_argument("dest", help="output chrome-trace file (.json)")
+    p.set_defaults(func=_cmd_convert)
+
+    p = sub.add_parser("diff", help="diff two metrics snapshots")
+    p.add_argument("before", help="baseline snapshot (or _run_meta.json)")
+    p.add_argument("after", help="comparison snapshot (or _run_meta.json)")
+    p.set_defaults(func=_cmd_diff)
+
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    try:
+        return args.func(args)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

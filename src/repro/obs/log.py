@@ -1,0 +1,59 @@
+"""Structured logging setup for the ``repro`` namespace.
+
+One logger tree rooted at ``repro``; :func:`setup_logging` attaches a
+single stderr handler with a key=value-friendly format and sets the
+level from (in precedence order) an explicit argument — the CLIs'
+``--log-level`` — or the ``REPRO_LOG`` environment variable.  Calling
+it again reconfigures the level instead of stacking handlers.
+
+Modules get loggers via :func:`get_logger`::
+
+    log = get_logger(__name__)          # repro.pipeline.engine
+    log.info("sweep done points=%d skipped=%d", n, k)
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+__all__ = ["get_logger", "setup_logging"]
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATEFMT = "%H:%M:%S"
+
+#: Marker attribute on the handler this module installed.
+_HANDLER_TAG = "_repro_obs_handler"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger under the ``repro`` tree (accepts module ``__name__``)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def setup_logging(level: Optional[str] = None) -> logging.Logger:
+    """Configure the ``repro`` root logger; returns it.
+
+    ``level`` falls back to ``$REPRO_LOG`` and then ``WARNING``.
+    Unknown level names raise ``ValueError`` (listing the valid ones).
+    """
+    if level is None:
+        level = os.environ.get("REPRO_LOG") or "WARNING"
+    numeric = logging.getLevelName(str(level).upper())
+    if not isinstance(numeric, int):
+        valid = "debug, info, warning, error, critical"
+        raise ValueError(f"unknown log level {level!r} (valid: {valid})")
+
+    root = logging.getLogger("repro")
+    root.setLevel(numeric)
+    if not any(getattr(h, _HANDLER_TAG, False) for h in root.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+        setattr(handler, _HANDLER_TAG, True)
+        root.addHandler(handler)
+        root.propagate = False
+    return root

@@ -1,0 +1,330 @@
+"""Metrics: counters, gauges and histograms in a process-wide registry.
+
+The registry is the shared home for the numbers every subsystem used
+to keep privately (``CacheStore`` hit/miss fields, ``ServeMetrics``
+token counters, ``_run_meta.json`` wall times).  Three primitives:
+
+* :class:`Counter` — monotonically increasing total (``inc``);
+* :class:`Gauge` — a settable point-in-time value (``set``/``inc``);
+* :class:`Histogram` — streaming samples with nearest-rank
+  percentiles.  The sorted view is **cached** and invalidated on
+  ``record``, and an optional reservoir ``cap`` bounds memory on
+  unbounded streams (uniform reservoir sampling; ``count``/``mean``/
+  ``max`` still reflect every sample ever recorded).
+
+Series are keyed by ``(name, labels)``; ``registry.counter("dse.skipped",
+reason="tile divisibility")`` get-or-creates one labelled series.
+Snapshots come in two shapes: :meth:`MetricsRegistry.snapshot` (the
+human/JSON view written next to experiment results) and
+:meth:`MetricsRegistry.dump` (a mergeable form that
+:meth:`MetricsRegistry.merge` folds back in — how worker-process
+metrics join the parent registry).  :meth:`MetricsRegistry.to_prometheus`
+renders the text exposition format.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "diff_snapshots",
+    "nearest_rank",
+]
+
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def _labels(kw: Dict[str, object]) -> Labels:
+    return tuple(sorted((str(k), str(v)) for k, v in kw.items()))
+
+
+def series_name(name: str, labels: Labels) -> str:
+    """Canonical ``name{k=v,...}`` series string."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def nearest_rank(ordered: List[float], p: float) -> float:
+    """Nearest-rank percentile over an ascending-sorted sample list.
+
+    ``p`` in [0, 100]; empty input yields 0.0 (the historical
+    ``LatencyStats`` convention).
+    """
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
+    return ordered[int(rank)]
+
+
+class Counter:
+    """Monotonic counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Labels = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def snapshot_value(self):
+        v = self.value
+        return int(v) if float(v).is_integer() else v
+
+
+class Gauge(Counter):
+    """Point-in-time value (a counter that may also go down)."""
+
+    kind = "gauge"
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """Streaming samples with cached-sort nearest-rank percentiles."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str = "",
+        labels: Labels = (),
+        cap: Optional[int] = None,
+        seed: int = 0,
+    ):
+        if cap is not None and cap < 1:
+            raise ValueError("histogram cap must be at least 1")
+        self.name = name
+        self.labels = labels
+        self.cap = cap
+        self.samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        self._n = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._rng = random.Random(seed) if cap is not None else None
+
+    # ------------------------------------------------------------------
+    def record(self, value: float) -> None:
+        value = float(value)
+        self._n += 1
+        self._sum += value
+        if value > self._max or self._n == 1:
+            self._max = value
+        if self.cap is None or len(self.samples) < self.cap:
+            self.samples.append(value)
+        else:
+            # Uniform reservoir: each of the _n samples seen so far
+            # ends up retained with probability cap/_n.
+            j = self._rng.randrange(self._n)
+            if j < self.cap:
+                self.samples[j] = value
+            else:
+                return  # retained set unchanged; keep the sorted cache
+        self._sorted = None
+
+    observe = record
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Samples ever recorded (not capped by the reservoir)."""
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._n if self._n else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._n else 0.0
+
+    def _ordered(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self.samples)
+        return self._sorted
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        return nearest_rank(self._ordered(), p)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for labelled metric series."""
+
+    def __init__(self):
+        self._metrics: Dict[Tuple[str, str, Labels], object] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, kind: str, cls, name: str, labels: Labels, **kw):
+        key = (kind, name, labels)
+        m = self._metrics.get(key)
+        if m is None:
+            m = self._metrics[key] = cls(name, labels, **kw)
+        return m
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", Counter, name, _labels(labels))
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get("gauge", Gauge, name, _labels(labels))
+
+    def histogram(
+        self, name: str, cap: Optional[int] = None, **labels
+    ) -> Histogram:
+        return self._get("histogram", Histogram, name, _labels(labels), cap=cap)
+
+    def register(self, metric) -> None:
+        """Adopt a pre-built metric object (e.g. a serve LatencyStats)."""
+        self._metrics[(metric.kind, metric.name, metric.labels)] = metric
+
+    def metrics(self) -> List[object]:
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    # ------------------------------------------------------------------
+    # Snapshots.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The human/JSON view: plain values and histogram summaries."""
+        out = {"counters": {}, "gauges": {}, "histograms": {}}
+        for m in self.metrics():
+            key = series_name(m.name, m.labels)
+            if m.kind == "counter":
+                out["counters"][key] = m.snapshot_value()
+            elif m.kind == "gauge":
+                out["gauges"][key] = m.snapshot_value()
+            else:
+                out["histograms"][key] = m.summary()
+        return out
+
+    def dump(self) -> List[dict]:
+        """Mergeable form: every series with its raw state."""
+        out = []
+        for m in self.metrics():
+            rec = {"kind": m.kind, "name": m.name, "labels": list(m.labels)}
+            if m.kind == "histogram":
+                rec.update(samples=list(m.samples), count=m.count, sum=m._sum, max=m.max)
+            else:
+                rec["value"] = m.value
+            out.append(rec)
+        return out
+
+    def merge(self, dumped: List[dict]) -> None:
+        """Fold a :meth:`dump` from another registry into this one.
+
+        Counters add, gauges take the incoming value, histograms
+        extend (count/sum/max aggregate exactly even when the incoming
+        reservoir dropped samples).
+        """
+        for rec in dumped:
+            labels = tuple((k, v) for k, v in rec["labels"])
+            if rec["kind"] == "counter":
+                self._get("counter", Counter, rec["name"], labels).inc(rec["value"])
+            elif rec["kind"] == "gauge":
+                self._get("gauge", Gauge, rec["name"], labels).set(rec["value"])
+            else:
+                h = self._get("histogram", Histogram, rec["name"], labels)
+                for v in rec["samples"]:
+                    h.samples.append(float(v))
+                h._sorted = None
+                h._n += int(rec["count"])
+                h._sum += float(rec["sum"])
+                if rec["count"] and (h._max < rec["max"] or h._n == rec["count"]):
+                    h._max = float(rec["max"])
+
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (histograms as summary quantiles)."""
+        lines = []
+        seen_types = set()
+        for m in self.metrics():
+            pname = _prom_name(m.name)
+            if (pname, m.kind) not in seen_types:
+                seen_types.add((pname, m.kind))
+                ptype = "summary" if m.kind == "histogram" else m.kind
+                lines.append(f"# TYPE {pname} {ptype}")
+            if m.kind in ("counter", "gauge"):
+                lines.append(f"{pname}{_prom_labels(m.labels)} {_prom_num(m.value)}")
+                continue
+            for q, p in (("0.5", 50), ("0.95", 95), ("0.99", 99)):
+                labels = m.labels + (("quantile", q),)
+                lines.append(
+                    f"{pname}{_prom_labels(labels)} {_prom_num(m.percentile(p))}"
+                )
+            lines.append(f"{pname}_count{_prom_labels(m.labels)} {m.count}")
+            lines.append(f"{pname}_sum{_prom_labels(m.labels)} {_prom_num(m._sum)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: Labels) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{_prom_name(k)}="{_escape(v)}"' for k, v in labels)
+    return "{" + body + "}"
+
+
+def _escape(v: str) -> str:
+    return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_num(v: float) -> str:
+    v = float(v)
+    return str(int(v)) if v.is_integer() else repr(v)
+
+
+def diff_snapshots(before: dict, after: dict) -> dict:
+    """Series-wise diff of two :meth:`MetricsRegistry.snapshot` dicts.
+
+    Counters/gauges report ``(before, after, delta)``; histograms
+    compare their summaries field by field.  Series present in only
+    one snapshot diff against zero/empty.
+    """
+    out = {"counters": {}, "gauges": {}, "histograms": {}}
+    for group in ("counters", "gauges"):
+        a, b = before.get(group, {}), after.get(group, {})
+        for key in sorted(set(a) | set(b)):
+            va, vb = a.get(key, 0), b.get(key, 0)
+            if va != vb:
+                out[group][key] = {"before": va, "after": vb, "delta": vb - va}
+    a, b = before.get("histograms", {}), after.get("histograms", {})
+    empty = {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    for key in sorted(set(a) | set(b)):
+        sa, sb = a.get(key, empty), b.get(key, empty)
+        fields = {
+            f: {"before": sa.get(f, 0), "after": sb.get(f, 0)}
+            for f in sorted(set(sa) | set(sb))
+            if sa.get(f, 0) != sb.get(f, 0)
+        }
+        if fields:
+            out["histograms"][key] = fields
+    return out

@@ -1,0 +1,338 @@
+"""Span-based tracing: nested timed regions exported to JSONL/Perfetto.
+
+A *span* is one timed region of work — ``with span("quantize",
+layer="fc1"):`` — recorded with monotonic durations, wall-clock
+placement, process/thread ids and the id of the enclosing span, so
+nesting survives serialization.  Spans buffer in a per-process
+:class:`Tracer`; worker processes drain their buffers and the parent
+absorbs them, producing one merged timeline whose process lanes are
+the real worker pids.
+
+Two export shapes:
+
+* **JSONL** — one span object per line, the stable schema documented
+  in ``docs/observability.md`` (what ``bitmod-repro obs summarize``
+  and the tests consume);
+* **Chrome trace JSON** — ``{"traceEvents": [...]}`` with complete
+  (``"ph": "X"``) events, loadable in Perfetto or ``chrome://tracing``.
+
+Tracing is **disabled by default**.  The module-level :func:`span`
+helper costs one attribute load and one branch when disabled (it
+returns a shared no-op context manager); hot loops that want to avoid
+even building keyword arguments can guard on :func:`enabled` —
+``with TRACER.span(...) if TRACER.enabled else NOOP_SPAN:``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+__all__ = [
+    "NOOP_SPAN",
+    "Tracer",
+    "chrome_trace",
+    "enabled",
+    "get_tracer",
+    "load_spans",
+    "set_tracing",
+    "span",
+    "summarize_spans",
+    "write_trace",
+]
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _SpanHandle:
+    """Live context manager for one enabled span."""
+
+    __slots__ = ("tracer", "name", "args", "span_id", "parent", "_wall_ns", "_mono_ns")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict):
+        self.tracer = tracer
+        self.name = name
+        self.args = args
+
+    def __enter__(self):
+        t = self.tracer
+        self.span_id = t._next_id()
+        stack = t._stack()
+        self.parent = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self._wall_ns = time.time_ns()
+        self._mono_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc):
+        dur_ns = time.perf_counter_ns() - self._mono_ns
+        t = self.tracer
+        stack = t._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        record = {
+            "name": self.name,
+            "ts_ns": self._wall_ns,
+            "dur_ns": dur_ns,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "id": self.span_id,
+            "parent": self.parent,
+        }
+        if self.args:
+            record["args"] = self.args
+        t._append(record)
+        return False
+
+
+class Tracer:
+    """Per-process span buffer.
+
+    Thread-safe: every thread keeps its own nesting stack, and buffer
+    appends hold a lock.  ``enabled`` gates everything — a disabled
+    tracer's :meth:`span` returns the shared no-op context manager.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._spans: List[dict] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._id = 0
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_id(self) -> int:
+        with self._lock:
+            self._id += 1
+            # Disambiguate ids across processes: workers drain into the
+            # parent buffer, and parent links must not collide.
+            return (os.getpid() << 32) | self._id
+
+    def _append(self, record: dict) -> None:
+        with self._lock:
+            self._spans.append(record)
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, /, **args):
+        """Context manager timing one region (no-op when disabled)."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return _SpanHandle(self, name, args)
+
+    def add_span(
+        self,
+        name: str,
+        /,
+        start_wall_ns: int,
+        dur_ns: int,
+        parent: Optional[int] = None,
+        **args,
+    ) -> None:
+        """Record a span with explicit timestamps (no-op when disabled).
+
+        For lifecycles that cannot be a lexical ``with`` block — e.g. a
+        serve request whose submit and completion happen on different
+        scheduler steps.
+        """
+        if not self.enabled:
+            return
+        record = {
+            "name": name,
+            "ts_ns": int(start_wall_ns),
+            "dur_ns": int(dur_ns),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "id": self._next_id(),
+            "parent": parent,
+        }
+        if args:
+            record["args"] = args
+        self._append(record)
+
+    # ------------------------------------------------------------------
+    def spans(self) -> List[dict]:
+        """A snapshot of the buffered spans (oldest first)."""
+        with self._lock:
+            return list(self._spans)
+
+    def drain(self) -> List[dict]:
+        """Return the buffered spans and clear the buffer."""
+        with self._lock:
+            out, self._spans = self._spans, []
+        return out
+
+    def absorb(self, spans: Iterable[dict]) -> None:
+        """Merge spans drained from another tracer (worker processes)."""
+        with self._lock:
+            self._spans.extend(spans)
+
+    def clear(self) -> None:
+        self.drain()
+
+
+# ----------------------------------------------------------------------
+# Process-global tracer.
+# ----------------------------------------------------------------------
+
+TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return TRACER
+
+
+def enabled() -> bool:
+    return TRACER.enabled
+
+
+def set_tracing(on: bool = True) -> Tracer:
+    """Turn the global tracer on/off; returns it."""
+    TRACER.enabled = on
+    return TRACER
+
+
+def span(name: str, /, **args):
+    """``with span("name", k=v):`` against the global tracer."""
+    t = TRACER
+    if not t.enabled:
+        return NOOP_SPAN
+    return _SpanHandle(t, name, args)
+
+
+# ----------------------------------------------------------------------
+# Export / import.
+# ----------------------------------------------------------------------
+
+
+def to_jsonl(spans: Iterable[dict]) -> str:
+    """One-span-per-line JSONL text."""
+    return "".join(json.dumps(s, sort_keys=True) + "\n" for s in spans)
+
+
+def chrome_trace(spans: Iterable[dict]) -> dict:
+    """Spans as a Chrome ``trace_event`` JSON object.
+
+    Complete (``"ph": "X"``) events with microsecond timestamps
+    rebased to the earliest span, one lane per (pid, tid), plus
+    ``process_name`` metadata so Perfetto labels worker lanes by pid.
+    """
+    spans = list(spans)
+    t0 = min((s["ts_ns"] for s in spans), default=0)
+    events = []
+    pids = {}
+    for s in spans:
+        pids.setdefault(s["pid"], None)
+        event = {
+            "name": s["name"],
+            "cat": "repro",
+            "ph": "X",
+            "ts": (s["ts_ns"] - t0) / 1e3,
+            "dur": s["dur_ns"] / 1e3,
+            "pid": s["pid"],
+            "tid": s["tid"],
+        }
+        if s.get("args"):
+            event["args"] = s["args"]
+        events.append(event)
+    main_pid = os.getpid()
+    for pid in sorted(pids):
+        name = "main" if pid == main_pid else f"worker-{pid}"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_trace(path: Union[str, Path], spans: Iterable[dict]) -> Path:
+    """Write spans to ``path``: chrome-trace for ``.json``, else JSONL."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    spans = list(spans)
+    if path.suffix == ".json":
+        path.write_text(
+            json.dumps(chrome_trace(spans), indent=1) + "\n", encoding="utf-8"
+        )
+    else:
+        path.write_text(to_jsonl(spans), encoding="utf-8")
+    return path
+
+
+def load_spans(path: Union[str, Path]) -> List[dict]:
+    """Read spans back from a JSONL or chrome-trace file.
+
+    Chrome files lose the ``id``/``parent`` links (the format has no
+    such field on complete events); timestamps come back in ``ts_ns``
+    relative to the trace start.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        doc = None  # more than one document: a JSONL span log
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        spans = []
+        for e in doc.get("traceEvents", []):
+            if e.get("ph") != "X":
+                continue
+            spans.append(
+                {
+                    "name": e["name"],
+                    "ts_ns": int(e["ts"] * 1e3),
+                    "dur_ns": int(e["dur"] * 1e3),
+                    "pid": e.get("pid", 0),
+                    "tid": e.get("tid", 0),
+                    "id": None,
+                    "parent": None,
+                    "args": e.get("args", {}),
+                }
+            )
+        return spans
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def summarize_spans(spans: Iterable[dict]) -> List[dict]:
+    """Aggregate spans by name: count, total/mean/max duration (ms).
+
+    Sorted by total time, descending — the ``obs summarize`` table.
+    """
+    agg: Dict[str, dict] = {}
+    for s in spans:
+        a = agg.setdefault(
+            s["name"], {"name": s["name"], "count": 0, "total_ms": 0.0, "max_ms": 0.0}
+        )
+        ms = s["dur_ns"] / 1e6
+        a["count"] += 1
+        a["total_ms"] += ms
+        a["max_ms"] = max(a["max_ms"], ms)
+    for a in agg.values():
+        a["mean_ms"] = a["total_ms"] / a["count"]
+    return sorted(agg.values(), key=lambda a: -a["total_ms"])

@@ -14,9 +14,11 @@ the quick flag — everything that determines the cell's value.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Tuple
 
+from repro import obs
 from repro.models.zoo import get_model_config
 from repro.pipeline.keys import stable_digest
 from repro.quant.config import QuantConfig, quantize_tensor
@@ -132,7 +134,26 @@ def cell_key(spec: CellSpec) -> str:
 
 
 def compute_cell(spec: CellSpec) -> dict:
-    """Evaluate one cell and return its JSON-able result record."""
+    """Evaluate one cell and return its JSON-able result record.
+
+    Instrumented: each evaluation runs inside a ``pipeline.cell`` span
+    and records its wall time into the per-kind
+    ``pipeline.cell_seconds`` histogram (capped reservoir, so huge
+    sweeps stay bounded).
+    """
+    t0 = time.perf_counter()
+    with obs.span(
+        "pipeline.cell", kind=spec.kind, model=spec.model, dataset=spec.dataset
+    ):
+        result = _compute_cell(spec)
+    obs.histogram("pipeline.cell_seconds", cap=4096, kind=spec.kind).record(
+        time.perf_counter() - t0
+    )
+    return result
+
+
+def _compute_cell(spec: CellSpec) -> dict:
+    """The uninstrumented cell evaluation."""
     from repro.eval.perplexity import PerplexityEvaluator
     from repro.pipeline.context import (
         get_plan_model,

@@ -20,6 +20,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.models.zoo import get_model_config
 from repro.pipeline.cells import CELL_KIND, CellSpec, cell_key, compute_cell
 from repro.pipeline.context import clear_context
@@ -29,17 +30,30 @@ from repro.quant.config import QuantConfig
 __all__ = ["Engine", "CellGrid", "get_engine", "configure", "reset"]
 
 
+_log = obs.get_logger(__name__)
+
+
 def _compute_batch(
-    items: List[Tuple[str, CellSpec]], root: str, enabled: bool
-) -> List[Tuple[str, dict]]:
-    """Worker entry point: compute cells, persist, return results."""
+    items: List[Tuple[str, CellSpec]], root: str, enabled: bool, tracing: bool = False
+) -> Tuple[List[Tuple[str, dict]], List[dict], List[dict]]:
+    """Worker entry point: compute cells, persist, return results.
+
+    Runs under :func:`repro.obs.capture`, so the worker's spans and
+    metric emissions (cell timings, cache puts) come back with the
+    results for the parent to merge into one process-spanning trace.
+    """
     store = CacheStore(root, enabled=enabled)
     out = []
-    for key, spec in items:
-        result = compute_cell(spec)
-        store.put_json(CELL_KIND, key, result)
-        out.append((key, result))
-    return out
+    with obs.capture(tracing=tracing) as captured:
+        model, dataset = (items[0][1].model, items[0][1].dataset) if items else ("", "")
+        with obs.span(
+            "pipeline.worker_batch", model=model, dataset=dataset, cells=len(items)
+        ):
+            for key, spec in items:
+                result = compute_cell(spec)
+                store.put_json(CELL_KIND, key, result)
+                out.append((key, result))
+    return out, captured.spans, captured.metrics
 
 
 @dataclass(frozen=True)
@@ -120,35 +134,48 @@ class Engine:
 
         Duplicate specs (same content address) are evaluated once.
         """
-        keys = [cell_key(s) for s in specs]
-        unique: Dict[str, CellSpec] = {}
-        for k, s in zip(keys, specs):
-            unique.setdefault(k, s)
+        with obs.span("pipeline.engine.run", n_specs=len(specs)):
+            keys = [cell_key(s) for s in specs]
+            unique: Dict[str, CellSpec] = {}
+            for k, s in zip(keys, specs):
+                unique.setdefault(k, s)
 
-        results: Dict[str, dict] = {}
-        missing: List[Tuple[str, CellSpec]] = []
-        for k, s in unique.items():
-            cached = self._memo.get(k)
-            if cached is None:
-                cached = self.store.get_json(CELL_KIND, k)
-            if cached is not None:
-                results[k] = cached
-            else:
-                missing.append((k, s))
+            results: Dict[str, dict] = {}
+            missing: List[Tuple[str, CellSpec]] = []
+            memo_hits = 0
+            for k, s in unique.items():
+                cached = self._memo.get(k)
+                if cached is not None:
+                    memo_hits += 1
+                else:
+                    cached = self.store.get_json(CELL_KIND, k)
+                if cached is not None:
+                    results[k] = cached
+                else:
+                    missing.append((k, s))
+            if memo_hits:
+                obs.counter("pipeline.memo.hits").inc(memo_hits)
 
-        if missing:
-            self.computed += len(missing)
-            if self.jobs > 1 and len(missing) > 1:
-                for k, result in self._run_parallel(missing):
-                    results[k] = result
-            else:
-                for k, s in missing:
-                    result = compute_cell(s)
-                    self.store.put_json(CELL_KIND, k, result)
-                    results[k] = result
+            if missing:
+                self.computed += len(missing)
+                obs.counter("pipeline.cells.computed").inc(len(missing))
+                _log.debug(
+                    "computing %d/%d cells (jobs=%d)",
+                    len(missing),
+                    len(unique),
+                    self.jobs,
+                )
+                if self.jobs > 1 and len(missing) > 1:
+                    for k, result in self._run_parallel(missing):
+                        results[k] = result
+                else:
+                    for k, s in missing:
+                        result = compute_cell(s)
+                        self.store.put_json(CELL_KIND, k, result)
+                        results[k] = result
 
-        self._memo.update(results)
-        return [results[k] for k in keys]
+            self._memo.update(results)
+            return [results[k] for k in keys]
 
     def _run_parallel(
         self, missing: List[Tuple[str, CellSpec]]
@@ -169,14 +196,21 @@ class Engine:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
         out: List[Tuple[str, dict]] = []
+        tracing = obs.tracing_enabled()
         futures = [
             self._pool.submit(
-                _compute_batch, groups[g], str(self.store.root), self.store.enabled
+                _compute_batch,
+                groups[g],
+                str(self.store.root),
+                self.store.enabled,
+                tracing,
             )
             for g in sorted(groups)
         ]
         for f in futures:
-            out.extend(f.result())
+            pairs, spans, metrics = f.result()
+            obs.absorb_capture(spans, metrics)
+            out.extend(pairs)
         return out
 
     # ------------------------------------------------------------------

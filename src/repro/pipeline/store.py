@@ -29,6 +29,8 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from repro import obs
+
 __all__ = ["CacheStore", "default_cache_dir"]
 
 
@@ -69,6 +71,17 @@ class CacheStore:
         self.hits = 0
         self.misses = 0
 
+    # Per-instance fields above stay the engine.stats() source of
+    # truth; the obs counters mirror them into the process-wide
+    # registry (resolved at call time so worker captures redirect).
+    def _hit(self) -> None:
+        self.hits += 1
+        obs.counter("pipeline.cache.hits").inc()
+
+    def _miss(self) -> None:
+        self.misses += 1
+        obs.counter("pipeline.cache.misses").inc()
+
     # ------------------------------------------------------------------
     def path_for(self, kind: str, key: str, suffix: str) -> Path:
         return self.root / kind / key[:2] / f"{key}{suffix}"
@@ -86,20 +99,21 @@ class CacheStore:
     # ------------------------------------------------------------------
     def get_json(self, kind: str, key: str) -> Optional[dict]:
         if not self.enabled:
-            self.misses += 1
+            self._miss()
             return None
         path = self.path_for(kind, key, ".json")
         try:
             obj = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
-            self.misses += 1
+            self._miss()
             return None
-        self.hits += 1
+        self._hit()
         return obj
 
     def put_json(self, kind: str, key: str, obj: dict) -> None:
         if not self.enabled:
             return
+        obs.counter("pipeline.cache.puts").inc()
         blob = json.dumps(obj, sort_keys=True, separators=(",", ":"))
         _atomic_write(self.path_for(kind, key, ".json"), blob.encode("utf-8"))
 
@@ -108,21 +122,22 @@ class CacheStore:
     # ------------------------------------------------------------------
     def get_arrays(self, kind: str, key: str) -> Optional[Dict[str, np.ndarray]]:
         if not self.enabled:
-            self.misses += 1
+            self._miss()
             return None
         path = self.path_for(kind, key, ".npz")
         try:
             with np.load(path, allow_pickle=False) as z:
                 out = {name: z[name] for name in z.files}
         except (OSError, ValueError, KeyError):
-            self.misses += 1
+            self._miss()
             return None
-        self.hits += 1
+        self._hit()
         return out
 
     def put_arrays(self, kind: str, key: str, arrays: Dict[str, np.ndarray]) -> None:
         if not self.enabled:
             return
+        obs.counter("pipeline.cache.puts").inc()
         buf = io.BytesIO()
         np.savez(buf, **{k: np.asarray(v) for k, v in arrays.items()})
         _atomic_write(self.path_for(kind, key, ".npz"), buf.getvalue())

@@ -18,6 +18,7 @@ from typing import Callable, Deque, Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.trace import NOOP_SPAN, TRACER
 from repro.serve.engine import GenerationConfig, InferenceEngine, SequenceState
 from repro.serve.metrics import ServeMetrics
 
@@ -111,6 +112,7 @@ class ContinuousBatcher:
         state = RequestState(request=request, seq=seq)
         self._waiting.append(state)
         self.metrics.submitted += 1
+        self.metrics.queue_waiting.set(len(self._waiting))
         self.metrics.start(self.clock())
         return state
 
@@ -132,54 +134,83 @@ class ContinuousBatcher:
     # ------------------------------------------------------------------
     def step(self) -> StepReport:
         """Run one continuous-batching iteration."""
-        report = StepReport(step=self._step)
-        budget = self.max_batch_tokens
+        traced = TRACER.enabled
+        step_span = (
+            TRACER.span("serve.step", step=self._step) if traced else NOOP_SPAN
+        )
+        with step_span as sp:
+            report = StepReport(step=self._step)
+            budget = self.max_batch_tokens
 
-        # Decode pass: one token for every running sequence that fits.
-        # The deque rotates so a too-small budget round-robins fairly
-        # instead of starving the tail.
-        still_running: Deque[RequestState] = deque()
-        n_decodable = len(self._running)
-        for _ in range(n_decodable):
-            state = self._running.popleft()
-            if budget < 1:
-                still_running.append(state)
-                continue
-            budget -= 1
-            self.engine.decode(state.seq)
-            report.decoded.append(state.request_id)
-            report.decode_tokens += 1
-            if state.seq.done:
-                self._finish(state, report)
-            else:
-                still_running.append(state)
-        if budget < 1 and still_running:
-            still_running.rotate(-1)
-        self._running = still_running
+            # Decode pass: one token for every running sequence that fits.
+            # The deque rotates so a too-small budget round-robins fairly
+            # instead of starving the tail.
+            still_running: Deque[RequestState] = deque()
+            n_decodable = len(self._running)
+            for _ in range(n_decodable):
+                state = self._running.popleft()
+                if budget < 1:
+                    still_running.append(state)
+                    continue
+                budget -= 1
+                with (
+                    TRACER.span("serve.decode", request=state.request_id)
+                    if traced
+                    else NOOP_SPAN
+                ):
+                    self.engine.decode(state.seq)
+                report.decoded.append(state.request_id)
+                report.decode_tokens += 1
+                if state.seq.done:
+                    self._finish(state, report)
+                else:
+                    still_running.append(state)
+            if budget < 1 and still_running:
+                still_running.rotate(-1)
+            self._running = still_running
 
-        # Admission pass: prefill waiting prompts with leftover budget.
-        while (
-            self._waiting
-            and len(self._running) < self.max_running
-            and self._waiting[0].seq.prompt.size <= budget
-        ):
-            state = self._waiting.popleft()
-            budget -= state.seq.prompt.size
-            self.engine.prefill(state.seq)
-            state.first_token_at = self.clock()
-            self.metrics.ttft.record(state.first_token_at - state.request.submitted_at)
-            report.prefilled.append(state.request_id)
-            report.prefill_tokens += state.seq.prompt.size
-            if state.seq.done:
-                self._finish(state, report)
-            else:
-                self._running.append(state)
+            # Admission pass: prefill waiting prompts with leftover budget.
+            while (
+                self._waiting
+                and len(self._running) < self.max_running
+                and self._waiting[0].seq.prompt.size <= budget
+            ):
+                state = self._waiting.popleft()
+                budget -= state.seq.prompt.size
+                with (
+                    TRACER.span(
+                        "serve.prefill",
+                        request=state.request_id,
+                        prompt_tokens=int(state.seq.prompt.size),
+                    )
+                    if traced
+                    else NOOP_SPAN
+                ):
+                    self.engine.prefill(state.seq)
+                state.first_token_at = self.clock()
+                self.metrics.ttft.record(
+                    state.first_token_at - state.request.submitted_at
+                )
+                report.prefilled.append(state.request_id)
+                report.prefill_tokens += state.seq.prompt.size
+                if state.seq.done:
+                    self._finish(state, report)
+                else:
+                    self._running.append(state)
 
-        self._step += 1
-        self.metrics.steps += 1
-        self.metrics.prefill_tokens += report.prefill_tokens
-        self.metrics.decode_tokens += report.generated_tokens
-        return report
+            self._step += 1
+            self.metrics.steps += 1
+            self.metrics.prefill_tokens += report.prefill_tokens
+            self.metrics.decode_tokens += report.generated_tokens
+            self.metrics.queue_waiting.set(len(self._waiting))
+            self.metrics.queue_running.set(len(self._running))
+            if sp is not None:
+                sp.args.update(
+                    prefilled=len(report.prefilled),
+                    decoded=len(report.decoded),
+                    finished=len(report.finished),
+                )
+            return report
 
     def run_until_idle(self, max_steps: int = 100_000) -> List[StepReport]:
         """Drive :meth:`step` until every request completes."""
@@ -195,6 +226,25 @@ class ContinuousBatcher:
     def _finish(self, state: RequestState, report: StepReport) -> None:
         state.finished_at = self.clock()
         self.metrics.completed += 1
-        self.metrics.latency.record(state.finished_at - state.request.submitted_at)
+        latency = state.finished_at - state.request.submitted_at
+        self.metrics.latency.record(latency)
         self._finished[state.request_id] = state
         report.finished.append(state.request_id)
+        if TRACER.enabled:
+            # The request lifecycle cannot be a lexical block — submit
+            # and completion land on different steps — so emit it with
+            # explicit timestamps (scheduler clock mapped onto wall).
+            dur_ns = int(latency * 1e9)
+            TRACER.add_span(
+                "serve.request",
+                start_wall_ns=time.time_ns() - dur_ns,
+                dur_ns=dur_ns,
+                request=state.request_id,
+                prompt_tokens=int(state.seq.prompt.size),
+                generated_tokens=len(state.seq.generated),
+                ttft_s=(
+                    None
+                    if state.first_token_at is None
+                    else state.first_token_at - state.request.submitted_at
+                ),
+            )

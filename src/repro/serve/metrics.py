@@ -1,38 +1,47 @@
-"""Serving metrics: throughput, TTFT, latency percentiles."""
+"""Serving metrics: throughput, TTFT, latency percentiles.
+
+Rebuilt on :mod:`repro.obs.metrics`: every number lives in a
+:class:`~repro.obs.metrics.MetricsRegistry` (counters for request and
+token totals, gauges for scheduler queue depth, histograms for
+TTFT/latency), so a serving run exports the same snapshot/Prometheus
+shapes as the pipeline and DSE layers.  The legacy surface is
+preserved exactly — ``metrics.submitted += 1``,
+``metrics.ttft.percentile(95)``, ``metrics.to_dict()`` — while
+:class:`LatencyStats` gains the obs histogram's cached sorted view
+(re-sorting only after new samples) and optional reservoir ``cap``
+for unbounded streams.
+"""
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.metrics import Histogram, MetricsRegistry
 
 __all__ = ["LatencyStats", "ServeMetrics"]
 
 
-@dataclass
-class LatencyStats:
-    """Streaming latency samples with percentile summaries."""
+class LatencyStats(Histogram):
+    """Streaming latency samples with percentile summaries.
 
-    samples: List[float] = field(default_factory=list)
+    A thin veneer over :class:`repro.obs.metrics.Histogram` keeping
+    the historical serve API: seconds-suffixed summary keys and a
+    ``samples``-list constructor.  ``cap`` bounds the retained sample
+    reservoir; ``count``/``mean``/``max`` still cover every recorded
+    sample.
+    """
 
-    def record(self, seconds: float) -> None:
-        self.samples.append(float(seconds))
-
-    @property
-    def count(self) -> int:
-        return len(self.samples)
-
-    @property
-    def mean(self) -> float:
-        return sum(self.samples) / len(self.samples) if self.samples else 0.0
-
-    def percentile(self, p: float) -> float:
-        """Nearest-rank percentile, ``p`` in [0, 100]."""
-        if not self.samples:
-            return 0.0
-        ordered = sorted(self.samples)
-        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
-        return ordered[int(rank)]
+    def __init__(
+        self,
+        samples: Optional[Iterable[float]] = None,
+        cap: Optional[int] = None,
+        name: str = "serve.latency_s",
+        labels: tuple = (),
+    ):
+        super().__init__(name=name, labels=labels, cap=cap)
+        for v in samples or ():
+            self.record(v)
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -41,24 +50,62 @@ class LatencyStats:
             "p50_s": self.percentile(50),
             "p95_s": self.percentile(95),
             "p99_s": self.percentile(99),
-            "max_s": max(self.samples) if self.samples else 0.0,
+            "max_s": self.max,
         }
 
 
-@dataclass
+def _int_counter(name):
+    """Property view exposing a named registry counter as a plain int."""
+
+    def get(self) -> int:
+        return int(self._counters[name].value)
+
+    def set(self, value: int) -> None:
+        self._counters[name].value = float(value)
+
+    return property(get, set)
+
+
 class ServeMetrics:
-    """Aggregate counters for one serving run."""
+    """Aggregate counters for one serving run.
 
-    submitted: int = 0
-    completed: int = 0
-    prefill_tokens: int = 0
-    decode_tokens: int = 0
-    steps: int = 0
-    ttft: LatencyStats = field(default_factory=LatencyStats)
-    latency: LatencyStats = field(default_factory=LatencyStats)
-    started_at: Optional[float] = None
-    stopped_at: Optional[float] = None
+    Each instance owns (or is handed) a registry; passing a shared
+    registry — e.g. ``repro.obs.get_registry()`` — publishes the
+    run's series alongside the pipeline/DSE metrics.  Counter fields
+    stay plain-int attributes (``metrics.submitted += 1`` works), and
+    ``ttft``/``latency`` are :class:`LatencyStats` histograms
+    registered under ``serve.ttft_s`` / ``serve.latency_s``.
+    """
 
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(f"serve.{series}")
+            for name, series in (
+                ("submitted", "requests.submitted"),
+                ("completed", "requests.completed"),
+                ("prefill_tokens", "tokens.prefill"),
+                ("decode_tokens", "tokens.decode"),
+                ("steps", "scheduler.steps"),
+            )
+        }
+        self.ttft = LatencyStats(name="serve.ttft_s")
+        self.latency = LatencyStats(name="serve.latency_s")
+        self.registry.register(self.ttft)
+        self.registry.register(self.latency)
+        #: Scheduler queue depth (updated by the batcher each step).
+        self.queue_waiting = self.registry.gauge("serve.queue.waiting")
+        self.queue_running = self.registry.gauge("serve.queue.running")
+        self.started_at: Optional[float] = None
+        self.stopped_at: Optional[float] = None
+
+    submitted = _int_counter("submitted")
+    completed = _int_counter("completed")
+    prefill_tokens = _int_counter("prefill_tokens")
+    decode_tokens = _int_counter("decode_tokens")
+    steps = _int_counter("steps")
+
+    # ------------------------------------------------------------------
     def start(self, now: Optional[float] = None) -> None:
         if self.started_at is None:
             self.started_at = time.monotonic() if now is None else now

@@ -1,0 +1,146 @@
+"""Cross-process observability: capture/absorb and engine integration."""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.pipeline import CellSpec, Engine
+from repro.pipeline.store import CacheStore
+from repro.quant.config import QuantConfig
+
+
+@pytest.fixture
+def clean_obs():
+    """Fresh global registry + tracer before and after the test."""
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _specs(n=3):
+    dtypes = ["int4_asym", "int3_asym", "fp4"]
+    return [
+        CellSpec(
+            model="opt-1.3b",
+            dataset="wikitext",
+            quant=QuantConfig(dtype=dtypes[i % len(dtypes)]),
+            quick=True,
+            n_items=2,
+        )
+        for i in range(n)
+    ]
+
+
+class TestCapture:
+    def test_capture_isolates_metrics(self, clean_obs):
+        obs.counter("outer").inc()
+        with obs.capture(tracing=False) as cap:
+            obs.counter("inner").inc(5)
+        snap = obs.snapshot()
+        # The block's emissions went to the captured registry only.
+        assert snap["counters"] == {"outer": 1}
+        assert {r["name"]: r["value"] for r in cap.metrics} == {"inner": 5}
+
+    def test_capture_collects_spans_and_restores_state(self, clean_obs):
+        assert not obs.tracing_enabled()
+        with obs.capture(tracing=True) as cap:
+            with obs.span("work"):
+                pass
+        assert not obs.tracing_enabled()
+        assert obs.get_tracer().spans() == []
+        assert [s["name"] for s in cap.spans] == ["work"]
+
+    def test_capture_preserves_preexisting_spans(self, clean_obs):
+        obs.set_tracing(True)
+        with obs.span("before"):
+            pass
+        with obs.capture(tracing=True) as cap:
+            with obs.span("during"):
+                pass
+        names = [s["name"] for s in obs.get_tracer().spans()]
+        assert names == ["before"]
+        assert [s["name"] for s in cap.spans] == ["during"]
+
+    def test_absorb_capture_merges(self, clean_obs):
+        with obs.capture(tracing=True) as cap:
+            obs.counter("n").inc(2)
+            with obs.span("worker_work"):
+                pass
+        obs.counter("n").inc(1)
+        obs.absorb_capture(cap.spans, cap.metrics)
+        assert obs.snapshot()["counters"]["n"] == 3
+        assert [s["name"] for s in obs.get_tracer().spans()] == ["worker_work"]
+
+
+class TestEngineObservability:
+    def test_cache_counters_match_engine_stats(self, clean_obs, tmp_path):
+        store = CacheStore(str(tmp_path))
+        specs = _specs(2)
+        with Engine(store=store) as engine:
+            engine.run(specs)  # cold: misses + puts
+            engine2 = Engine(store=CacheStore(str(tmp_path)))
+            engine2.run(specs)  # warm: hits
+        snap = obs.snapshot()["counters"]
+        assert snap["pipeline.cache.misses"] == store.misses
+        assert snap["pipeline.cache.puts"] >= len(specs)
+        assert snap["pipeline.cache.hits"] == engine2.store.hits
+        assert engine2.store.hits == len(specs)
+
+    def test_cell_histogram_labelled_by_kind(self, clean_obs, tmp_path):
+        with Engine(store=CacheStore(str(tmp_path))) as engine:
+            engine.run(_specs(1))
+        hists = obs.snapshot()["histograms"]
+        assert hists["pipeline.cell_seconds{kind=ppl}"]["count"] == 1
+
+    def test_memo_hits_counted(self, clean_obs, tmp_path):
+        spec = _specs(1)[0]
+        with Engine(store=CacheStore(str(tmp_path))) as engine:
+            engine.run([spec])
+            engine.run([spec])  # second run served from the memo
+        assert obs.snapshot()["counters"]["pipeline.memo.hits"] == 1
+
+
+class TestWorkerTraceMerging:
+    def test_worker_spans_absorbed_across_processes(self, clean_obs, tmp_path):
+        obs.set_tracing(True)
+        specs = _specs(3)
+        # Two models force at least two worker batches.
+        specs.append(
+            CellSpec(
+                model="phi-2b",
+                dataset="wikitext",
+                quant=QuantConfig(dtype="int4_asym"),
+                quick=True,
+                n_items=2,
+            )
+        )
+        with Engine(store=CacheStore(str(tmp_path)), jobs=2) as engine:
+            engine.run(specs)
+        spans = obs.get_tracer().spans()
+        by_name = {}
+        for s in spans:
+            by_name.setdefault(s["name"], []).append(s)
+        assert len(by_name["pipeline.worker_batch"]) >= 2
+        assert len(by_name["pipeline.cell"]) == len(specs)
+        # Worker spans keep their own pids — the merged trace spans
+        # more than one process.
+        pids = {s["pid"] for s in spans}
+        assert os.getpid() in pids
+        assert len(pids) >= 2
+        # Nesting survives the merge: cells parent to worker batches.
+        by_id = {s["id"]: s for s in spans}
+        for cell in by_name["pipeline.cell"]:
+            parent = by_id[cell["parent"]]
+            assert parent["name"] == "pipeline.worker_batch"
+            assert parent["pid"] == cell["pid"]
+
+    def test_worker_metrics_merge_without_double_count(self, clean_obs, tmp_path):
+        store = CacheStore(str(tmp_path))
+        specs = _specs(3)
+        with Engine(store=store, jobs=2) as engine:
+            engine.run(specs)
+        counters = obs.snapshot()["counters"]
+        # Worker puts merged exactly once into the parent registry.
+        assert counters["pipeline.cache.puts"] == len(specs)
+        assert counters["pipeline.cells.computed"] == len(specs)

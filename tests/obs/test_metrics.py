@@ -1,0 +1,208 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    nearest_rank,
+    series_name,
+)
+
+
+class TestNearestRank:
+    def test_empty(self):
+        assert nearest_rank([], 50) == 0.0
+
+    def test_single_sample_every_percentile(self):
+        for p in (0, 1, 50, 95, 99, 100):
+            assert nearest_rank([7.0], p) == 7.0
+
+    def test_two_samples(self):
+        data = [1.0, 9.0]
+        assert nearest_rank(data, 50) == 1.0
+        assert nearest_rank(data, 95) == 9.0
+        assert nearest_rank(data, 100) == 9.0
+
+    def test_interior(self):
+        data = list(range(1, 101))  # 1..100 already sorted
+        assert nearest_rank(data, 50) in (50, 51)  # rank round(0.5 * 99)
+        assert nearest_rank(data, 95) == 95
+        assert nearest_rank(data, 99) == 99
+        assert nearest_rank(data, 0) == 1
+        assert nearest_rank(data, 100) == 100
+
+
+class TestCounterGauge:
+    def test_counter_inc(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.kind == "counter"
+
+    def test_counter_snapshot_int_when_integral(self):
+        c = Counter("n")
+        c.inc(3)
+        assert c.snapshot_value() == 3
+        assert isinstance(c.snapshot_value(), int)
+        c.inc(0.5)
+        assert c.snapshot_value() == 3.5
+
+    def test_gauge_set_and_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.dec(3)
+        assert g.value == 7
+        assert g.kind == "gauge"
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        h = Histogram("lat")
+        s = h.summary()
+        assert s["count"] == 0
+        assert s["p50"] == 0.0
+        assert s["max"] == 0.0
+
+    def test_single_sample(self):
+        h = Histogram("lat")
+        h.record(2.5)
+        s = h.summary()
+        assert s == {
+            "count": 1,
+            "mean": 2.5,
+            "p50": 2.5,
+            "p95": 2.5,
+            "p99": 2.5,
+            "max": 2.5,
+        }
+
+    def test_two_samples(self):
+        h = Histogram("lat")
+        h.record(1.0)
+        h.record(3.0)
+        s = h.summary()
+        assert s["count"] == 2
+        assert s["mean"] == 2.0
+        assert s["p50"] == 1.0
+        assert s["p95"] == 3.0
+        assert s["max"] == 3.0
+
+    def test_sorted_cache_invalidated_on_record(self):
+        h = Histogram("lat")
+        h.record(5.0)
+        assert h.percentile(50) == 5.0  # builds the sorted cache
+        h.record(1.0)  # must invalidate it
+        assert h.percentile(50) == 1.0
+
+    def test_reservoir_cap_bounds_memory(self):
+        h = Histogram("lat", cap=64)
+        for i in range(10_000):
+            h.record(float(i))
+        assert len(h.samples) == 64
+        s = h.summary()
+        # Running aggregates cover *all* samples, not just the reservoir.
+        assert s["count"] == 10_000
+        assert s["max"] == 9999.0
+        assert s["mean"] == pytest.approx(4999.5)
+        # Percentiles come from the reservoir: plausible, not exact.
+        assert 0.0 <= s["p50"] <= 9999.0
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", cap=0)
+
+    def test_observe_alias(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        assert h.summary()["count"] == 1
+
+
+class TestRegistry:
+    def test_get_or_create_same_instance(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.counter("a", k="x") is not r.counter("a", k="y")
+
+    def test_snapshot_shape(self):
+        r = MetricsRegistry()
+        r.counter("jobs").inc(2)
+        r.gauge("depth").set(3)
+        r.histogram("lat").record(0.5)
+        snap = r.snapshot()
+        assert snap["counters"] == {"jobs": 2}
+        assert snap["gauges"] == {"depth": 3}
+        assert snap["histograms"]["lat"]["count"] == 1
+        json.dumps(snap)  # must be JSON-serializable
+
+    def test_labels_in_series_name(self):
+        r = MetricsRegistry()
+        r.counter("skip", reason="no_plan").inc()
+        snap = r.snapshot()
+        assert snap["counters"] == {"skip{reason=no_plan}": 1}
+        assert series_name("skip", (("reason", "no_plan"),)) == "skip{reason=no_plan}"
+
+    def test_dump_merge_roundtrip(self):
+        a = MetricsRegistry()
+        a.counter("n").inc(2)
+        a.gauge("g").set(1)
+        a.histogram("h").record(1.0)
+
+        b = MetricsRegistry()
+        b.counter("n").inc(3)
+        b.gauge("g").set(9)
+        b.histogram("h").record(3.0)
+
+        a.merge(b.dump())
+        snap = a.snapshot()
+        assert snap["counters"]["n"] == 5  # counters add
+        assert snap["gauges"]["g"] == 9  # gauges take the merged value
+        assert snap["histograms"]["h"]["count"] == 2
+        assert snap["histograms"]["h"]["max"] == 3.0
+
+    def test_merge_into_empty_registry(self):
+        src = MetricsRegistry()
+        src.counter("n", k="v").inc(7)
+        src.histogram("h").record(2.0)
+        dst = MetricsRegistry()
+        dst.merge(src.dump())
+        snap = dst.snapshot()
+        assert snap["counters"]["n{k=v}"] == 7
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_prometheus_exposition(self):
+        r = MetricsRegistry()
+        r.counter("pipeline.cache.hits").inc(3)
+        r.gauge("serve.queue.waiting", model="opt").set(2)
+        r.histogram("lat").record(1.0)
+        text = r.to_prometheus()
+        assert "pipeline_cache_hits 3" in text
+        assert 'serve_queue_waiting{model="opt"} 2' in text
+        assert "# TYPE pipeline_cache_hits counter" in text
+        assert 'lat{quantile="0.5"} 1' in text
+        assert "lat_count 1" in text
+
+
+class TestDiffSnapshots:
+    def test_counter_delta(self):
+        before = {"counters": {"n": 2}, "gauges": {}, "histograms": {}}
+        after = {"counters": {"n": 7, "m": 1}, "gauges": {}, "histograms": {}}
+        d = diff_snapshots(before, after)
+        assert d["counters"]["n"] == {"before": 2, "after": 7, "delta": 5}
+        assert d["counters"]["m"]["delta"] == 1
+
+    def test_histogram_fieldwise(self):
+        h0 = {"count": 1, "mean": 1.0, "p50": 1.0, "p95": 1.0, "p99": 1.0, "max": 1.0}
+        h1 = {"count": 3, "mean": 2.0, "p50": 2.0, "p95": 3.0, "p99": 3.0, "max": 3.0}
+        d = diff_snapshots(
+            {"counters": {}, "gauges": {}, "histograms": {"h": h0}},
+            {"counters": {}, "gauges": {}, "histograms": {"h": h1}},
+        )
+        assert d["histograms"]["h"]["count"] == {"before": 1, "after": 3}
+        assert d["histograms"]["h"]["max"]["after"] == 3.0

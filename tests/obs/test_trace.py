@@ -1,0 +1,181 @@
+"""Tests for the span tracer: nesting, export formats, summaries."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Tracer,
+    chrome_trace,
+    load_spans,
+    summarize_spans,
+    to_jsonl,
+    write_trace,
+)
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(enabled=True)
+
+
+class TestSpanRecording:
+    def test_disabled_returns_shared_noop(self):
+        t = Tracer(enabled=False)
+        assert t.span("x") is NOOP_SPAN
+        assert t.spans() == []
+
+    def test_record_fields(self, tracer):
+        with tracer.span("quantize", layer="fc1"):
+            pass
+        (s,) = tracer.spans()
+        assert s["name"] == "quantize"
+        assert s["args"] == {"layer": "fc1"}
+        assert s["pid"] == os.getpid()
+        assert s["tid"] == threading.get_ident()
+        assert s["dur_ns"] >= 0
+        assert s["parent"] is None
+
+    def test_name_usable_as_span_arg(self, tracer):
+        # The span label is positional-only, so callers may attach a
+        # `name=` attribute (hw.gemm does).
+        with tracer.span("hw.gemm", name="layer0.qkv"):
+            pass
+        (s,) = tracer.spans()
+        assert s["name"] == "hw.gemm"
+        assert s["args"]["name"] == "layer0.qkv"
+
+    def test_nesting_links_parent(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()  # inner exits (appends) first
+        assert inner["name"] == "inner"
+        assert inner["parent"] == outer["id"]
+        assert outer["parent"] is None
+
+    def test_sibling_threads_do_not_nest(self, tracer):
+        def work():
+            with tracer.span("thread_span"):
+                pass
+
+        with tracer.span("main_span"):
+            th = threading.Thread(target=work)
+            th.start()
+            th.join()
+        spans = {s["name"]: s for s in tracer.spans()}
+        # The other thread's stack is its own: no false parent link.
+        assert spans["thread_span"]["parent"] is None
+
+    def test_span_handle_exposes_mutable_args(self, tracer):
+        with tracer.span("step") as sp:
+            sp.args.update(decoded=3)
+        (s,) = tracer.spans()
+        assert s["args"] == {"decoded": 3}
+
+    def test_add_span_explicit_timestamps(self, tracer):
+        tracer.add_span("serve.request", start_wall_ns=1000, dur_ns=500, request="r1")
+        (s,) = tracer.spans()
+        assert s["ts_ns"] == 1000
+        assert s["dur_ns"] == 500
+        assert s["args"] == {"request": "r1"}
+
+    def test_add_span_noop_when_disabled(self):
+        t = Tracer(enabled=False)
+        t.add_span("x", start_wall_ns=0, dur_ns=1)
+        assert t.spans() == []
+
+    def test_drain_and_absorb(self, tracer):
+        with tracer.span("a"):
+            pass
+        spans = tracer.drain()
+        assert len(spans) == 1
+        assert tracer.spans() == []
+        other = Tracer(enabled=True)
+        other.absorb(spans)
+        assert other.spans() == spans
+
+    def test_ids_namespace_by_pid(self, tracer):
+        with tracer.span("a"):
+            pass
+        (s,) = tracer.spans()
+        assert s["id"] >> 32 == os.getpid()
+
+
+class TestExport:
+    def _two_spans(self):
+        t = Tracer(enabled=True)
+        with t.span("outer", k=1):
+            with t.span("inner"):
+                pass
+        return t.spans()
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        spans = self._two_spans()
+        path = write_trace(tmp_path / "trace.jsonl", spans)
+        assert load_spans(path) == spans
+
+    def test_jsonl_single_span(self, tmp_path):
+        # One line parses as a bare dict; must still be read as JSONL.
+        spans = self._two_spans()[:1]
+        path = write_trace(tmp_path / "one.jsonl", spans)
+        assert load_spans(path) == spans
+
+    def test_chrome_trace_loads_as_json(self, tmp_path):
+        spans = self._two_spans()
+        path = write_trace(tmp_path / "trace.json", spans)
+        doc = json.loads(path.read_text())
+        assert "traceEvents" in doc
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"outer", "inner"}
+        for e in complete:
+            assert e["ts"] >= 0  # rebased to trace start
+            assert e["dur"] >= 0
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert any(e["args"]["name"] == "main" for e in meta)
+
+    def test_chrome_trace_labels_worker_pids(self):
+        spans = self._two_spans()
+        fake = dict(spans[0])
+        fake["pid"] = spans[0]["pid"] + 1
+        doc = chrome_trace(spans + [fake])
+        names = {
+            e["args"]["name"] for e in doc["traceEvents"] if e["ph"] == "M"
+        }
+        assert names == {"main", f"worker-{fake['pid']}"}
+
+    def test_load_chrome_trace_back(self, tmp_path):
+        spans = self._two_spans()
+        path = write_trace(tmp_path / "trace.json", spans)
+        back = load_spans(path)
+        assert {s["name"] for s in back} == {"outer", "inner"}
+        # args survive; id/parent links do not (format limitation).
+        assert any(s["args"] == {"k": 1} for s in back)
+
+    def test_to_jsonl_one_line_per_span(self):
+        spans = self._two_spans()
+        text = to_jsonl(spans)
+        assert len(text.splitlines()) == 2
+        assert all(json.loads(line) for line in text.splitlines())
+
+
+class TestSummarize:
+    def test_aggregates_by_name(self):
+        spans = [
+            {"name": "a", "dur_ns": 2_000_000},
+            {"name": "a", "dur_ns": 4_000_000},
+            {"name": "b", "dur_ns": 1_000_000},
+        ]
+        rows = summarize_spans(spans)
+        assert [r["name"] for r in rows] == ["a", "b"]  # total desc
+        a = rows[0]
+        assert a["count"] == 2
+        assert a["total_ms"] == pytest.approx(6.0)
+        assert a["mean_ms"] == pytest.approx(3.0)
+        assert a["max_ms"] == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert summarize_spans([]) == []

@@ -1,0 +1,71 @@
+"""Tracing must not change results: traced runs are row-identical."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.experiments.runner import main as runner_main
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def test_traced_quick_run_row_identical(tmp_path, capsys):
+    plain_dir = tmp_path / "plain"
+    traced_dir = tmp_path / "traced"
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+
+    assert runner_main(["--quick", "fig07", "--json", str(plain_dir)]) == 0
+    assert (
+        runner_main(
+            [
+                "--quick",
+                "fig07",
+                "--json",
+                str(traced_dir),
+                "--trace",
+                str(trace_path),
+                "--metrics",
+                str(metrics_path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+
+    # Row-identical experiment output.
+    plain = json.loads((plain_dir / "fig07.json").read_text())
+    traced = json.loads((traced_dir / "fig07.json").read_text())
+    assert plain == traced
+
+    # The trace is valid chrome trace_event JSON with the expected spans.
+    doc = json.loads(trace_path.read_text())
+    names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+    assert "experiment" in names
+    assert "pipeline.engine.run" in names  # hw/dse spans vanish when warm-cached
+
+    # The metrics snapshot's cache counters agree with engine.stats()
+    # recorded in _run_meta.json for the same invocation.
+    meta = json.loads((traced_dir / "_run_meta.json").read_text())
+    counters = json.loads(metrics_path.read_text())["counters"]
+    cache = meta["cache"]
+    assert counters.get("pipeline.cache.hits", 0) == cache["hits"]
+    assert counters.get("pipeline.cache.misses", 0) == cache["misses"]
+    assert meta["metrics"]["counters"] == counters
+
+
+def test_untraced_run_writes_no_trace(tmp_path, capsys):
+    out = tmp_path / "json"
+    assert runner_main(["--quick", "fig07", "--json", str(out)]) == 0
+    capsys.readouterr()
+    meta = json.loads((out / "_run_meta.json").read_text())
+    # Metrics still recorded (counters are always on); tracing was not.
+    assert "metrics" in meta
+    assert not obs.tracing_enabled()
+    assert obs.get_tracer().spans() == []

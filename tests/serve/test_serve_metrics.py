@@ -1,0 +1,106 @@
+"""Tests for serve metrics: LatencyStats edge cases, registry wiring."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.metrics import LatencyStats, ServeMetrics
+
+
+class TestLatencyStatsEdges:
+    def test_empty_percentiles(self):
+        s = LatencyStats()
+        assert s.percentile(50) == 0.0
+        assert s.percentile(99) == 0.0
+        summary = s.summary()
+        assert summary["count"] == 0
+        assert summary["mean_s"] == 0.0
+        assert summary["max_s"] == 0.0
+
+    def test_single_sample(self):
+        s = LatencyStats([0.25])
+        for p in (0, 50, 95, 99, 100):
+            assert s.percentile(p) == 0.25
+        assert s.summary() == {
+            "count": 1,
+            "mean_s": 0.25,
+            "p50_s": 0.25,
+            "p95_s": 0.25,
+            "p99_s": 0.25,
+            "max_s": 0.25,
+        }
+
+    def test_two_samples(self):
+        s = LatencyStats([0.1, 0.3])
+        assert s.percentile(50) == 0.1
+        assert s.percentile(95) == 0.3
+        assert s.summary()["mean_s"] == pytest.approx(0.2)
+        assert s.summary()["max_s"] == 0.3
+
+    def test_sorted_view_invalidated_on_record(self):
+        # The historical implementation re-sorted on *every* percentile
+        # call; the rebuilt one caches the sorted view and must refresh
+        # it when new samples arrive.
+        s = LatencyStats([0.5])
+        assert s.percentile(50) == 0.5
+        s.record(0.1)
+        assert s.percentile(0) == 0.1
+        s.record(0.9)
+        assert s.percentile(100) == 0.9
+
+    def test_reservoir_cap_bounds_growth(self):
+        s = LatencyStats(cap=32)
+        for i in range(1000):
+            s.record(i / 1000.0)
+        assert len(s.samples) == 32
+        summary = s.summary()
+        assert summary["count"] == 1000
+        assert summary["max_s"] == 0.999
+        assert 0.0 <= summary["p50_s"] <= 0.999
+
+    def test_seconds_suffixed_keys(self):
+        keys = set(LatencyStats().summary())
+        assert keys == {"count", "mean_s", "p50_s", "p95_s", "p99_s", "max_s"}
+
+
+class TestServeMetricsRegistry:
+    def test_int_counter_properties(self):
+        m = ServeMetrics()
+        m.submitted += 1
+        m.submitted += 1
+        m.decode_tokens += 40
+        assert m.submitted == 2
+        assert isinstance(m.submitted, int)
+        assert m.decode_tokens == 40
+
+    def test_series_published_to_registry(self):
+        reg = MetricsRegistry()
+        m = ServeMetrics(registry=reg)
+        m.submitted += 3
+        m.ttft.record(0.05)
+        m.queue_waiting.set(4)
+        snap = reg.snapshot()
+        assert snap["counters"]["serve.requests.submitted"] == 3
+        assert snap["gauges"]["serve.queue.waiting"] == 4
+        assert snap["histograms"]["serve.ttft_s"]["count"] == 1
+
+    def test_to_dict_shape_preserved(self):
+        m = ServeMetrics()
+        m.submitted += 1
+        m.completed += 1
+        m.prefill_tokens += 8
+        m.decode_tokens += 16
+        m.steps += 4
+        m.ttft.record(0.01)
+        m.latency.record(0.2)
+        d = m.to_dict()
+        assert d["requests"] == {"submitted": 1, "completed": 1}
+        assert d["tokens"] == {"prefill": 8, "decode": 16, "total": 24}
+        assert d["steps"] == 4
+        assert d["ttft"]["count"] == 1
+        assert d["latency"]["p99_s"] == 0.2
+
+    def test_independent_instances(self):
+        a = ServeMetrics()
+        b = ServeMetrics()
+        a.submitted += 5
+        assert b.submitted == 0
