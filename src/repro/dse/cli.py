@@ -139,6 +139,20 @@ def main(argv=None) -> int:
         help="logging level for the repro.* loggers "
         "(debug/info/warning/error; default: $REPRO_LOG or warning)",
     )
+    parser.add_argument(
+        "--run-id",
+        metavar="ID",
+        default=None,
+        help="journal computed design points under this run id so an "
+        "interrupted sweep documents its progress",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="RUN_ID",
+        default=None,
+        help="continue a journaled sweep: already-computed points (and "
+        "their cells) replay from the content-addressed store",
+    )
     args = parser.parse_args(argv)
 
     from repro import obs
@@ -190,14 +204,54 @@ def main(argv=None) -> int:
     )
     from repro.dse.sweep import run_sweep
     from repro.pipeline import configure
+    from repro.resilience import RunJournal
+
+    if args.run_id is not None and args.resume is not None:
+        print("error: --run-id and --resume are mutually exclusive", file=sys.stderr)
+        return 2
+    run_id = args.resume or args.run_id
+    journal = None
+    if run_id is not None:
+        try:
+            journal = RunJournal.for_run(run_id)
+        except ValueError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        done = len(journal.completed_keys("dse_point"))
+        if args.resume is not None and done:
+            print(f"resuming run {run_id}: {done} points journaled")
+        journal.append(
+            {
+                "event": "sweep_start",
+                "space": space.name,
+                "resumed": args.resume is not None,
+            }
+        )
 
     engine = configure(
-        jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache
+        jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache,
+        journal=journal,
     )
     try:
-        result = run_sweep(space, engine=engine)
+        result = run_sweep(space, engine=engine, journal=journal)
+    except KeyboardInterrupt:
+        # Clean crash-only exit: reap the pool, journal the cut, keep
+        # every computed point in the store for --resume.
+        print("\ninterrupted — shutting down worker pool", file=sys.stderr)
+        engine.close(cancel=True)
+        if journal is not None:
+            journal.append({"event": "interrupted", "space": space.name})
+            journal.close()
+            print(f"journal saved; resume with --resume {run_id}", file=sys.stderr)
+        if args.trace is not None:
+            spans = obs.get_tracer().drain()
+            obs.write_trace(args.trace, spans)
+        return 130
     finally:
         engine.close()
+    if journal is not None:
+        journal.append({"event": "sweep_end", "space": space.name})
+        journal.close()
 
     try:
         front = frontier_records(result, objectives, senses)
@@ -229,11 +283,13 @@ def main(argv=None) -> int:
         (args.markdown, lambda: to_markdown(front)),
         (args.metrics, lambda: _json.dumps(obs.snapshot(), indent=2)),
     ]
+    from repro.resilience import atomic_write_text
+
     for dest, render in outputs:
         if dest is None:
             continue
         try:
-            Path(dest).write_text(render(), encoding="utf-8")
+            atomic_write_text(Path(dest), render())
         except OSError as e:
             print(f"error: cannot write {dest!r}: {e}", file=sys.stderr)
             return 2

@@ -275,6 +275,7 @@ def run_points(
     points: Sequence[DesignPoint],
     engine=None,
     store: Optional[CacheStore] = None,
+    journal=None,
 ) -> Tuple[List[dict], int]:
     """Evaluate ``points``; returns ``(records, n_computed)``.
 
@@ -284,6 +285,11 @@ def run_points(
     design-point records and accuracy cells alike.  Accuracy cells run
     through ``engine.run`` and therefore fan out over its ``--jobs N``
     worker pool.
+
+    ``journal`` (a :class:`~repro.resilience.journal.RunJournal`)
+    receives one ``dse_point`` event per record as it lands in the
+    store, so an interrupted sweep documents exactly how far it got;
+    the records themselves resume as store hits on the next run.
     """
     if engine is None:
         from repro.pipeline import get_engine
@@ -340,6 +346,10 @@ def run_points(
                     record = _evaluate(p, cell, plans.get(k))
                 store.put_json(DSE_KIND, k, record)
                 records[k] = record
+                if journal is not None:
+                    journal.append(
+                        {"event": "dse_point", "key": k, "space": p.space}
+                    )
 
         return [records[k] for k in keys], len(missing)
 
@@ -391,6 +401,7 @@ def run_sweep(
     space: DesignSpace,
     engine=None,
     store: Optional[CacheStore] = None,
+    journal=None,
 ) -> SweepResult:
     """Expand ``space`` and evaluate every valid design point."""
     t0 = time.perf_counter()
@@ -398,7 +409,9 @@ def run_sweep(
         points, skipped = space.points()
         for _params, reason in skipped:
             obs.counter("dse.skipped", reason=reason).inc()
-        records, computed = run_points(points, engine=engine, store=store)
+        records, computed = run_points(
+            points, engine=engine, store=store, journal=journal
+        )
     _log.info(
         "sweep %s: %d points (%d computed, %d skipped) in %.1fs",
         space.name,

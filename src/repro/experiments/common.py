@@ -47,6 +47,17 @@ class ExperimentResult:
             "notes": self.notes,
         }
 
+    @classmethod
+    def from_dict(cls, d: Dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (journal replay)."""
+        return cls(
+            experiment=d["experiment"],
+            title=d["title"],
+            columns=list(d["columns"]),
+            rows=[list(r) for r in d["rows"]],
+            notes=d.get("notes", ""),
+        )
+
     def cell(self, row_label, column: str):
         """Look up a value by first-column label and column name.
 

@@ -13,6 +13,8 @@ Usage::
     bitmod-repro dse --preset paper-pareto    # design-space exploration
     bitmod-repro --all --quick --trace out/trace.json --metrics out/metrics.json
     bitmod-repro obs summarize out/trace.json # trace/metrics tooling
+    bitmod-repro --all --quick --run-id night1 --json out/   # journaled run
+    bitmod-repro --all --quick --resume night1 --json out/   # pick it back up
 
 Every experiment draws its evaluation cells from the shared
 :mod:`repro.pipeline` engine: unique (model × dataset × datatype ×
@@ -20,13 +22,20 @@ method) cells are computed exactly once per run — across experiments —
 memoized on disk (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), and
 fanned out over a process pool with ``--jobs N``.  A warm rerun of
 ``--all`` only replays cache hits.
+
+``--run-id ID`` journals every completed experiment (and its computed
+cell keys) to an append-only per-run log; after a crash — even a
+SIGKILL mid-write — ``--resume ID`` replays the journaled experiments
+byte-identically and recomputes only the unfinished tail, whose cells
+the content-addressed store mostly already holds.  ``Ctrl-C`` shuts
+the worker pool down cleanly, journals the interruption, flushes any
+``--trace``/``--metrics`` output, and exits 130.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
-import json
 import sys
 import time
 from pathlib import Path
@@ -78,6 +87,8 @@ _VALUE_OPTIONS = {
     "--trace",
     "--metrics",
     "--log-level",
+    "--run-id",
+    "--resume",
 }
 
 
@@ -165,6 +176,20 @@ def main(argv=None) -> int:
         help="logging level for the repro.* loggers "
         "(debug/info/warning/error; default: $REPRO_LOG or warning)",
     )
+    parser.add_argument(
+        "--run-id",
+        metavar="ID",
+        default=None,
+        help="journal completed experiments under this run id "
+        "($REPRO_RUN_DIR or <cache>/runs/ID) so the run is resumable",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="RUN_ID",
+        default=None,
+        help="resume a journaled run: replay finished experiments from "
+        "the journal, recompute only the rest",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -177,7 +202,9 @@ def main(argv=None) -> int:
         return 1
 
     from repro import obs
+    from repro.experiments.common import ExperimentResult
     from repro.pipeline import configure
+    from repro.resilience import RunJournal, atomic_write_json
 
     try:
         log = obs.setup_logging(args.log_level)
@@ -190,8 +217,38 @@ def main(argv=None) -> int:
     if args.trace is not None:
         obs.set_tracing(True)
 
+    if args.run_id is not None and args.resume is not None:
+        print("error: --run-id and --resume are mutually exclusive", file=sys.stderr)
+        return 2
+    run_id = args.resume or args.run_id
+    journal = None
+    replayable: Dict[str, dict] = {}
+    if run_id is not None:
+        try:
+            journal = RunJournal.for_run(run_id)
+        except ValueError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        if args.resume is not None:
+            # Only same-mode results replay: a --quick journal must
+            # never satisfy a full run (or vice versa).
+            replayable = {
+                name: rec
+                for name, rec in journal.completed("experiment").items()
+                if rec.get("quick") == args.quick
+            }
+        journal.append(
+            {
+                "event": "run_start",
+                "experiments": names,
+                "quick": args.quick,
+                "resumed": args.resume is not None,
+            }
+        )
+
     engine = configure(
-        jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache
+        jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache,
+        journal=journal,
     )
 
     out_dir = None
@@ -199,9 +256,29 @@ def main(argv=None) -> int:
         out_dir = Path(args.json)
         out_dir.mkdir(parents=True, exist_ok=True)
 
+    def emit(name: str, result) -> None:
+        print(result)
+        print()
+        if out_dir is not None:
+            atomic_write_json(out_dir / f"{name}.json", result.to_dict(), indent=2)
+        if args.compare and name == "table06":
+            from repro.experiments.compare import compare_table06
+
+            print(compare_table06(result))
+            print()
+
     t0 = time.perf_counter()
+    replayed = []
     try:
         for name in names:
+            if name in replayable:
+                # Finished before the crash: replay the journaled
+                # payload instead of recomputing, emitting the exact
+                # output an uninterrupted run would have produced.
+                replayed.append(name)
+                log.info("experiment %s replayed from journal %s", name, run_id)
+                emit(name, ExperimentResult.from_dict(replayable[name]["result"]))
+                continue
             t_exp = time.perf_counter()
             with obs.span("experiment", name=name, quick=args.quick):
                 result = run_experiment(name, quick=args.quick)
@@ -209,19 +286,33 @@ def main(argv=None) -> int:
                 time.perf_counter() - t_exp
             )
             log.info("experiment %s done in %.2fs", name, time.perf_counter() - t_exp)
-            print(result)
-            print()
-            if out_dir is not None:
-                payload = json.dumps(result.to_dict(), indent=2)
-                (out_dir / f"{name}.json").write_text(payload, encoding="utf-8")
-            if args.compare and name == "table06":
-                from repro.experiments.compare import compare_table06
-
-                print(compare_table06(result))
-                print()
+            if journal is not None:
+                journal.append(
+                    {
+                        "event": "experiment",
+                        "name": name,
+                        "quick": args.quick,
+                        "result": result.to_dict(),
+                    }
+                )
+            emit(name, result)
+    except KeyboardInterrupt:
+        # Clean crash-only exit: reap the pool, journal the cut, flush
+        # whatever observability output was requested, exit nonzero.
+        print("\ninterrupted — shutting down worker pool", file=sys.stderr)
+        engine.close(cancel=True)
+        if journal is not None:
+            journal.append({"event": "interrupted", "quick": args.quick})
+            journal.close()
+            print(f"journal saved; resume with --resume {run_id}", file=sys.stderr)
+        _flush_obs(args, obs)
+        return 130
     finally:
         engine.close()
 
+    if journal is not None:
+        journal.append({"event": "run_end", "replayed": replayed})
+        journal.close()
     if out_dir is not None:
         # The historical keys stay put; "metrics" carries the full
         # registry snapshot (cache hit/miss counters, per-cell-kind
@@ -235,21 +326,25 @@ def main(argv=None) -> int:
             "cache_dir": None if args.no_cache else str(engine.store.root),
             "metrics": obs.snapshot(),
         }
-        (out_dir / "_run_meta.json").write_text(
-            json.dumps(meta, indent=2), encoding="utf-8"
-        )
+        if run_id is not None:
+            meta["run_id"] = run_id
+            meta["replayed"] = replayed
+        atomic_write_json(out_dir / "_run_meta.json", meta, indent=2)
+    _flush_obs(args, obs)
+    return 0
+
+
+def _flush_obs(args, obs) -> None:
+    """Write --metrics/--trace output (normal exit and Ctrl-C alike)."""
     if args.metrics is not None:
-        path = Path(args.metrics)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(
-            json.dumps(obs.snapshot(), indent=2), encoding="utf-8"
-        )
+        from repro.resilience import atomic_write_json
+
+        atomic_write_json(Path(args.metrics), obs.snapshot(), indent=2)
         print(f"wrote metrics snapshot {args.metrics}")
     if args.trace is not None:
         spans = obs.get_tracer().drain()
         obs.write_trace(args.trace, spans)
         print(f"wrote trace {args.trace} ({len(spans)} spans)")
-    return 0
 
 
 if __name__ == "__main__":

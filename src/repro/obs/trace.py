@@ -274,15 +274,16 @@ def chrome_trace(spans: Iterable[dict]) -> dict:
 
 def write_trace(path: Union[str, Path], spans: Iterable[dict]) -> Path:
     """Write spans to ``path``: chrome-trace for ``.json``, else JSONL."""
+    # Imported here, not at module top: resilience.faults logs through
+    # obs, so the packages must not need each other at import time.
+    from repro.resilience.atomic import atomic_write_text
+
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     spans = list(spans)
     if path.suffix == ".json":
-        path.write_text(
-            json.dumps(chrome_trace(spans), indent=1) + "\n", encoding="utf-8"
-        )
+        atomic_write_text(path, json.dumps(chrome_trace(spans), indent=1) + "\n")
     else:
-        path.write_text(to_jsonl(spans), encoding="utf-8")
+        atomic_write_text(path, to_jsonl(spans))
     return path
 
 

@@ -139,8 +139,18 @@ def compute_cell(spec: CellSpec) -> dict:
     Instrumented: each evaluation runs inside a ``pipeline.cell`` span
     and records its wall time into the per-kind
     ``pipeline.cell_seconds`` histogram (capped reservoir, so huge
-    sweeps stay bounded).
+    sweeps stay bounded).  It is also the ``pipeline.cell`` fault
+    site: an active :class:`~repro.resilience.faults.FaultPlan` can
+    kill the evaluating process here (mid-batch, exactly like a
+    segfault), raise, or add latency — the engine's crash recovery and
+    the chaos tests depend on this hook.
     """
+    from repro.resilience import faults
+
+    if faults.enabled():
+        faults.fire(
+            "pipeline.cell", kind=spec.kind, model=spec.model, dataset=spec.dataset
+        )
     t0 = time.perf_counter()
     with obs.span(
         "pipeline.cell", kind=spec.kind, model=spec.model, dataset=spec.dataset

@@ -9,6 +9,15 @@ process builds a model's forward-pass context exactly once; every
 worker writes its results straight into the store (atomic rename), so
 an interrupted ``--all`` run resumes where it stopped.
 
+The parallel path is *crash-safe*: a worker that dies mid-batch
+(segfault, OOM kill, injected fault) breaks the whole
+``ProcessPoolExecutor``, so the engine respawns the pool and retries —
+paced by a bounded exponential-backoff
+:class:`~repro.resilience.retry.RetryPolicy` — re-resolving survivors
+from the store first so **only the unfinished cells recompute**.
+``Ctrl-C`` shuts the pool down cleanly (futures cancelled, workers
+reaped) instead of dumping a pool traceback.
+
 A :class:`CellGrid` is the declarative sugar most experiments use: a
 (row-label × model × dataset) lattice that expands to specs and maps
 results back to labelled cells.
@@ -16,7 +25,9 @@ results back to labelled cells.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -26,6 +37,8 @@ from repro.pipeline.cells import CELL_KIND, CellSpec, cell_key, compute_cell
 from repro.pipeline.context import clear_context
 from repro.pipeline.store import CacheStore
 from repro.quant.config import QuantConfig
+from repro.resilience.journal import RunJournal
+from repro.resilience.retry import RetryBudgetExceeded, RetryPolicy
 
 __all__ = ["Engine", "CellGrid", "get_engine", "configure", "reset"]
 
@@ -92,10 +105,20 @@ class CellGrid:
 class Engine:
     """Cached, parallel evaluator of cell specs."""
 
-    def __init__(self, store: Optional[CacheStore] = None, jobs: int = 1):
+    def __init__(
+        self,
+        store: Optional[CacheStore] = None,
+        jobs: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        journal: Optional[RunJournal] = None,
+    ):
         self.store = store if store is not None else CacheStore()
         self.jobs = max(1, int(jobs))
         self.computed = 0
+        #: Pacing for pool respawns after a worker crash.
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: Optional per-run journal; computed cell keys are appended.
+        self.journal = journal
         self._pool: Optional[ProcessPoolExecutor] = None
         # In-process result memo: repeat evaluations of a key within
         # one engine's lifetime never re-read the store (and are not
@@ -106,10 +129,15 @@ class Engine:
         self._memo: Dict[str, dict] = {}
 
     # ------------------------------------------------------------------
-    def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+    def close(self, cancel: bool = False) -> None:
+        """Shut down the worker pool (idempotent).
+
+        ``cancel=True`` abandons queued work (the Ctrl-C path): queued
+        futures are cancelled so the pool reaps its workers instead of
+        draining the backlog first.
+        """
         if self._pool is not None:
-            self._pool.shutdown()
+            self._pool.shutdown(cancel_futures=cancel)
             self._pool = None
 
     def __enter__(self) -> "Engine":
@@ -173,6 +201,10 @@ class Engine:
                         result = compute_cell(s)
                         self.store.put_json(CELL_KIND, k, result)
                         results[k] = result
+                if self.journal is not None:
+                    self.journal.append(
+                        {"event": "cells", "keys": [k for k, _ in missing]}
+                    )
 
             self._memo.update(results)
             return [results[k] for k in keys]
@@ -188,30 +220,106 @@ class Engine:
         ``--all`` run the workers' per-process memos (models, FP16
         logits, calibration sets) stay warm from experiment to
         experiment instead of being rebuilt per table.
+
+        A dead worker breaks the entire pool (that is how
+        ``ProcessPoolExecutor`` reports a crash), so recovery is:
+        respawn the pool, re-resolve each pending cell against the
+        store (workers persist results cell-by-cell *before* dying —
+        survivors come back as cache hits), and resubmit only what is
+        genuinely unfinished, backing off per :attr:`retry`.
         """
         groups: Dict[Tuple[str, str], List[Tuple[str, CellSpec]]] = {}
         for k, s in missing:
             groups.setdefault((s.model, s.dataset), []).append((k, s))
 
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
         out: List[Tuple[str, dict]] = []
         tracing = obs.tracing_enabled()
-        futures = [
-            self._pool.submit(
-                _compute_batch,
-                groups[g],
-                str(self.store.root),
-                self.store.enabled,
-                tracing,
+        pending = {g: groups[g] for g in sorted(groups)}
+        crashes = 0
+        while pending:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            futures = [
+                (
+                    g,
+                    self._pool.submit(
+                        _compute_batch,
+                        items,
+                        str(self.store.root),
+                        self.store.enabled,
+                        tracing,
+                    ),
+                )
+                for g, items in pending.items()
+            ]
+            crashed = False
+            try:
+                for g, f in futures:
+                    try:
+                        pairs, spans, metrics = f.result()
+                    except BrokenProcessPool:
+                        crashed = True
+                        continue
+                    obs.absorb_capture(spans, metrics)
+                    out.extend(pairs)
+                    del pending[g]
+            except KeyboardInterrupt:
+                # Reap workers without draining the backlog, then let
+                # the CLI report the interruption.
+                self.close(cancel=True)
+                raise
+            if not pending:
+                break
+            if not crashed:  # pragma: no cover - defensive
+                raise RuntimeError("parallel batch neither finished nor crashed")
+            crashes += 1
+            obs.counter("resilience.pool_restarts").inc()
+            self.close()  # the broken pool cannot be reused
+            pending = self._requeue_survivors(pending, out)
+            if not pending:
+                break
+            n_left = sum(len(v) for v in pending.values())
+            if crashes > self.retry.max_attempts:
+                raise RetryBudgetExceeded(
+                    f"worker pool crashed {crashes} times; giving up with "
+                    f"{n_left} cells unfinished (RetryPolicy.max_attempts="
+                    f"{self.retry.max_attempts})"
+                )
+            obs.counter("resilience.cell_retries").inc(n_left)
+            delay = self.retry.delay(crashes)
+            _log.warning(
+                "worker pool crashed; respawning in %.2fs "
+                "(attempt %d/%d, %d cells left)",
+                delay,
+                crashes,
+                self.retry.max_attempts,
+                n_left,
             )
-            for g in sorted(groups)
-        ]
-        for f in futures:
-            pairs, spans, metrics = f.result()
-            obs.absorb_capture(spans, metrics)
-            out.extend(pairs)
+            time.sleep(delay)
         return out
+
+    def _requeue_survivors(
+        self,
+        pending: Dict[Tuple[str, str], List[Tuple[str, CellSpec]]],
+        out: List[Tuple[str, dict]],
+    ) -> Dict[Tuple[str, str], List[Tuple[str, CellSpec]]]:
+        """Split crash-interrupted batches into done vs still-to-run.
+
+        Cells the dead worker completed were already persisted to the
+        store; resolve those into ``out`` and keep only the rest.
+        """
+        still: Dict[Tuple[str, str], List[Tuple[str, CellSpec]]] = {}
+        for g, items in pending.items():
+            remaining = []
+            for k, s in items:
+                cached = self.store.get_json(CELL_KIND, k)
+                if cached is not None:
+                    out.append((k, cached))
+                else:
+                    remaining.append((k, s))
+            if remaining:
+                still[g] = remaining
+        return still
 
     # ------------------------------------------------------------------
     def run_grid(self, grid: CellGrid) -> Dict[Tuple[str, str, str], dict]:
@@ -251,11 +359,14 @@ def configure(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     no_cache: bool = False,
+    journal: Optional[RunJournal] = None,
 ) -> Engine:
     """(Re)build the global engine — the runner's ``--jobs/--cache-dir/
-    --no-cache`` land here."""
+    --no-cache`` (and ``--run-id/--resume`` journal) land here."""
     global _ENGINE
-    _ENGINE = Engine(store=CacheStore(cache_dir, enabled=not no_cache), jobs=jobs)
+    _ENGINE = Engine(
+        store=CacheStore(cache_dir, enabled=not no_cache), jobs=jobs, journal=journal
+    )
     return _ENGINE
 
 

@@ -8,10 +8,19 @@ The store memoizes three payload shapes under one root directory::
 
 Keys are the stable digests of :mod:`repro.pipeline.keys`; because a
 key fully determines its content, concurrent writers racing on the
-same key write identical bytes, and *atomic rename* (tempfile in the
-destination directory + ``os.replace``) guarantees readers never see
-a torn file.  That property is what makes the store safe under the
-``--jobs N`` process pool without any locking.
+same key write identical bytes, and *atomic rename*
+(:func:`repro.resilience.atomic.atomic_write_bytes`) guarantees
+readers never see a torn file.  That property is what makes the store
+safe under the ``--jobs N`` process pool without any locking.
+
+Reads are defensive: JSON records carry an integrity envelope (a
+sha256 digest of the payload) verified on every hit, and npz bundles
+are protected by the zip CRC.  An entry that fails to parse or to
+verify — truncated by a crash, flipped by a bad disk, or injected by a
+:class:`~repro.resilience.faults.FaultPlan` — is *quarantined*: moved
+to ``<root>/corrupt/`` (for postmortems) and reported as a miss, so
+the cell recomputes instead of the whole run crashing or silently
+reusing poisoned data.
 
 The default root is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``;
 ``CacheStore(enabled=False)`` turns every lookup into a miss and every
@@ -20,18 +29,30 @@ write into a no-op (the ``--no-cache`` path).
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import os
-import tempfile
+import zipfile
+import zlib
 from pathlib import Path
 from typing import Dict, Optional, Union
 
 import numpy as np
 
 from repro import obs
+from repro.resilience import faults
+from repro.resilience.atomic import atomic_write_bytes
 
 __all__ = ["CacheStore", "default_cache_dir"]
+
+_log = obs.get_logger(__name__)
+
+#: JSON-record integrity envelope version.
+_INTEGRITY_V = 1
+
+#: Everything np.load / zipfile can throw at a damaged npz.
+_NPZ_ERRORS = (OSError, ValueError, KeyError, zipfile.BadZipFile, zlib.error)
 
 
 def default_cache_dir() -> Path:
@@ -42,24 +63,12 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
-def _atomic_write(path: Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` via tempfile + rename (POSIX-atomic)."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as f:
-            f.write(data)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+def _payload_digest(payload_json: str) -> str:
+    return hashlib.sha256(payload_json.encode("utf-8")).hexdigest()[:16]
 
 
 class CacheStore:
-    """Content-addressed store with hit/miss accounting."""
+    """Content-addressed store with hit/miss/quarantine accounting."""
 
     def __init__(
         self,
@@ -70,6 +79,7 @@ class CacheStore:
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     # Per-instance fields above stay the engine.stats() source of
     # truth; the obs counters mirror them into the process-wide
@@ -82,6 +92,28 @@ class CacheStore:
         self.misses += 1
         obs.counter("pipeline.cache.misses").inc()
 
+    def _quarantine(self, path: Path, kind: str, reason: str) -> None:
+        """Move a damaged entry to ``corrupt/`` instead of crashing.
+
+        The entry keeps its name under ``corrupt/<kind>/`` so a
+        postmortem can line it up with the key that produced it; the
+        caller then treats the read as a miss and recomputes.
+        """
+        self.quarantined += 1
+        obs.counter("pipeline.cache.quarantined", kind=kind).inc()
+        dest = self.root / "corrupt" / kind / path.name
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            # Cross-device or permission trouble: removal still
+            # unblocks recomputation.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        _log.warning("quarantined corrupt cache entry %s (%s)", path.name, reason)
+
     # ------------------------------------------------------------------
     def path_for(self, kind: str, key: str, suffix: str) -> Path:
         return self.root / kind / key[:2] / f"{key}{suffix}"
@@ -92,7 +124,14 @@ class CacheStore:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hits / total if total else 0.0,
+            "quarantined": self.quarantined,
         }
+
+    def _faulted_put(self, kind: str, key: str, path: Path) -> None:
+        """Apply a planned ``corrupt`` fault to the entry just written."""
+        spec = faults.fire("cache.put", kind=kind, key=key)
+        if spec is not None and spec.action == "corrupt":
+            faults.corrupt_file(path, spec.mode)
 
     # ------------------------------------------------------------------
     # JSON records.
@@ -103,19 +142,48 @@ class CacheStore:
             return None
         path = self.path_for(kind, key, ".json")
         try:
-            obj = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            text = path.read_text(encoding="utf-8")
+        except OSError:
             self._miss()
             return None
+        except UnicodeDecodeError:
+            # A flipped byte can break UTF-8 before it breaks JSON.
+            self._quarantine(path, kind, "undecodable bytes")
+            self._miss()
+            return None
+        try:
+            doc = json.loads(text)
+        except ValueError:
+            self._quarantine(path, kind, "unparseable JSON")
+            self._miss()
+            return None
+        if isinstance(doc, dict) and "__integrity__" in doc:
+            payload = doc.get("payload")
+            envelope = doc["__integrity__"]
+            blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            if envelope.get("sha256") != _payload_digest(blob):
+                self._quarantine(path, kind, "digest mismatch")
+                self._miss()
+                return None
+            self._hit()
+            return payload
+        # Legacy pre-envelope entry: parseable JSON is accepted as-is.
         self._hit()
-        return obj
+        return doc
 
     def put_json(self, kind: str, key: str, obj: dict) -> None:
         if not self.enabled:
             return
         obs.counter("pipeline.cache.puts").inc()
         blob = json.dumps(obj, sort_keys=True, separators=(",", ":"))
-        _atomic_write(self.path_for(kind, key, ".json"), blob.encode("utf-8"))
+        doc = (
+            '{"__integrity__":{"v":%d,"sha256":"%s"},"payload":%s}'
+            % (_INTEGRITY_V, _payload_digest(blob), blob)
+        )
+        path = self.path_for(kind, key, ".json")
+        atomic_write_bytes(path, doc.encode("utf-8"))
+        if faults.enabled():
+            self._faulted_put(kind, key, path)
 
     # ------------------------------------------------------------------
     # Array bundles (npz).  ``meta`` rides along as a JSON side-field.
@@ -125,10 +193,16 @@ class CacheStore:
             self._miss()
             return None
         path = self.path_for(kind, key, ".npz")
+        if not path.exists():
+            self._miss()
+            return None
         try:
+            # The zip directory CRCs verify every member on read, so a
+            # truncated or bit-flipped bundle fails here, not later.
             with np.load(path, allow_pickle=False) as z:
                 out = {name: z[name] for name in z.files}
-        except (OSError, ValueError, KeyError):
+        except _NPZ_ERRORS:
+            self._quarantine(path, kind, "unreadable npz")
             self._miss()
             return None
         self._hit()
@@ -140,4 +214,7 @@ class CacheStore:
         obs.counter("pipeline.cache.puts").inc()
         buf = io.BytesIO()
         np.savez(buf, **{k: np.asarray(v) for k, v in arrays.items()})
-        _atomic_write(self.path_for(kind, key, ".npz"), buf.getvalue())
+        path = self.path_for(kind, key, ".npz")
+        atomic_write_bytes(path, buf.getvalue())
+        if faults.enabled():
+            self._faulted_put(kind, key, path)

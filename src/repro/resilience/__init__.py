@@ -1,0 +1,55 @@
+"""repro.resilience — fault injection, crash-safe IO, retries, resume.
+
+The ops substrate the pipeline engine, DSE sweeps and the serve path
+lean on to survive real-world failure (crash-only design: fail fast,
+recover deterministically):
+
+* :mod:`repro.resilience.faults` — seedable, declarative
+  :class:`FaultPlan` fault injection (``$REPRO_FAULTS``) so chaos
+  tests reproduce: kill a pool worker mid-batch, corrupt a cache
+  entry, raise/delay inside a cell, stall a serve request;
+* :mod:`repro.resilience.atomic` — the one write-temp-then-rename
+  helper every JSON/artifact emission goes through;
+* :mod:`repro.resilience.retry` — bounded exponential-backoff
+  :class:`RetryPolicy` (process-pool respawn pacing);
+* :mod:`repro.resilience.journal` — per-run append-only
+  :class:`RunJournal` of completed work, the ``--resume RUN_ID``
+  substrate.
+
+See ``docs/resilience.md`` for the fault-plan schema and the
+retry/journal/serve-degradation semantics.
+"""
+
+from repro.resilience.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
+from repro.resilience.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    clear_fault_plan,
+    corrupt_file,
+    get_fault_plan,
+    set_fault_plan,
+)
+from repro.resilience.journal import RunJournal, run_dir
+from repro.resilience.retry import RetryBudgetExceeded, RetryPolicy
+
+__all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryBudgetExceeded",
+    "RetryPolicy",
+    "RunJournal",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "clear_fault_plan",
+    "corrupt_file",
+    "get_fault_plan",
+    "run_dir",
+    "set_fault_plan",
+]

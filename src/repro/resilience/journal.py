@@ -1,0 +1,134 @@
+"""Per-run append-only journals: the resume substrate.
+
+A :class:`RunJournal` is one JSONL file of completion events —
+experiment results, computed cell keys, DSE point keys — appended as
+work finishes.  After a crash (SIGKILL, OOM, power loss) the journal
+plus the content-addressed :class:`~repro.pipeline.store.CacheStore`
+reconstruct exactly what a run already did:
+
+* journaled **experiment** events replay their stored result payload,
+  so ``bitmod-repro --all --resume RUN_ID`` skips finished experiments
+  and re-emits byte-identical JSON;
+* journaled **cells**/**dse_point** events document partial progress;
+  the cells and point records themselves live in the store, so the
+  re-run resolves them as cache hits instead of recomputing.
+
+Appends are a single ``write`` of one ``\\n``-terminated line to an
+``O_APPEND`` descriptor plus ``flush``; a crash mid-append leaves at
+most one torn *tail* line, which :meth:`records` detects and drops
+(every complete line is still valid JSON).  Journals live under
+``$REPRO_RUN_DIR`` or ``<cache root>/runs/<run_id>/journal.jsonl``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+__all__ = ["RunJournal", "run_dir"]
+
+_RUN_ID = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def run_dir(run_id: str, base: Optional[Union[str, Path]] = None) -> Path:
+    """The on-disk home of one run: ``<base>/runs/<run_id>``."""
+    if not _RUN_ID.match(run_id):
+        raise ValueError(
+            f"invalid run id {run_id!r} (letters, digits, '.', '_', '-' only)"
+        )
+    if base is None:
+        env = os.environ.get("REPRO_RUN_DIR")
+        if env:
+            return Path(env) / run_id
+        # Lazy import: pipeline.store imports resilience.atomic.
+        from repro.pipeline.store import default_cache_dir
+
+        base = default_cache_dir() / "runs"
+    return Path(base) / run_id
+
+
+class RunJournal:
+    """Append-only JSONL event log for one run id."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = None
+
+    @classmethod
+    def for_run(
+        cls, run_id: str, base: Optional[Union[str, Path]] = None
+    ) -> "RunJournal":
+        return cls(run_dir(run_id, base) / "journal.jsonl")
+
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> None:
+        """Persist one event (a JSON-able dict with an ``event`` key)."""
+        if "event" not in record:
+            raise ValueError("journal records need an 'event' key")
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(line)
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def records(self) -> List[dict]:
+        """Every complete event, oldest first.
+
+        A torn tail line (crash mid-append) is dropped; a torn line
+        anywhere *else* means outside interference and raises.
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        lines = text.splitlines()
+        out: List[dict] = []
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                out.append(json.loads(line))
+            except ValueError:
+                if i == len(lines) - 1:
+                    break  # torn tail from a crash mid-append
+                raise ValueError(
+                    f"{self.path}: corrupt journal line {i + 1} "
+                    "(only the final line may be torn)"
+                ) from None
+        return out
+
+    def completed(self, event: str, key: str = "name") -> Dict[str, dict]:
+        """Latest event of one type per ``key`` value (replay index)."""
+        out: Dict[str, dict] = {}
+        for r in self.records():
+            if r.get("event") == event and key in r:
+                out[str(r[key])] = r
+        return out
+
+    def completed_keys(self, event: str) -> List[str]:
+        """Flattened ``keys``/``key`` fields of every ``event`` record."""
+        keys: List[str] = []
+        for r in self.records():
+            if r.get("event") != event:
+                continue
+            if "keys" in r:
+                keys.extend(r["keys"])
+            elif "key" in r:
+                keys.append(r["key"])
+        return keys

@@ -1,0 +1,65 @@
+"""Bounded exponential-backoff retry policy.
+
+The pipeline engine uses one :class:`RetryPolicy` to pace process-pool
+respawns after a worker crash; anything else that needs fail-fast-and-
+recover semantics (remote stores, flaky IO) should reuse it rather
+than growing ad-hoc sleep loops.
+
+Delays are deterministic (no jitter by default) so chaos tests under a
+seeded :class:`~repro.resilience.faults.FaultPlan` replay identically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = ["RetryPolicy", "RetryBudgetExceeded"]
+
+
+class RetryBudgetExceeded(RuntimeError):
+    """Raised when an operation stays broken past ``max_attempts``."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff: ``base * multiplier**(n-1)``, capped.
+
+    ``max_attempts`` counts *retries* (a policy of 3 allows the
+    initial try plus three recoveries).
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise ValueError("max_attempts must be >= 0")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), bounded above."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(self.base_delay_s * self.multiplier ** (attempt - 1), self.max_delay_s)
+
+    def sleep(self, attempt: int, _sleep: Callable[[float], None] = time.sleep) -> float:
+        """Sleep the backoff for ``attempt`` and return the delay used."""
+        d = self.delay(attempt)
+        if d > 0:
+            _sleep(d)
+        return d
+
+    def attempts(self) -> Iterator[int]:
+        """Yield retry attempt numbers ``1..max_attempts``, sleeping
+        the backoff *before* each yield (the caller already failed
+        once when it starts iterating)."""
+        for attempt in range(1, self.max_attempts + 1):
+            self.sleep(attempt)
+            yield attempt

@@ -20,6 +20,10 @@ The deployment path the paper motivates, end to end:
     scheduler from a background loop.
 ``metrics``
     Throughput, time-to-first-token, and latency percentiles.
+``errors``
+    Structured degradation: :class:`DeadlineExceeded` when a request's
+    deadline passes, :class:`Overloaded` when the bounded admission
+    queue sheds it or the server is draining.
 ``bridge``
     Replays served-request traces through the accelerator simulator
     to report modeled cycles and energy per request.
@@ -27,6 +31,7 @@ The deployment path the paper motivates, end to end:
 
 from repro.serve.artifact import (
     ARTIFACT_VERSION,
+    ArtifactIntegrityError,
     ModelArtifact,
     load_artifact,
     pack_model,
@@ -34,6 +39,7 @@ from repro.serve.artifact import (
     save_artifact,
 )
 from repro.serve.batching import ContinuousBatcher, Request, StepReport
+from repro.serve.errors import DeadlineExceeded, Overloaded, ServeError
 from repro.serve.bridge import (
     FunctionalReplay,
     HardwareReport,
@@ -47,6 +53,10 @@ from repro.serve.server import GenerationResult, ServeServer
 
 __all__ = [
     "ARTIFACT_VERSION",
+    "ArtifactIntegrityError",
+    "ServeError",
+    "DeadlineExceeded",
+    "Overloaded",
     "ModelArtifact",
     "pack_model",
     "pack_tensor_cached",

@@ -32,6 +32,7 @@ equal the quantized originals to the last bit.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import struct
 from dataclasses import dataclass, field
@@ -51,12 +52,18 @@ from repro.quant.packing import PackedTensor, pack_tensor, unpack_tensor
 
 __all__ = [
     "ARTIFACT_VERSION",
+    "ArtifactIntegrityError",
     "ModelArtifact",
     "pack_model",
     "pack_tensor_cached",
     "save_artifact",
     "load_artifact",
 ]
+
+
+class ArtifactIntegrityError(ValueError):
+    """The artifact container on disk is damaged: truncated blob
+    section or a blob digest that no longer matches its header."""
 
 #: Store namespace for cached packed-tensor images.
 PACKED_KIND = "packed"
@@ -366,31 +373,62 @@ def write_artifact(path: Union[str, Path], artifact: ModelArtifact) -> None:
     }
     if artifact.plan is not None:
         header["plan"] = artifact.plan.to_dict()
+    # Integrity envelope: total blob-section size catches truncation,
+    # the sha256 catches bit rot.  Optional fields — containers written
+    # before they existed load fine — so ARTIFACT_VERSION stays 1.
+    blob_section = b"".join(writer.parts)
+    header["blob_nbytes"] = len(blob_section)
+    header["blob_sha256"] = hashlib.sha256(blob_section).hexdigest()
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
 
-    with open(path, "wb") as f:
-        f.write(ARTIFACT_MAGIC)
-        f.write(struct.pack("<I", len(header_bytes)))
-        f.write(header_bytes)
-        for part in writer.parts:
-            f.write(part)
+    from repro.resilience.atomic import atomic_write_bytes
+
+    atomic_write_bytes(
+        Path(path),
+        ARTIFACT_MAGIC
+        + struct.pack("<I", len(header_bytes))
+        + header_bytes
+        + blob_section,
+    )
 
 
-def load_artifact(path: Union[str, Path]) -> ModelArtifact:
-    """Read an artifact container back into a :class:`ModelArtifact`."""
+def load_artifact(path: Union[str, Path], verify: bool = True) -> ModelArtifact:
+    """Read an artifact container back into a :class:`ModelArtifact`.
+
+    With ``verify`` (the default) the blob section is checked against
+    the size and sha256 the writer recorded in the header; a truncated
+    or bit-rotted file raises :class:`ArtifactIntegrityError` at load
+    time instead of serving garbage weights.  Containers written
+    before the checksum fields existed skip verification.
+    """
     data = Path(path).read_bytes()
     if data[: len(ARTIFACT_MAGIC)] != ARTIFACT_MAGIC:
         raise ValueError(f"{path}: not a repro.serve artifact (bad magic)")
     pos = len(ARTIFACT_MAGIC)
     header_len = struct.unpack("<I", data[pos : pos + 4])[0]
     pos += 4
-    header = json.loads(data[pos : pos + header_len].decode("utf-8"))
+    try:
+        header = json.loads(data[pos : pos + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as e:
+        raise ArtifactIntegrityError(f"{path}: unreadable header: {e}") from e
     if header["format_version"] != ARTIFACT_VERSION:
         raise ValueError(
             f"{path}: artifact format v{header['format_version']} "
             f"unsupported (reader is v{ARTIFACT_VERSION})"
         )
     blob = data[pos + header_len :]
+    if verify and "blob_nbytes" in header:
+        if len(blob) != header["blob_nbytes"]:
+            raise ArtifactIntegrityError(
+                f"{path}: blob section is {len(blob)} bytes, header "
+                f"promises {header['blob_nbytes']} (truncated?)"
+            )
+        digest = hashlib.sha256(blob).hexdigest()
+        if digest != header["blob_sha256"]:
+            raise ArtifactIntegrityError(
+                f"{path}: blob sha256 mismatch "
+                f"({digest[:16]}… != {header['blob_sha256'][:16]}…)"
+            )
 
     packed: Dict[str, PackedTensor] = {}
     raw: Dict[str, np.ndarray] = {}

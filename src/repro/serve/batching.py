@@ -7,6 +7,19 @@ with whatever budget remains.  Sequences join and leave the batch at
 step granularity — a finished request frees its slot immediately, and
 a newly admitted one starts decoding on the very next step, so the
 batch never drains to refill (the "continuous" part).
+
+Degradation is explicit (see :mod:`repro.serve.errors`):
+
+* ``max_waiting`` bounds the admission queue — an overfull queue sheds
+  the new request with :class:`~repro.serve.errors.Overloaded` instead
+  of growing without limit;
+* a request's ``deadline_s`` is checked every step; an expired request
+  is cancelled and evicted from whichever queue holds it, surfacing as
+  a structured :class:`~repro.serve.errors.DeadlineExceeded`;
+* each request pins the engine it started on, so
+  :meth:`ContinuousBatcher.swap_engine` hot-swaps a new artifact into
+  the scheduler while in-flight sequences (whose KV caches belong to
+  the old weights) finish where they began — zero dropped requests.
 """
 
 from __future__ import annotations
@@ -19,7 +32,9 @@ from typing import Callable, Deque, Dict, List, Optional
 import numpy as np
 
 from repro.obs.trace import NOOP_SPAN, TRACER
+from repro.resilience import faults
 from repro.serve.engine import GenerationConfig, InferenceEngine, SequenceState
+from repro.serve.errors import Overloaded
 from repro.serve.metrics import ServeMetrics
 
 __all__ = ["Request", "RequestState", "StepReport", "ContinuousBatcher"]
@@ -33,6 +48,9 @@ class Request:
     prompt: np.ndarray
     generation: GenerationConfig = field(default_factory=GenerationConfig)
     submitted_at: float = 0.0
+    #: Seconds (on the scheduler clock, from submission) this request
+    #: may take end-to-end; ``None`` = no deadline.
+    deadline_s: Optional[float] = None
 
 
 @dataclass
@@ -43,6 +61,12 @@ class RequestState:
     seq: SequenceState
     first_token_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: Absolute scheduler-clock instant the request expires at.
+    deadline_at: Optional[float] = None
+    #: The engine this request prefills/decodes on (pinned at submit
+    #: so artifact hot swaps never touch an in-flight KV cache).
+    engine: Optional[InferenceEngine] = None
+    expired: bool = False
 
     @property
     def request_id(self) -> int:
@@ -57,6 +81,7 @@ class StepReport:
     prefilled: List[int] = field(default_factory=list)
     decoded: List[int] = field(default_factory=list)
     finished: List[int] = field(default_factory=list)
+    expired: List[int] = field(default_factory=list)
     prefill_tokens: int = 0
     decode_tokens: int = 0
 
@@ -80,24 +105,41 @@ class ContinuousBatcher:
         engine: InferenceEngine,
         max_batch_tokens: int = 512,
         max_running: int = 64,
+        max_waiting: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
         metrics: Optional[ServeMetrics] = None,
     ):
         if max_batch_tokens < 1:
             raise ValueError("max_batch_tokens must be at least 1")
+        if max_waiting is not None and max_waiting < 1:
+            raise ValueError("max_waiting must be at least 1 (or None)")
         self.engine = engine
         self.max_batch_tokens = max_batch_tokens
         self.max_running = max_running
+        self.max_waiting = max_waiting
         self.clock = clock
         self.metrics = metrics if metrics is not None else ServeMetrics()
         self._waiting: Deque[RequestState] = deque()
         self._running: Deque[RequestState] = deque()
         self._finished: Dict[int, RequestState] = {}
+        self._expired: Dict[int, RequestState] = {}
         self._step = 0
 
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> RequestState:
-        """Queue a request; it enters the batch on a later step."""
+        """Queue a request; it enters the batch on a later step.
+
+        Raises :class:`Overloaded` when the admission queue is full —
+        the request is shed, not silently queued behind work the
+        server cannot keep up with.
+        """
+        if self.max_waiting is not None and len(self._waiting) >= self.max_waiting:
+            self.metrics.rejected += 1
+            raise Overloaded(
+                f"admission queue full ({len(self._waiting)} waiting)",
+                request_id=request.request_id,
+                waiting=len(self._waiting),
+            )
         if not request.submitted_at:
             # Stamp with the scheduler clock so TTFT/latency are sane
             # for callers that leave the dataclass default in place.
@@ -109,7 +151,9 @@ class ContinuousBatcher:
                 f"budget of {self.max_batch_tokens}"
             )
         seq = self.engine.start_sequence(request.prompt, request.generation)
-        state = RequestState(request=request, seq=seq)
+        state = RequestState(request=request, seq=seq, engine=self.engine)
+        if request.deadline_s is not None:
+            state.deadline_at = request.submitted_at + request.deadline_s
         self._waiting.append(state)
         self.metrics.submitted += 1
         self.metrics.queue_waiting.set(len(self._waiting))
@@ -131,6 +175,20 @@ class ContinuousBatcher:
     def finished(self, request_id: int) -> RequestState:
         return self._finished[request_id]
 
+    def expired(self, request_id: int) -> RequestState:
+        return self._expired[request_id]
+
+    # ------------------------------------------------------------------
+    def swap_engine(self, engine: InferenceEngine) -> InferenceEngine:
+        """Replace the engine for *future* work; return the old one.
+
+        In-flight requests (waiting or running) pinned the engine they
+        started on and finish there — their KV caches belong to the old
+        weights — so a hot swap drops nothing.
+        """
+        old, self.engine = self.engine, engine
+        return old
+
     # ------------------------------------------------------------------
     def step(self) -> StepReport:
         """Run one continuous-batching iteration."""
@@ -141,6 +199,7 @@ class ContinuousBatcher:
         with step_span as sp:
             report = StepReport(step=self._step)
             budget = self.max_batch_tokens
+            self._expire_overdue(report)
 
             # Decode pass: one token for every running sequence that fits.
             # The deque rotates so a too-small budget round-robins fairly
@@ -158,7 +217,9 @@ class ContinuousBatcher:
                     if traced
                     else NOOP_SPAN
                 ):
-                    self.engine.decode(state.seq)
+                    if faults.enabled():
+                        faults.fire("serve.decode", request=state.request_id)
+                    (state.engine or self.engine).decode(state.seq)
                 report.decoded.append(state.request_id)
                 report.decode_tokens += 1
                 if state.seq.done:
@@ -186,7 +247,7 @@ class ContinuousBatcher:
                     if traced
                     else NOOP_SPAN
                 ):
-                    self.engine.prefill(state.seq)
+                    (state.engine or self.engine).prefill(state.seq)
                 state.first_token_at = self.clock()
                 self.metrics.ttft.record(
                     state.first_token_at - state.request.submitted_at
@@ -209,6 +270,7 @@ class ContinuousBatcher:
                     prefilled=len(report.prefilled),
                     decoded=len(report.decoded),
                     finished=len(report.finished),
+                    expired=len(report.expired),
                 )
             return report
 
@@ -221,6 +283,29 @@ class ContinuousBatcher:
             reports.append(self.step())
         self.metrics.stop(self.clock())
         return reports
+
+    # ------------------------------------------------------------------
+    def _expire_overdue(self, report: StepReport) -> None:
+        """Cancel every queued/running request whose deadline passed.
+
+        Runs at the top of each step so an expired request costs no
+        further decode budget; the server maps the eviction onto the
+        request's future as :class:`~repro.serve.errors.DeadlineExceeded`.
+        """
+        now = self.clock()
+        for queue in (self._waiting, self._running):
+            overdue = [
+                s
+                for s in queue
+                if s.deadline_at is not None and now >= s.deadline_at
+            ]
+            for state in overdue:
+                queue.remove(state)
+                state.expired = True
+                state.finished_at = now
+                self._expired[state.request_id] = state
+                report.expired.append(state.request_id)
+                self.metrics.expired += 1
 
     # ------------------------------------------------------------------
     def _finish(self, state: RequestState, report: StepReport) -> None:

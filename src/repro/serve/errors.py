@@ -1,0 +1,48 @@
+"""Structured serve-path errors.
+
+Degradation must be explicit: when the server sheds load or expires a
+request it raises a typed :class:`ServeError` whose :meth:`to_dict`
+is the wire shape an HTTP front-end would return — a machine-readable
+``error`` code plus human-readable ``message`` — never a bare
+``RuntimeError`` a client cannot branch on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["ServeError", "DeadlineExceeded", "Overloaded"]
+
+
+class ServeError(Exception):
+    """Base class: a structured, client-reportable serving failure."""
+
+    code = "serve_error"
+
+    def __init__(self, message: str, request_id: Optional[int] = None, **details):
+        super().__init__(message)
+        self.request_id = request_id
+        self.details = details
+
+    def to_dict(self) -> Dict:
+        """The JSON error body a front-end would serialize."""
+        out: Dict = {"error": self.code, "message": str(self)}
+        if self.request_id is not None:
+            out["request_id"] = self.request_id
+        out.update(self.details)
+        return out
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline passed before it finished; it was
+    cancelled and evicted from the scheduler."""
+
+    code = "deadline_exceeded"
+
+
+class Overloaded(ServeError):
+    """Admission refused: the bounded queue is full (or the server is
+    draining).  Explicit shed beats unbounded queue growth — the
+    client can back off and retry."""
+
+    code = "overloaded"

@@ -84,6 +84,8 @@ class ServeMetrics:
             for name, series in (
                 ("submitted", "requests.submitted"),
                 ("completed", "requests.completed"),
+                ("expired", "requests.expired"),
+                ("rejected", "requests.rejected"),
                 ("prefill_tokens", "tokens.prefill"),
                 ("decode_tokens", "tokens.decode"),
                 ("steps", "scheduler.steps"),
@@ -101,6 +103,10 @@ class ServeMetrics:
 
     submitted = _int_counter("submitted")
     completed = _int_counter("completed")
+    #: Requests cancelled because their deadline passed.
+    expired = _int_counter("expired")
+    #: Requests shed at admission (queue full or server draining).
+    rejected = _int_counter("rejected")
     prefill_tokens = _int_counter("prefill_tokens")
     decode_tokens = _int_counter("decode_tokens")
     steps = _int_counter("steps")
@@ -136,7 +142,12 @@ class ServeMetrics:
 
     def to_dict(self) -> Dict:
         return {
-            "requests": {"submitted": self.submitted, "completed": self.completed},
+            "requests": {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "expired": self.expired,
+                "rejected": self.rejected,
+            },
             "tokens": {
                 "prefill": self.prefill_tokens,
                 "decode": self.decode_tokens,

@@ -5,6 +5,17 @@ Clients ``await submit()`` to enqueue a prompt and get a request id,
 or ``await generate()`` to block until their tokens come back; any
 number of callers can be in flight at once, and the batcher packs
 their prefills and decodes into shared token-budgeted steps.
+
+The server degrades gracefully instead of falling over (errors are
+the structured kind from :mod:`repro.serve.errors`):
+
+* ``deadline_s`` on a request caps its end-to-end time — an expired
+  request's future fails with :class:`DeadlineExceeded`;
+* ``max_waiting`` bounds the admission queue, and a draining server
+  rejects new work — both surface :class:`Overloaded`;
+* :meth:`ServeServer.reload_artifact` hot-swaps new weights under
+  live traffic: in-flight requests finish on the engine they started
+  on, so the swap drops zero requests.
 """
 
 from __future__ import annotations
@@ -13,12 +24,14 @@ import asyncio
 import itertools
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.serve.batching import ContinuousBatcher, Request, RequestState
 from repro.serve.engine import GenerationConfig, InferenceEngine
+from repro.serve.errors import DeadlineExceeded, Overloaded
 from repro.serve.metrics import ServeMetrics
 
 __all__ = ["GenerationResult", "ServeServer"]
@@ -51,12 +64,15 @@ class ServeServer:
         engine: InferenceEngine,
         max_batch_tokens: int = 512,
         max_running: int = 64,
+        max_waiting: Optional[int] = None,
     ):
         self.metrics = ServeMetrics()
+        self._reloads = self.metrics.registry.counter("serve.artifact_reloads")
         self.batcher = ContinuousBatcher(
             engine,
             max_batch_tokens=max_batch_tokens,
             max_running=max_running,
+            max_waiting=max_waiting,
             metrics=self.metrics,
         )
         self._ids = itertools.count()
@@ -105,8 +121,21 @@ class ServeServer:
         self,
         prompt: np.ndarray,
         generation: GenerationConfig = GenerationConfig(),
+        deadline_s: Optional[float] = None,
     ) -> int:
-        """Enqueue a prompt; returns the request id immediately."""
+        """Enqueue a prompt; returns the request id immediately.
+
+        ``deadline_s`` caps the request's end-to-end time: once it
+        passes, the scheduler cancels the request and its future fails
+        with :class:`DeadlineExceeded`.  Raises :class:`Overloaded`
+        when the admission queue is full or the server is draining.
+        """
+        # Checked before _loop_task: stop() clears the task handle while
+        # the drain is still in flight, and a draining server owes the
+        # client a structured rejection, not "not started".
+        if self._stop_requested:
+            self.metrics.rejected += 1
+            raise Overloaded("server is draining; not accepting new requests")
         if self._loop_task is None:
             raise RuntimeError("server not started")
         request_id = next(self._ids)
@@ -115,6 +144,7 @@ class ServeServer:
             prompt=np.asarray(prompt),
             generation=generation,
             submitted_at=time.monotonic(),
+            deadline_s=deadline_s,
         )
         self.batcher.submit(request)
         self._futures[request_id] = asyncio.get_running_loop().create_future()
@@ -131,14 +161,45 @@ class ServeServer:
         self,
         prompt: np.ndarray,
         generation: GenerationConfig = GenerationConfig(),
+        deadline_s: Optional[float] = None,
     ) -> GenerationResult:
         """Submit and wait: the one-call client path."""
-        request_id = await self.submit(prompt, generation)
+        request_id = await self.submit(prompt, generation, deadline_s=deadline_s)
         return await self.result(request_id)
 
     def completed(self) -> List[GenerationResult]:
         """Results of every request finished so far."""
         return list(self._results.values())
+
+    # ------------------------------------------------------------------
+    # Hot swap.
+    # ------------------------------------------------------------------
+    def reload_artifact(
+        self,
+        source: Union[str, Path, InferenceEngine],
+        seed: int = 0,
+        verify: bool = True,
+    ) -> InferenceEngine:
+        """Swap a new model in under live traffic; returns the old engine.
+
+        ``source`` is an artifact path (loaded with checksum
+        verification unless ``verify=False``) or a pre-built
+        :class:`InferenceEngine`.  The load happens *before* the swap,
+        so a corrupt artifact raises
+        :class:`~repro.serve.artifact.ArtifactIntegrityError` and the
+        running engine keeps serving.  In-flight requests finish on
+        the engine they started on — zero dropped requests.
+        """
+        if isinstance(source, InferenceEngine):
+            engine = source
+        else:
+            from repro.serve.artifact import load_artifact
+
+            artifact = load_artifact(source, verify=verify)
+            engine = InferenceEngine.from_artifact(artifact, seed=seed)
+        old = self.batcher.swap_engine(engine)
+        self._reloads.inc()
+        return old
 
     # ------------------------------------------------------------------
     # Scheduler loop.
@@ -156,6 +217,8 @@ class ServeServer:
             report = self.batcher.step()
             for request_id in report.finished:
                 self._resolve(self.batcher.finished(request_id))
+            for request_id in report.expired:
+                self._resolve_expired(self.batcher.expired(request_id))
             # Yield so submitters/waiters run between steps.
             await asyncio.sleep(0)
 
@@ -171,3 +234,16 @@ class ServeServer:
         future = self._futures.pop(state.request_id, None)
         if future is not None and not future.done():
             future.set_result(result)
+
+    def _resolve_expired(self, state: RequestState) -> None:
+        future = self._futures.pop(state.request_id, None)
+        if future is not None and not future.done():
+            future.set_exception(
+                DeadlineExceeded(
+                    f"request {state.request_id} exceeded its "
+                    f"{state.request.deadline_s:.3f}s deadline",
+                    request_id=state.request_id,
+                    deadline_s=state.request.deadline_s,
+                    generated_tokens=len(state.seq.generated),
+                )
+            )

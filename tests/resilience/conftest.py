@@ -1,0 +1,14 @@
+"""Fault-plan hygiene: no plan (or $REPRO_FAULTS) leaks across tests."""
+
+import pytest
+
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_faults(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_FAULTS_STATE", raising=False)
+    faults.clear_fault_plan()
+    yield
+    faults.clear_fault_plan()

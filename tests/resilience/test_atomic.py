@@ -1,0 +1,46 @@
+"""The atomic write-temp-then-rename helper."""
+
+import json
+
+import pytest
+
+from repro.resilience import atomic_write_bytes, atomic_write_json, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_bytes_round_trip(self, tmp_path):
+        p = atomic_write_bytes(tmp_path / "a.bin", b"\x00\x01payload")
+        assert p.read_bytes() == b"\x00\x01payload"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        p = atomic_write_text(tmp_path / "deep" / "er" / "x.txt", "hi")
+        assert p.read_text() == "hi"
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "report.json"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        for i in range(5):
+            atomic_write_text(tmp_path / "out.txt", f"v{i}")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_json_compact_by_default(self, tmp_path):
+        p = atomic_write_json(tmp_path / "o.json", {"b": 1, "a": 2})
+        text = p.read_text()
+        assert "\n" not in text
+        assert json.loads(text) == {"b": 1, "a": 2}
+
+    def test_json_indent_gets_trailing_newline(self, tmp_path):
+        p = atomic_write_json(tmp_path / "o.json", {"a": 1}, indent=2)
+        assert p.read_text().endswith("}\n")
+
+    def test_failure_leaves_old_file_intact(self, tmp_path):
+        target = tmp_path / "keep.json"
+        atomic_write_json(target, {"ok": True})
+        with pytest.raises(TypeError):
+            atomic_write_json(target, {"bad": object()})
+        assert json.loads(target.read_text()) == {"ok": True}
+        assert [p.name for p in tmp_path.iterdir()] == ["keep.json"]

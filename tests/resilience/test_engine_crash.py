@@ -1,0 +1,98 @@
+"""Worker crashes: the pool respawns and only unfinished cells retry."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.pipeline import CellGrid, CellSpec, Engine
+from repro.pipeline.store import CacheStore
+from repro.quant.config import QuantConfig
+from repro.resilience import RetryBudgetExceeded, RetryPolicy, faults
+from repro.resilience.faults import FaultInjected, FaultPlan, FaultSpec
+
+_GRID = CellGrid(
+    rows=(("int4_asym", QuantConfig(dtype="int4_asym")),),
+    models=("opt-1.3b", "phi-2b"),
+    datasets=("wikitext",),
+)
+
+
+def _kill_plan_env(tmp_path, monkeypatch, times=1, exit_code=137):
+    """Install a one-shot worker-kill plan via $REPRO_FAULTS so pool
+    workers (which inherit the environment) load it too."""
+    plan = FaultPlan([FaultSpec(site="pipeline.cell", action="kill", times=times,
+                                exit_code=exit_code)])
+    path = tmp_path / "plan.json"
+    path.write_text(plan.to_json())
+    monkeypatch.setenv("REPRO_FAULTS", f"@{path}")
+    faults.clear_fault_plan()
+    return path
+
+
+class TestWorkerKillRecovery:
+    def test_killed_worker_respawns_and_completes(self, tmp_path, monkeypatch):
+        serial = Engine(store=CacheStore(tmp_path / "serial"))
+        expected = serial.run_grid(_GRID)
+
+        obs.reset()
+        _kill_plan_env(tmp_path, monkeypatch)
+        fast = RetryPolicy(base_delay_s=0.0)
+        with Engine(store=CacheStore(tmp_path / "chaos"), jobs=2, retry=fast) as engine:
+            results = engine.run_grid(_GRID)
+        assert results == expected
+        counters = obs.snapshot()["counters"]
+        assert counters["resilience.pool_restarts"] >= 1
+
+    def test_survivor_cells_not_recomputed(self, tmp_path, monkeypatch):
+        """After the crash, cells the dead pool already persisted come
+        back as cache hits — only the unfinished remainder recomputes."""
+        obs.reset()
+        _kill_plan_env(tmp_path, monkeypatch)
+        store = CacheStore(tmp_path / "chaos")
+        fast = RetryPolicy(base_delay_s=0.0)
+        with Engine(store=store, jobs=2, retry=fast) as engine:
+            results = engine.run_grid(_GRID)
+        assert len(results) == len(_GRID.specs())
+        # Total work is bounded: every cell computed at most twice even
+        # though the whole pool went down.
+        assert engine.computed <= 2 * len(_GRID.specs())
+
+    def test_persistent_crash_exhausts_retry_budget(self, tmp_path, monkeypatch):
+        # Enough kill budget to outlast every retry round.
+        _kill_plan_env(tmp_path, monkeypatch, times=50)
+        fast = RetryPolicy(max_attempts=1, base_delay_s=0.0)
+        with Engine(store=CacheStore(tmp_path / "c"), jobs=2, retry=fast) as engine:
+            with pytest.raises(RetryBudgetExceeded):
+                engine.run_grid(_GRID)
+
+
+class TestRaiseFault:
+    def test_serial_cell_fault_propagates(self, tmp_path):
+        faults.set_fault_plan(
+            FaultPlan([FaultSpec(site="pipeline.cell", action="raise")])
+        )
+        try:
+            engine = Engine(store=CacheStore(tmp_path))
+            with pytest.raises(FaultInjected):
+                engine.run([CellSpec(model="opt-1.3b", dataset="wikitext")])
+        finally:
+            faults.set_fault_plan(None)
+
+
+class TestJournaledCells:
+    def test_engine_journals_missing_cell_keys(self, tmp_path):
+        from repro.resilience import RunJournal
+
+        journal = RunJournal(tmp_path / "j.jsonl")
+        engine = Engine(store=CacheStore(tmp_path / "cache"), journal=journal)
+        engine.run_grid(_GRID)
+        journal.close()
+        keys = RunJournal(tmp_path / "j.jsonl").completed_keys("cells")
+        assert len(keys) == len(_GRID.specs())
+        # Warm rerun: nothing missing, nothing journaled.
+        journal2 = RunJournal(tmp_path / "j2.jsonl")
+        warm = Engine(store=CacheStore(tmp_path / "cache"), journal=journal2)
+        warm.run_grid(_GRID)
+        journal2.close()
+        assert RunJournal(tmp_path / "j2.jsonl").completed_keys("cells") == []

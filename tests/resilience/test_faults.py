@@ -1,0 +1,155 @@
+"""Deterministic fault injection: triggers, budgets, env activation."""
+
+import json
+import time
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    corrupt_file,
+)
+
+
+def _plan(*specs, **kw):
+    return FaultPlan(list(specs), **kw)
+
+
+class TestFaultSpec:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultSpec(site="x", action="explode")
+
+    def test_unknown_corrupt_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown corrupt mode"):
+            FaultSpec(site="x", action="corrupt", mode="shred")
+
+    def test_trigger_bounds_validated(self):
+        with pytest.raises(ValueError):
+            FaultSpec(site="x", action="raise", after=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(site="x", action="raise", times=0)
+        with pytest.raises(ValueError):
+            FaultSpec(site="x", action="raise", p=0.0)
+
+    def test_match_filters_on_ctx(self):
+        spec = FaultSpec(site="pipeline.cell", action="raise", match=(("model", "opt"),))
+        assert spec.matches("pipeline.cell", {"model": "opt", "dataset": "wt"})
+        assert not spec.matches("pipeline.cell", {"model": "phi"})
+        assert not spec.matches("cache.put", {"model": "opt"})
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(
+            site="cache.put", action="corrupt", match=(("kind", "cells"),), mode="flip"
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFaultPlan:
+    def test_raise_action_carries_site_and_ctx(self):
+        plan = _plan(FaultSpec(site="s", action="raise"))
+        with pytest.raises(FaultInjected) as e:
+            plan.fire("s", model="opt")
+        assert e.value.site == "s"
+        assert e.value.ctx == {"model": "opt"}
+
+    def test_after_skips_leading_events(self):
+        plan = _plan(FaultSpec(site="s", action="raise", after=2))
+        assert plan.fire("s") is None
+        assert plan.fire("s") is None
+        with pytest.raises(FaultInjected):
+            plan.fire("s")
+
+    def test_times_bounds_activations(self):
+        plan = _plan(FaultSpec(site="s", action="raise", times=2))
+        for _ in range(2):
+            with pytest.raises(FaultInjected):
+                plan.fire("s")
+        assert plan.fire("s") is None
+
+    def test_delay_action_sleeps_then_continues(self):
+        plan = _plan(FaultSpec(site="s", action="delay", delay_s=0.01))
+        t0 = time.perf_counter()
+        spec = plan.fire("s")
+        assert spec is not None and spec.action == "delay"
+        assert time.perf_counter() - t0 >= 0.01
+
+    def test_corrupt_action_returned_not_performed(self):
+        plan = _plan(FaultSpec(site="s", action="corrupt", mode="flip"))
+        spec = plan.fire("s")
+        assert spec.action == "corrupt" and spec.mode == "flip"
+
+    def test_seeded_probability_is_deterministic(self):
+        def fired(seed):
+            plan = _plan(FaultSpec(site="s", action="corrupt", p=0.5, times=100), seed=seed)
+            return [plan.fire("s") is not None for _ in range(50)]
+
+        a, b = fired(7), fired(7)
+        assert a == b
+        assert any(a) and not all(a)
+        assert fired(8) != a
+
+    def test_state_dir_shares_times_budget_across_plans(self, tmp_path):
+        spec = FaultSpec(site="s", action="raise", times=1)
+        first = _plan(spec, state_dir=tmp_path / "state")
+        with pytest.raises(FaultInjected):
+            first.fire("s")
+        # A second process loading the same plan file sees the spent
+        # marker and must not re-fire.
+        respawned = _plan(spec, state_dir=tmp_path / "state")
+        assert respawned.fire("s") is None
+
+
+class TestActivation:
+    def test_inline_env_json(self, monkeypatch):
+        plan = {"faults": [{"site": "s", "action": "raise"}], "seed": 3}
+        monkeypatch.setenv("REPRO_FAULTS", json.dumps(plan))
+        faults.clear_fault_plan()
+        assert faults.enabled()
+        assert faults.get_fault_plan().seed == 3
+        with pytest.raises(FaultInjected):
+            faults.fire("s")
+
+    def test_plan_file_gets_sibling_state_dir(self, tmp_path, monkeypatch):
+        path = tmp_path / "plan.json"
+        path.write_text(FaultPlan([FaultSpec(site="s", action="raise")]).to_json())
+        monkeypatch.setenv("REPRO_FAULTS", f"@{path}")
+        faults.clear_fault_plan()
+        plan = faults.get_fault_plan()
+        assert plan.state_dir == tmp_path / "plan.json.state"
+
+    def test_disabled_by_default(self):
+        assert not faults.enabled()
+        assert faults.fire("anything") is None
+
+    def test_set_and_clear(self):
+        faults.set_fault_plan(FaultPlan([FaultSpec(site="s", action="raise")]))
+        assert faults.enabled()
+        faults.set_fault_plan(None)
+        assert not faults.enabled()
+
+
+class TestCorruptFile:
+    def test_truncate_halves(self, tmp_path):
+        p = tmp_path / "f"
+        p.write_bytes(b"x" * 100)
+        corrupt_file(p, "truncate")
+        assert len(p.read_bytes()) == 50
+
+    def test_flip_changes_one_byte(self, tmp_path):
+        p = tmp_path / "f"
+        p.write_bytes(bytes(range(10)))
+        corrupt_file(p, "flip")
+        data = p.read_bytes()
+        assert len(data) == 10
+        assert data[5] == 5 ^ 0xFF
+        assert data[:5] == bytes(range(5))
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        p = tmp_path / "f"
+        p.write_bytes(b"x")
+        with pytest.raises(ValueError):
+            corrupt_file(p, "shred")

@@ -1,0 +1,79 @@
+"""Append-only run journals and torn-tail recovery."""
+
+import pytest
+
+from repro.resilience import RunJournal, run_dir
+
+
+class TestRunDir:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path / "runs"))
+        assert run_dir("night1") == tmp_path / "runs" / "night1"
+
+    def test_defaults_under_cache_root(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_RUN_DIR", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert run_dir("r1") == tmp_path / "cache" / "runs" / "r1"
+
+    @pytest.mark.parametrize("bad", ["", "../escape", "a/b", ".hidden", "x y"])
+    def test_hostile_run_ids_rejected(self, bad):
+        with pytest.raises(ValueError, match="invalid run id"):
+            run_dir(bad)
+
+
+class TestRunJournal:
+    def test_append_requires_event_key(self, tmp_path):
+        j = RunJournal(tmp_path / "j.jsonl")
+        with pytest.raises(ValueError, match="'event' key"):
+            j.append({"name": "x"})
+
+    def test_round_trip(self, tmp_path):
+        with RunJournal(tmp_path / "j.jsonl") as j:
+            j.append({"event": "run_start", "quick": True})
+            j.append({"event": "experiment", "name": "fig01"})
+        j2 = RunJournal(tmp_path / "j.jsonl")
+        assert [r["event"] for r in j2.records()] == ["run_start", "experiment"]
+
+    def test_torn_tail_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as j:
+            j.append({"event": "a"})
+            j.append({"event": "b"})
+        # Simulate a crash mid-append: the final line is half-written.
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"event": "c", "resu')
+        assert [r["event"] for r in RunJournal(path).records()] == ["a", "b"]
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"event": "a"}\nGARBAGE\n{"event": "b"}\n')
+        with pytest.raises(ValueError, match="corrupt journal line 2"):
+            RunJournal(path).records()
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert RunJournal(tmp_path / "nope.jsonl").records() == []
+
+    def test_completed_keeps_latest_per_key(self, tmp_path):
+        with RunJournal(tmp_path / "j.jsonl") as j:
+            j.append({"event": "experiment", "name": "fig01", "rev": 1})
+            j.append({"event": "experiment", "name": "fig02", "rev": 1})
+            j.append({"event": "experiment", "name": "fig01", "rev": 2})
+            j.append({"event": "other", "name": "fig03"})
+        done = RunJournal(tmp_path / "j.jsonl").completed("experiment")
+        assert set(done) == {"fig01", "fig02"}
+        assert done["fig01"]["rev"] == 2
+
+    def test_completed_keys_flattens(self, tmp_path):
+        with RunJournal(tmp_path / "j.jsonl") as j:
+            j.append({"event": "cells", "keys": ["k1", "k2"]})
+            j.append({"event": "cells", "key": "k3"})
+        assert RunJournal(tmp_path / "j.jsonl").completed_keys("cells") == [
+            "k1",
+            "k2",
+            "k3",
+        ]
+
+    def test_for_run_places_journal(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path))
+        j = RunJournal.for_run("r7")
+        assert j.path == tmp_path / "r7" / "journal.jsonl"

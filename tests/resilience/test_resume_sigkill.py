@@ -1,0 +1,80 @@
+"""End-to-end crash/resume: a SIGKILLed run resumes byte-identically.
+
+The subprocess runs ``bitmod-repro fig01 table01 --quick --run-id ...``
+under a fault plan that hard-kills the process (``os._exit``, the
+moral equivalent of SIGKILL: no cleanup, no finally blocks) partway
+through table01's cells.  The restarted ``--resume`` run must replay
+fig01 from the journal, finish table01 from the partial cache, and
+emit exactly the bytes an uninterrupted run produces.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.resilience.faults import FaultPlan, FaultSpec
+
+_REPO = Path(__file__).resolve().parents[2]
+_EXPERIMENTS = ["fig01", "table01"]
+
+
+def _run(tmp_path, out_name, *extra, faults_env=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO / "src")
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    env["REPRO_RUN_DIR"] = str(tmp_path / "runs")
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_FAULTS_STATE", None)
+    if faults_env is not None:
+        env["REPRO_FAULTS"] = faults_env
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.experiments.runner",
+        *_EXPERIMENTS,
+        "--quick",
+        "--json",
+        str(tmp_path / out_name),
+        *extra,
+    ]
+    return subprocess.run(cmd, env=env, capture_output=True, text=True, timeout=300)
+
+
+def test_sigkilled_run_resumes_byte_identical(tmp_path):
+    clean = _run(tmp_path, "clean")
+    assert clean.returncode == 0, clean.stderr
+
+    # Hard-kill the process at its 5th evaluation cell: fig01 (cell-free)
+    # has finished and journaled, table01 dies mid-batch.  times=1 with
+    # the plan-file state dir means the resumed process does not re-die.
+    plan = FaultPlan(
+        [FaultSpec(site="pipeline.cell", action="kill", after=4, exit_code=137)]
+    )
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text(plan.to_json())
+
+    # Fresh cache for the crashing pair so nothing leaks from the clean run.
+    chaos_dir = tmp_path / "chaos"
+    chaos_dir.mkdir()
+    killed = _run(chaos_dir, "out", "--run-id", "night1", faults_env=f"@{plan_path}")
+    assert killed.returncode == 137, killed.stderr
+
+    journal = chaos_dir / "runs" / "night1" / "journal.jsonl"
+    events = [json.loads(line) for line in journal.read_text().splitlines()]
+    done = [r["name"] for r in events if r["event"] == "experiment"]
+    assert done == ["fig01"]  # died inside table01
+
+    resumed = _run(chaos_dir, "out", "--resume", "night1", faults_env=f"@{plan_path}")
+    assert resumed.returncode == 0, resumed.stderr
+    assert "replayed from journal" not in resumed.stdout  # logging, not stdout
+
+    for name in _EXPERIMENTS:
+        clean_bytes = (tmp_path / "clean" / f"{name}.json").read_bytes()
+        resumed_bytes = (chaos_dir / "out" / f"{name}.json").read_bytes()
+        assert resumed_bytes == clean_bytes, f"{name}.json differs after resume"
+
+    meta = json.loads((chaos_dir / "out" / "_run_meta.json").read_text())
+    assert meta["run_id"] == "night1"
+    assert meta["replayed"] == ["fig01"]

@@ -1,0 +1,37 @@
+"""Bounded exponential backoff."""
+
+import pytest
+
+from repro.resilience import RetryBudgetExceeded, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_delays_grow_and_cap(self):
+        p = RetryPolicy(max_attempts=5, base_delay_s=0.1, max_delay_s=0.5, multiplier=2.0)
+        assert [p.delay(n) for n in range(1, 6)] == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_sleep_reports_delay_used(self):
+        slept = []
+        p = RetryPolicy(base_delay_s=0.25, multiplier=1.0)
+        assert p.sleep(1, _sleep=slept.append) == 0.25
+        assert slept == [0.25]
+
+    def test_attempts_yields_budget(self):
+        p = RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        assert list(p.attempts()) == [1, 2, 3]
+        assert list(RetryPolicy(max_attempts=0).attempts()) == []
+
+    def test_budget_error_is_runtime_error(self):
+        assert issubclass(RetryBudgetExceeded, RuntimeError)

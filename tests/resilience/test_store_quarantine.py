@@ -1,0 +1,135 @@
+"""Cache integrity: corrupt entries quarantine + recompute, never crash."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.pipeline import CellSpec, Engine
+from repro.pipeline.store import CacheStore
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan, FaultSpec
+
+_SPEC = CellSpec(model="opt-1.3b", dataset="wikitext")
+
+
+def _entry(store, kind, key, suffix=".json"):
+    return store.path_for(kind, key, suffix)
+
+
+class TestJsonIntegrity:
+    def test_round_trip_verifies(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put_json("cells", "ab" + "0" * 14, {"ppl": 1.5})
+        assert store.get_json("cells", "ab" + "0" * 14) == {"ppl": 1.5}
+        assert store.quarantined == 0
+
+    def test_bit_flip_quarantined_as_miss(self, tmp_path):
+        store = CacheStore(tmp_path)
+        key = "ab" + "0" * 14
+        store.put_json("cells", key, {"ppl": 1.5})
+        faults.corrupt_file(_entry(store, "cells", key), "flip")
+        assert store.get_json("cells", key) is None
+        assert store.quarantined == 1
+        # The damaged entry is kept for postmortems, out of the lookup path.
+        assert (tmp_path / "corrupt" / "cells" / f"{key}.json").exists()
+        assert not _entry(store, "cells", key).exists()
+
+    def test_truncation_quarantined_as_miss(self, tmp_path):
+        store = CacheStore(tmp_path)
+        key = "cd" + "0" * 14
+        store.put_json("cells", key, {"rows": list(range(50))})
+        faults.corrupt_file(_entry(store, "cells", key), "truncate")
+        assert store.get_json("cells", key) is None
+        assert store.quarantined == 1
+
+    def test_tampered_payload_fails_digest(self, tmp_path):
+        store = CacheStore(tmp_path)
+        key = "ef" + "0" * 14
+        store.put_json("cells", key, {"ppl": 1.5})
+        path = _entry(store, "cells", key)
+        doc = json.loads(path.read_text())
+        doc["payload"]["ppl"] = 9.9  # silent poison, valid JSON
+        path.write_text(json.dumps(doc))
+        assert store.get_json("cells", key) is None
+        assert store.quarantined == 1
+
+    def test_legacy_plain_entry_accepted(self, tmp_path):
+        store = CacheStore(tmp_path)
+        key = "0a" + "0" * 14
+        path = _entry(store, "cells", key)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"ppl": 2.0}))
+        assert store.get_json("cells", key) == {"ppl": 2.0}
+        assert store.quarantined == 0
+
+    def test_quarantine_counts_in_stats(self, tmp_path):
+        store = CacheStore(tmp_path)
+        key = "ba" + "0" * 14
+        store.put_json("cells", key, {"x": 1})
+        faults.corrupt_file(_entry(store, "cells", key), "flip")
+        store.get_json("cells", key)
+        assert store.stats()["quarantined"] == 1
+
+
+class TestNpzIntegrity:
+    def test_truncated_bundle_quarantined(self, tmp_path):
+        store = CacheStore(tmp_path)
+        key = "12" + "0" * 14
+        store.put_arrays("packed", key, {"w": np.arange(1000)})
+        faults.corrupt_file(_entry(store, "packed", key, ".npz"), "truncate")
+        assert store.get_arrays("packed", key) is None
+        assert store.quarantined == 1
+        assert (tmp_path / "corrupt" / "packed" / f"{key}.npz").exists()
+
+    def test_missing_bundle_is_plain_miss(self, tmp_path):
+        store = CacheStore(tmp_path)
+        assert store.get_arrays("packed", "99" + "0" * 14) is None
+        assert store.quarantined == 0
+
+
+class TestInjectedCacheCorruption:
+    def test_corrupted_entry_recomputes_identically(self, tmp_path):
+        """A cache.put corrupt fault poisons the entry on disk; the
+        next run quarantines it and recomputes the same result."""
+        clean = Engine(store=CacheStore(tmp_path / "a"))
+        (expected,) = clean.run([_SPEC])
+
+        store = CacheStore(tmp_path / "b")
+        faults.set_fault_plan(
+            FaultPlan([FaultSpec(site="cache.put", action="corrupt", mode="flip")])
+        )
+        try:
+            first = Engine(store=store)
+            first.run([_SPEC])  # writes the cell, fault flips it on disk
+        finally:
+            faults.set_fault_plan(None)
+
+        recovered = Engine(store=CacheStore(tmp_path / "b"))
+        (result,) = recovered.run([_SPEC])
+        assert result == expected
+        assert recovered.computed == 1  # quarantined entry forced a recompute
+        assert recovered.store.quarantined == 1
+
+    def test_match_restricts_corruption_to_kind(self, tmp_path):
+        store = CacheStore(tmp_path)
+        faults.set_fault_plan(
+            FaultPlan(
+                [
+                    FaultSpec(
+                        site="cache.put",
+                        action="corrupt",
+                        match=(("kind", "dse"),),
+                        times=100,
+                    )
+                ]
+            )
+        )
+        try:
+            store.put_json("cells", "aa" + "0" * 14, {"x": 1})
+            store.put_json("dse", "bb" + "0" * 14, {"x": 2})
+        finally:
+            faults.set_fault_plan(None)
+        assert store.get_json("cells", "aa" + "0" * 14) == {"x": 1}
+        assert store.get_json("dse", "bb" + "0" * 14) is None
+        assert store.quarantined == 1

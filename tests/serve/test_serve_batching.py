@@ -105,7 +105,12 @@ class TestScheduling:
         assert m.prefill_tokens == 3 * 6
         assert m.elapsed_s > 0
         d = m.to_dict()
-        assert d["requests"] == {"submitted": 3, "completed": 3}
+        assert d["requests"] == {
+            "submitted": 3,
+            "completed": 3,
+            "expired": 0,
+            "rejected": 0,
+        }
         assert d["latency"]["p95_s"] >= d["latency"]["p50_s"] >= 0
 
     def test_unstamped_submit_gets_sane_latency(self, engine):

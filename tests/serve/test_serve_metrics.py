@@ -93,7 +93,12 @@ class TestServeMetricsRegistry:
         m.ttft.record(0.01)
         m.latency.record(0.2)
         d = m.to_dict()
-        assert d["requests"] == {"submitted": 1, "completed": 1}
+        assert d["requests"] == {
+            "submitted": 1,
+            "completed": 1,
+            "expired": 0,
+            "rejected": 0,
+        }
         assert d["tokens"] == {"prefill": 8, "decode": 16, "total": 24}
         assert d["steps"] == 4
         assert d["ttft"]["count"] == 1
