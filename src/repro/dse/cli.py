@@ -140,6 +140,21 @@ def main(argv=None) -> int:
         "(debug/info/warning/error; default: $REPRO_LOG or warning)",
     )
     parser.add_argument(
+        "--functional-check",
+        action="store_true",
+        help="after the sweep, run one small bit-accurate GEMM per swept "
+        "(dtype, granularity, group size) through the kernel dispatcher "
+        "and report the backend used and max deviation from the ideal "
+        "dequantized matmul",
+    )
+    parser.add_argument(
+        "--kernel-backend",
+        metavar="NAME",
+        default=None,
+        help="pin the kernel backend for --functional-check "
+        "(reference/numpy/fused/numba; default: dispatcher's choice)",
+    )
+    parser.add_argument(
         "--run-id",
         metavar="ID",
         default=None,
@@ -274,6 +289,31 @@ def main(argv=None) -> int:
         f"cached, {s['skipped']} skipped) in {s['wall_seconds']:.1f}s; "
         f"store hit rate {cache['hit_rate']:.0%} (dse records + cells)"
     )
+
+    if args.functional_check:
+        from repro.dse.sweep import functional_check
+
+        try:
+            checks = functional_check(
+                result.points, backend=args.kernel_backend
+            )
+        except ValueError as e:  # unknown backend name
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        print()
+        print("functional spot-check (bit-accurate kernel layer):")
+        for row in checks:
+            label = (
+                f"  {row['dtype']:<12} {row['granularity']:<8} "
+                f"g={row['group_size']:<4}"
+            )
+            if row["skipped"] is not None:
+                print(f"{label} skipped: {row['skipped']}")
+            else:
+                print(
+                    f"{label} backend={row['backend']:<9} "
+                    f"max|err|={row['max_abs_err']:.3e}"
+                )
 
     import json as _json
 

@@ -8,60 +8,59 @@ dataflow of Fig. 6 — per-group partial sums are dequantized by the
 bit-serial unit and accumulated into per-channel outputs by the column
 accumulator.
 
-Two execution engines share that datapath definition:
+:class:`FunctionalGemm` is now a *facade* over the multi-backend
+kernel layer (:mod:`repro.kernels`): it validates inputs, packages
+them as a :class:`~repro.kernels.base.GemmTask`, and hands execution
+to the kernel dispatcher, which picks among the registered backends —
+``reference`` (the original per-scalar engine, kept as ground truth),
+``numpy`` (PR 2's vectorized integer-exact engine), ``fused``
+(single-pass float32 tensor math) and ``numba`` (threaded JIT when
+numba is installed) — optionally guided by memoized autotune records.
+Every backend is bit-identical to the scalar reference (outputs,
+cycle counts and group counts), which the registry-wide property
+tests in ``tests/hw`` enforce; backend choice changes speed, never
+results.
 
-* :meth:`FunctionalGemm.run` (and :meth:`run_packed`) — the
-  *vectorized* engine.  The packed tensor is decoded once into dense
-  term tables (:mod:`repro.hw.termtable`, cached on the
-  ``PackedTensor``) and the whole ``(M, K)`` output tile advances
-  through :meth:`~repro.hw.pe.BitMoDPE.group_dot_batch` together, so
-  the per-Python-call cost is one *term step*, not one scalar.
-* :meth:`FunctionalGemm.run_scalar` — the original per-scalar
-  reference, kept as the ground truth the vectorized engine is tested
-  against (bit-identical outputs, cycle counts and group counts).
-
-Even vectorized, this is slower than ``x @ w_deq.T`` (that is the
-point: every bit of datapath behaviour is exercised), but it now
-scales to real tile sizes and serving batch sizes.  The cycle counts
-it reports are cross-checked against the analytic timing model.
+Pin a backend per instance (``FunctionalGemm(cfg, backend="numpy")``)
+or process-wide via ``$REPRO_KERNEL_BACKEND``.  Even the fastest
+backend is slower than ``x @ w_deq.T`` (that is the point: every bit
+of datapath behaviour is exercised), but it scales to real tile sizes
+and serving batch sizes, and the cycle counts it reports are
+cross-checked against the analytic timing model.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
-from repro.dtypes.base import GridDataType
-from repro.dtypes.extended import BitMoDType, make_extended_float
 from repro.dtypes.integer import IntegerType
-from repro.hw.bitserial import BitSerialTerm, booth_encode, fixed_point_decompose
+from repro.hw.bitserial import BitSerialTerm
 from repro.hw.pe import BitMoDPE, PEConfig
-from repro.hw.termtable import ASYMMETRIC_REJECT_MSG, decode_packed_terms
+from repro.hw.termtable import ASYMMETRIC_REJECT_MSG
+from repro.kernels.base import GemmExecution, GemmTask
 from repro.obs.trace import TRACER
 from repro.quant.config import QuantConfig
-from repro.quant.packing import PackedTensor, pack_tensor, unpack_bits
+from repro.quant.packing import PackedTensor, pack_tensor
 
 __all__ = ["FunctionalGemm", "GemmExecution"]
-
-
-@dataclass
-class GemmExecution:
-    """Result of a functional GEMM run."""
-
-    output: np.ndarray  # (M, K_out)
-    pe_cycles: int  # cycles of the longest-running PE
-    groups_processed: int
 
 
 class FunctionalGemm:
     """Execute ``x @ W.T`` with bit-serial PEs on quantized weights."""
 
-    def __init__(self, config: QuantConfig, pe_config: PEConfig = PEConfig()):
+    def __init__(
+        self,
+        config: QuantConfig,
+        pe_config: PEConfig = PEConfig(),
+        backend: Optional[str] = None,
+    ):
         self.config = config
         self.dtype = config.resolve_dtype()
         self.pe = BitMoDPE(pe_config)
+        #: Kernel backend pin (None = dispatcher decides).
+        self.backend = backend
 
     # ------------------------------------------------------------------
     # Shared helpers.
@@ -80,8 +79,13 @@ class FunctionalGemm:
             raise ValueError("activation/weight dimension mismatch")
         return x
 
+    def _task(self, x: np.ndarray, packed: PackedTensor) -> GemmTask:
+        return GemmTask(
+            x=x, packed=packed, dtype=self.dtype, pe_config=self.pe.config
+        )
+
     # ------------------------------------------------------------------
-    # Vectorized engine.
+    # Dispatched engines.
     # ------------------------------------------------------------------
     def run(self, x: np.ndarray, w: np.ndarray) -> GemmExecution:
         """Compute ``x @ Q(w).T`` through the PE datapath.
@@ -95,15 +99,19 @@ class FunctionalGemm:
     def run_packed(self, x: np.ndarray, packed: PackedTensor) -> GemmExecution:
         """Execute a GEMM against an already-packed weight image.
 
-        The packed tensor's term decode is computed once and cached on
-        ``packed``, so repeated calls (the serving replay case) pay
-        only the PE array arithmetic.
+        The packed tensor's decoded term layout is computed once and
+        memoized in the bounded kernel cache, so repeated calls (the
+        serving replay case) pay only the PE array arithmetic.
 
-        Traced runs emit one coarse ``kernel.gemm`` span per call
-        (the disabled path costs a single branch).
+        Traced runs emit one coarse ``kernel.gemm`` span per call,
+        plus the dispatcher's ``kernel.dispatch`` span naming the
+        backend that actually ran (the disabled path costs a branch).
         """
         self._check_supported()
         x = self._validated_shapes(x, packed.shape)
+        from repro.kernels.dispatch import get_dispatcher  # lazy: heavy deps
+
+        task = self._task(x, packed)
         if TRACER.enabled:
             with TRACER.span(
                 "kernel.gemm",
@@ -112,114 +120,26 @@ class FunctionalGemm:
                 k=int(packed.shape[0]),
                 d=int(packed.shape[1]),
             ):
-                return self._run_packed(x, packed)
-        return self._run_packed(x, packed)
-
-    def _run_packed(self, x: np.ndarray, packed: PackedTensor) -> GemmExecution:
-        m = x.shape[0]
-        k, d = packed.shape
-        g = packed.group_size
-        gpc = packed.groups_per_channel or max(1, (d + g - 1) // g)
-        pad = gpc * g - d
-        if pad:
-            x = np.pad(x, ((0, 0), (0, pad)))
-
-        sign, exp, man, bsig = decode_packed_terms(packed, self.dtype)
-        shape = (k, gpc, g, -1)
-        sign, exp, man, bsig = (
-            a.reshape(shape) for a in (sign, exp, man, bsig)
-        )
-        sf_codes = np.asarray(packed.sf_codes, dtype=np.int64).reshape(k, gpc)
-        chan_scales = np.asarray(packed.channel_scales, dtype=np.float64).reshape(-1)
-        if chan_scales.size != k:
-            raise ValueError(
-                f"expected one channel scale per output channel "
-                f"({k}), got {chan_scales.size}"
-            )
-
-        out = np.zeros((m, k))
-        pe_cycles = 0
-        groups = 0
-        for gc in range(gpc):
-            acts = x[:, gc * g : (gc + 1) * g]
-            partial = self.pe.group_dot_batch(
-                sign[:, gc], exp[:, gc], man[:, gc], bsig[:, gc], acts
-            )
-            deq = self.pe.dequantize_batch(partial, sf_codes[None, :, gc])
-            # Same float64 accumulation order as the scalar column
-            # accumulator: one += per group column, ascending gc.
-            out += deq.value * chan_scales[None, :]
-            pe_cycles += m * k * partial.cycles  # dequant overlaps
-            groups += m * k
-        return GemmExecution(output=out, pe_cycles=pe_cycles, groups_processed=groups)
+                return get_dispatcher().run(task, backend=self.backend)
+        return get_dispatcher().run(task, backend=self.backend)
 
     # ------------------------------------------------------------------
     # Scalar reference engine (the Fig. 6 datapath, one value at a
-    # time).  Kept verbatim as the equivalence baseline for tests.
+    # time) — now the ``reference`` kernel backend, kept callable here
+    # as the equivalence baseline for tests.
     # ------------------------------------------------------------------
+    def run_scalar(self, x: np.ndarray, w: np.ndarray) -> GemmExecution:
+        """Reference implementation: one PE call per (row, col, group)."""
+        from repro.kernels.reference import ReferenceBackend
+
+        x = self._validated_shapes(x, np.asarray(w).shape)
+        packed = pack_tensor(w, self.config)
+        return ReferenceBackend().run(self._task(x, packed))
+
     def _decode_group_terms(
         self, packed: PackedTensor, group_idx: int
     ) -> List[List[BitSerialTerm]]:
         """Decode one group's element codes into bit-serial terms."""
-        g = packed.group_size
-        codes = unpack_bits(
-            packed.element_data, packed.bits, (group_idx + 1) * g
-        )[group_idx * g:]
-        dtype = self.dtype
-        if isinstance(dtype, IntegerType):
-            self._check_supported()
-            offset = dtype.qmax_symmetric
-            return [booth_encode(int(c) - offset, dtype.bits) for c in codes]
-        if isinstance(dtype, BitMoDType):
-            sv = dtype.special_values[int(packed.sv_selectors[group_idx])]
-            grid = make_extended_float(dtype.bits, sv).grid
-            return [fixed_point_decompose(float(grid[int(c)])) for c in codes]
-        if isinstance(dtype, GridDataType):
-            grid = dtype.grid
-            return [fixed_point_decompose(float(grid[int(c)])) for c in codes]
-        raise TypeError(f"unsupported datatype {dtype!r}")
+        from repro.kernels.reference import decode_group_terms
 
-    def run_scalar(self, x: np.ndarray, w: np.ndarray) -> GemmExecution:
-        """Reference implementation: one PE call per (row, col, group)."""
-        x = self._validated_shapes(x, np.asarray(w).shape)
-        m = x.shape[0]
-        packed = pack_tensor(w, self.config)
-        k, d = packed.shape
-        g = packed.group_size
-        groups_per_channel = (d + g - 1) // g
-        pad = groups_per_channel * g - d
-        if pad:
-            x = np.pad(x, ((0, 0), (0, pad)))
-
-        out = np.zeros((m, k))
-        pe_cycles = 0
-        groups = 0
-        for row in range(k):
-            for mi in range(m):
-                acc = 0.0  # column accumulator (FP16-precision output)
-                for gc in range(groups_per_channel):
-                    gidx = row * groups_per_channel + gc
-                    terms = self._decode_group_terms(packed, gidx)
-                    acts = x[mi, gc * g: (gc + 1) * g]
-                    partial = self.pe.group_dot(terms, acts)
-                    sf_code = int(packed.sf_codes[gidx])
-                    if packed.zeros is None:
-                        deq = self.pe.dequantize(partial, sf_code)
-                        chan_scale = float(
-                            packed.channel_scales[
-                                gidx // self._rows_per_channel(packed, k)
-                            ]
-                        )
-                        acc += deq.value * chan_scale
-                        pe_cycles += partial.cycles  # dequant overlaps
-                    groups += 1
-                out[mi, row] = acc
-        return GemmExecution(output=out, pe_cycles=pe_cycles, groups_processed=groups)
-
-    @staticmethod
-    def _rows_per_channel(packed: PackedTensor, k: int) -> int:
-        # Prefer the explicit layout carried by the packed tensor;
-        # size-division inference mis-scales ragged/padded shapes.
-        if packed.groups_per_channel:
-            return packed.groups_per_channel
-        return max(1, packed.sf_codes.size // max(1, packed.channel_scales.size))
+        return decode_group_terms(packed, self.dtype, group_idx)

@@ -17,9 +17,13 @@ the paper's Fig. 4 encodings) and memoized per datatype key:
 * BitMoD        -> one table per (bits, special value) candidate grid
 
 :func:`decode_packed_terms` turns a :class:`~repro.quant.packing.
-PackedTensor` into per-group term arrays, caching the result on the
-packed tensor itself so serving-path replays decode each weight image
-exactly once.
+PackedTensor` into per-group term arrays, reading the tensor's
+word-packed element stream (``PackedTensor.word_image()``, several
+codes per 64-bit word) and memoizing the decoded arrays in the
+bounded kernel decode cache (:mod:`repro.kernels.cache`,
+``$REPRO_KERNEL_CACHE_MB``) so serving-path replays decode each
+weight image exactly once — without unbounded growth when many large
+layers are replayed.
 """
 
 from __future__ import annotations
@@ -51,15 +55,6 @@ ASYMMETRIC_REJECT_MSG = (
     "weights (asymmetric integers carry a zero-point the paper's PE "
     "does not implement)"
 )
-
-#: Attribute name used to cache decoded term arrays on a PackedTensor.
-_PACKED_CACHE_ATTR = "_term_decode_cache"
-
-#: Decoded term arrays above this size are not pinned on the packed
-#: tensor (re-decoded per GEMM instead) so replaying many huge layers
-#: cannot exhaust memory.
-_PACKED_CACHE_MAX_BYTES = 64 * 1024 * 1024
-
 
 @dataclass(frozen=True)
 class TermTable:
@@ -172,24 +167,34 @@ def decode_packed_terms(packed, dtype) -> Tuple[np.ndarray, ...]:
     """Decode a whole packed tensor into per-group term arrays.
 
     Returns ``(sign, exp, man, bsig)`` int8 arrays of shape
-    ``(n_groups, group_size, n_terms)``.  The result is cached on
-    ``packed`` — keyed by the identity of the (memoized) term tables,
-    which reflects the actual grids rather than the datatype name, so
-    two same-named dtypes with different special values cannot alias —
-    and repeated GEMMs over one weight image (the serving case) decode
-    it exactly once.  Oversized decodes
-    (> ``_PACKED_CACHE_MAX_BYTES``) are returned uncached.
+    ``(n_groups, group_size, n_terms)``.  Codes are read from the
+    tensor's word-packed image (multiple codes per 64-bit word,
+    unpacked in one vectorized shift-and-mask) and gathered through
+    the memoized term tables.  The decoded arrays are memoized in the
+    bounded LRU :func:`~repro.kernels.cache.decode_cache` — keyed by
+    the identity of the term tables, which reflects the actual grids
+    rather than the datatype name, so two same-named dtypes with
+    different special values cannot alias — and repeated GEMMs over
+    one weight image (the serving case) decode it exactly once.
+    Decodes larger than the cache budget (``$REPRO_KERNEL_CACHE_MB``)
+    are returned uncached.
     """
     tables = term_tables_for_dtype(dtype)
-    cache_key = tuple(id(t) for t in tables)
-    cache = getattr(packed, _PACKED_CACHE_ATTR, None)
-    if cache is not None and cache[0] == cache_key:
-        return cache[1]
+    token = tuple(id(t) for t in tables)
+    # Local import: the kernels cache depends only on repro.obs, but
+    # importing it at module scope would cycle through repro.kernels'
+    # backend registration, which imports this module.
+    from repro.kernels.cache import decode_cache
 
-    from repro.quant.packing import unpack_bits  # local: avoid import cycle
+    cache = decode_cache()
+    cached = cache.get(packed, "terms", token)
+    if cached is not None:
+        return cached
+
+    from repro.quant.packing import unpack_words  # local: avoid import cycle
     g = packed.group_size
     n_groups = packed.sf_codes.size
-    codes = unpack_bits(packed.element_data, packed.bits, n_groups * g)
+    codes = unpack_words(packed.word_image(), packed.bits, n_groups * g)
     codes = codes.astype(np.int64).reshape(n_groups, g)
 
     if isinstance(dtype, BitMoDType):
@@ -208,10 +213,4 @@ def decode_packed_terms(packed, dtype) -> Tuple[np.ndarray, ...]:
     else:
         arrays = tables[0].lookup(codes)
 
-    result = tuple(arrays)
-    if sum(a.nbytes for a in result) <= _PACKED_CACHE_MAX_BYTES:
-        try:
-            setattr(packed, _PACKED_CACHE_ATTR, (cache_key, result))
-        except AttributeError:  # pragma: no cover - slotted/frozen containers
-            pass
-    return result
+    return cache.put(packed, "terms", token, tuple(arrays))

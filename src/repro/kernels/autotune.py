@@ -1,0 +1,198 @@
+"""Kernel autotuner: search once, memoize in the content-addressed store.
+
+Backend choice and tile shape are workload-dependent (array shapes,
+thread counts, cache sizes), but they are *stable* per (datatype,
+shape-class, granularity, PE config, available backends) — so the
+tuner times each candidate ``(backend, tile)`` once and persists the
+winner in the pipeline :class:`~repro.pipeline.store.CacheStore`
+under the ``tune/`` kind.  Tune records ride the same integrity
+envelope and quarantine semantics as pipeline cells: a corrupted
+record is quarantined to ``corrupt/tune/`` on read, reported as a
+miss, and simply re-searched.
+
+Keys bucket the GEMM M/N/K dimensions to powers of two
+(:func:`shape_class`) so one search covers a family of nearby shapes,
+and include the *set of available backends*: a record tuned where
+numba is installed can never be replayed in a process where it is
+not, and vice versa.
+
+A warm process performs **zero** search trials — the CI
+``kernels-matrix`` job and the autotuner unit tests assert this via
+:attr:`Autotuner.trials_run` and the ``kernels.autotune.*`` counters.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+from repro import obs
+from repro.kernels.base import (
+    GemmTask,
+    KernelBackend,
+    TileSpec,
+    available_backends,
+    get_backend,
+)
+
+__all__ = [
+    "TUNE_KIND",
+    "TUNE_SCHEMA_VERSION",
+    "Autotuner",
+    "shape_class",
+]
+
+_log = obs.get_logger(__name__)
+
+#: Store namespace for tune records.
+TUNE_KIND = "tune"
+
+#: Bump when the record layout or search semantics change.
+TUNE_SCHEMA_VERSION = 1
+
+
+def _bucket(n: int) -> int:
+    """Smallest power of two >= n (shape-class bucketing)."""
+    n = max(1, int(n))
+    return 1 << (n - 1).bit_length()
+
+
+def shape_class(m: int, n: int, k: int) -> str:
+    """Power-of-two bucket of a GEMM's M/N/K (N = output channels,
+    K = reduction depth)."""
+    return f"m{_bucket(m)}_n{_bucket(n)}_k{_bucket(k)}"
+
+
+class Autotuner:
+    """Times candidate (backend, tile) pairs; memoizes the winner."""
+
+    def __init__(self, store=None, repeats: int = 2):
+        self._store = store
+        self.repeats = repeats
+        #: Search trials performed by this instance (0 on a warm path).
+        self.trials_run = 0
+
+    @property
+    def store(self):
+        if self._store is None:
+            from repro.pipeline.store import CacheStore
+
+            self._store = CacheStore()
+        return self._store
+
+    # ------------------------------------------------------------------
+    def key(self, task: GemmTask) -> str:
+        from repro.pipeline.keys import stable_digest
+
+        m, k, d, g, gpc, _pad = task.geometry()
+        return stable_digest(
+            {
+                "v": TUNE_SCHEMA_VERSION,
+                "dtype": task.packed.dtype_name,
+                "bits": int(task.packed.bits),
+                "group_size": g,
+                "granularity": "channel" if gpc == 1 else "group",
+                "class": shape_class(m, k, d),
+                "pe": task.pe_config,
+                "backends": sorted(available_backends()),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def lookup(self, task: GemmTask) -> Optional[dict]:
+        """A valid memoized record, or ``None`` (corrupt entries are
+        quarantined by the store and surface here as misses)."""
+        rec = self.store.get_json(TUNE_KIND, self.key(task))
+        if rec is None or not self._valid(rec, task):
+            obs.counter("kernels.autotune.misses").inc()
+            return None
+        obs.counter("kernels.autotune.hits").inc()
+        return rec
+
+    def _valid(self, rec: dict, task: GemmTask) -> bool:
+        if not isinstance(rec, dict):
+            return False
+        if rec.get("schema_version") != TUNE_SCHEMA_VERSION:
+            return False
+        name = rec.get("backend")
+        if not isinstance(name, str) or not isinstance(rec.get("tile"), dict):
+            return False
+        try:
+            backend = get_backend(name)
+        except ValueError:
+            return False
+        return backend.available() and backend.supports(task) is None
+
+    # ------------------------------------------------------------------
+    def candidates(self, task: GemmTask) -> List[Tuple[KernelBackend, TileSpec]]:
+        """Every (available backend, tile) pair worth timing.  The
+        scalar reference is excluded: it exists for ground truth, not
+        to win races."""
+        out: List[Tuple[KernelBackend, TileSpec]] = []
+        for name in available_backends():
+            backend = get_backend(name)
+            if backend.name == "reference" or backend.supports(task) is not None:
+                continue
+            for tile in backend.candidate_tiles(task):
+                out.append((backend, tile))
+        return out
+
+    def search(self, task: GemmTask) -> Optional[dict]:
+        """Time every candidate on ``task`` and persist the winner."""
+        candidates = self.candidates(task)
+        if not candidates:
+            return None
+        m, k, d, g, gpc, _pad = task.geometry()
+        trials = []
+        best = None
+        with obs.span(
+            "kernel.autotune", dtype=task.packed.dtype_name,
+            shape=shape_class(m, k, d), n_candidates=len(candidates),
+        ):
+            for backend, tile in candidates:
+                backend.run(task, tile)  # warm per-tensor prep/JIT
+                seconds = float("inf")
+                for _ in range(self.repeats):
+                    t0 = time.perf_counter()
+                    backend.run(task, tile)
+                    seconds = min(seconds, time.perf_counter() - t0)
+                self.trials_run += 1
+                obs.counter("kernels.autotune.trials").inc()
+                trial = {
+                    "backend": backend.name,
+                    "k_chunk": tile.k_chunk,
+                    "threads": tile.threads,
+                    "seconds": seconds,
+                }
+                trials.append(trial)
+                if best is None or seconds < best[0]:
+                    best = (seconds, backend, tile)
+
+        _seconds, backend, tile = best
+        rec = {
+            "schema_version": TUNE_SCHEMA_VERSION,
+            "backend": backend.name,
+            "tile": tile.to_dict(),
+            "dtype": task.packed.dtype_name,
+            "group_size": g,
+            "granularity": "channel" if gpc == 1 else "group",
+            "shape_class": shape_class(m, k, d),
+            "backends_considered": sorted(available_backends()),
+            "trials": trials,
+        }
+        self.store.put_json(TUNE_KIND, self.key(task), rec)
+        _log.info(
+            "autotuned %s %s -> %s %s (%d trials)",
+            rec["dtype"], rec["shape_class"], rec["backend"], rec["tile"],
+            len(trials),
+        )
+        return rec
+
+    def decide(self, task: GemmTask, allow_search: bool = True) -> Optional[dict]:
+        """Warm lookup, else (when allowed) a cold search."""
+        rec = self.lookup(task)
+        if rec is not None:
+            return rec
+        if not allow_search:
+            return None
+        return self.search(task)

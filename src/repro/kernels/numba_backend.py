@@ -1,0 +1,264 @@
+"""The ``numba`` backend: threaded, tiled JIT over word-packed terms.
+
+The kernel (:func:`gemm_core`) is the scalar datapath flattened into
+one nest of integer/float32 scalar ops — exact integer alignment with
+round-to-nearest-even (the `_rshift_rne` bit trick), float32 step
+accumulation (identical to the 24-bit RNE accumulator, see
+:mod:`repro.kernels.fused` for the proof), float32 bit-serial
+dequantization, float64 per-channel combine.  It is written as plain
+Python over numpy scalars so it:
+
+* JIT-compiles under ``numba.njit(parallel=True)`` with ``prange``
+  over output channels when numba is installed (threaded tiling —
+  ``TileSpec.threads`` maps to ``numba.set_num_threads``), and
+* still *executes* (slowly) as ordinary Python when numba is absent,
+  which is how its bit-identity stays testable in numba-less
+  environments even though the dispatcher then falls back to faster
+  backends for real work.
+
+Inputs are prepared per weight image (and memoized in the bounded
+:class:`~repro.kernels.cache.DecodeCache`) from the tensor's
+word-packed layout: ``PackedTensor.word_image()`` packs multiple
+datatype codes per int64 word, decoded in bulk through the TermTable
+codecs by :func:`repro.hw.termtable.decode_packed_terms`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dtypes.floating import fp16_decompose
+from repro.hw.termtable import decode_packed_terms, term_tables_for_dtype
+from repro.kernels.base import (
+    GemmExecution,
+    GemmTask,
+    KernelBackend,
+    TileSpec,
+    register_backend,
+)
+from repro.kernels.cache import decode_cache
+
+__all__ = ["NumbaBackend", "HAVE_NUMBA", "gemm_core"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:
+    numba = None
+    HAVE_NUMBA = False
+
+#: FP16 value = mantissa * 2**(exp - 25).
+_FP16_EXP_OFFSET = 15 + 10
+
+_FP16_MAN_MAX = (1 << 11) - 1
+
+#: float32 powers of two, indexed by exponent + _POW2_BIAS.
+_POW2_BIAS = 128
+_POW2 = np.ldexp(np.float32(1.0), np.arange(-128, 128, dtype=np.int32)).astype(
+    np.float32
+)
+
+
+def gemm_core(am3, ae, te, tm, sf, chan, gpc, bpg, n_terms, lanes,
+              exp_off, sf_bits, pow2, out):
+    """The whole GEMM as scalar ops (numba-jittable, python-runnable).
+
+    ``am3``: (M, blocks, lanes) int64 signed activation mantissas,
+    pre-shifted by the guard bits; ``ae``: matching exponents;
+    ``te``/``tm``: (K, blocks, n_terms, lanes) term exponents and
+    signed 0/±1 term mantissas; ``sf``: (K, gpc) scaling-factor codes;
+    ``chan``: (K,) float64 channel scales; ``pow2``: float32
+    powers-of-two table biased by ``_POW2_BIAS``.
+    """
+    m = am3.shape[0]
+    k = te.shape[0]
+    for row in range(k):  # prange under the JIT
+        for mi in range(m):
+            o = 0.0
+            for gc in range(gpc):
+                acc = np.float32(0.0)
+                for b in range(bpg):
+                    blk = gc * bpg + b
+                    for t in range(n_terms):
+                        emax = -10000
+                        for ln in range(lanes):
+                            e = int(ae[mi, blk, ln]) + int(te[row, blk, t, ln])
+                            if e > emax:
+                                emax = e
+                        tot = 0
+                        for ln in range(lanes):
+                            p = int(am3[mi, blk, ln]) * int(tm[row, blk, t, ln])
+                            if p == 0:
+                                continue
+                            sh = emax - (
+                                int(ae[mi, blk, ln]) + int(te[row, blk, t, ln])
+                            )
+                            if sh > 60:  # |p| < 2**24 rounds to zero
+                                continue
+                            if p >= 0:
+                                mag = p
+                                neg = False
+                            else:
+                                mag = -p
+                                neg = True
+                            fl = mag >> sh
+                            if sh > 0:
+                                rem = mag - (fl << sh)
+                                half = 1 << (sh - 1)
+                                if rem > half or (rem == half and (fl & 1) == 1):
+                                    fl += 1
+                            tot += -fl if neg else fl
+                        # One float32 add per step == the 24-bit RNE
+                        # accumulator (integer-exact operand, exact
+                        # power-of-two scale, normal range).
+                        acc = np.float32(
+                            acc + np.float32(tot)
+                            * pow2[emax - exp_off + _POW2_BIAS]
+                        )
+                # Bit-serial dequantization by the sf code.
+                dq = np.float32(0.0)
+                code = int(sf[row, gc])
+                for i in range(sf_bits):
+                    if (code >> i) & 1:
+                        dq = np.float32(dq + acc * pow2[i + _POW2_BIAS])
+                o += float(dq) * chan[row]
+            out[mi, row] = o
+
+
+_JITTED = None
+
+
+def _jit_kernel():  # pragma: no cover - requires numba
+    """Compile (once) the ``prange``-parallel twin of :func:`gemm_core`.
+
+    The source is shared — the outer ``range`` over output channels is
+    rewritten to ``numba.prange`` before compilation, so the plain and
+    JIT kernels cannot drift apart.
+    """
+    global _JITTED
+    if _JITTED is None:
+        import inspect
+        import textwrap
+
+        src = textwrap.dedent(inspect.getsource(gemm_core))
+        src = src.replace("def gemm_core(", "def _gemm_core_jit(")
+        src = src.replace(
+            "for row in range(k):", "for row in numba.prange(k):"
+        )
+        ns = {"np": np, "numba": numba, "_POW2_BIAS": _POW2_BIAS}
+        exec(src, ns)  # noqa: S102 - compiling our own source
+        _JITTED = numba.njit(parallel=True)(ns["_gemm_core_jit"])
+    return _JITTED
+
+
+def _prepare(task: GemmTask):
+    """Per-tensor integer layout for the kernel, DecodeCache-memoized."""
+    packed = task.packed
+    lanes = int(task.pe_config.lanes)
+    tables = term_tables_for_dtype(task.dtype)
+    token = (tuple(id(t) for t in tables), lanes)
+    cache = decode_cache()
+    prep = cache.get(packed, "numba", token)
+    if prep is not None:
+        return prep
+
+    _m, k, _d, g, gpc, _pad = task.geometry()
+    blocks = gpc * g // lanes
+    sign, exp, man, bsig = decode_packed_terms(packed, task.dtype)
+    n_terms = sign.shape[-1]
+    te = (exp.astype(np.int16) + bsig.astype(np.int16)).reshape(
+        k, blocks, lanes, n_terms
+    )
+    te = np.ascontiguousarray(te.transpose(0, 1, 3, 2))
+    tm = np.where(sign != 0, -man, man).astype(np.int8).reshape(
+        k, blocks, lanes, n_terms
+    )
+    tm = np.ascontiguousarray(tm.transpose(0, 1, 3, 2))
+    return cache.put(packed, "numba", token, (te, tm))
+
+
+@register_backend
+class NumbaBackend(KernelBackend):
+    """JIT-compiled, ``prange``-threaded integer-exact kernel."""
+
+    name = "numba"
+    priority = 30
+
+    @classmethod
+    def available(cls) -> bool:
+        return HAVE_NUMBA
+
+    def supports(self, task: GemmTask) -> Optional[str]:
+        cfg = task.pe_config
+        if task.packed.zeros is not None:
+            return "asymmetric containers skip dequantization (scalar semantics)"
+        if cfg.acc_mantissa_bits != 24:
+            return (
+                f"float32 accumulation requires a 24-bit accumulator "
+                f"(config has {cfg.acc_mantissa_bits})"
+            )
+        if cfg.guard_bits < 0 or (
+            cfg.lanes * (_FP16_MAN_MAX << max(cfg.guard_bits, 0)) >= 1 << 24
+        ):
+            return "per-step lane sum would exceed the float32 mantissa"
+        return None
+
+    def default_tile(self, task: GemmTask) -> TileSpec:
+        threads = numba.config.NUMBA_NUM_THREADS if HAVE_NUMBA else 1
+        return TileSpec(k_chunk=0, threads=int(threads))
+
+    def candidate_tiles(self, task: GemmTask):
+        tiles = [TileSpec(k_chunk=0, threads=1)]
+        if HAVE_NUMBA and int(numba.config.NUMBA_NUM_THREADS) > 1:
+            tiles.append(
+                TileSpec(k_chunk=0, threads=int(numba.config.NUMBA_NUM_THREADS))
+            )
+        return tiles
+
+    def run(self, task: GemmTask, tile: Optional[TileSpec] = None) -> GemmExecution:
+        cfg = task.pe_config
+        lanes = int(cfg.lanes)
+        guard = int(cfg.guard_bits)
+        m, k, _d, g, gpc, _pad = task.geometry()
+        if g % lanes:
+            raise ValueError(f"group size must be a multiple of {lanes}")
+        sf = task.sf_codes()
+        if sf.size and (int(sf.min()) < 0 or int(sf.max()) >= 1 << cfg.sf_bits):
+            raise ValueError(f"scaling factor must fit in {cfg.sf_bits} bits")
+        chan_scales = task.channel_scales()
+        te, tm = _prepare(task)
+        n_terms = te.shape[2]
+        bpg = g // lanes
+        blocks = gpc * g // lanes
+
+        x = task.padded_x()
+        a_sign, a_exp, a_man = fp16_decompose(x)
+        am3 = np.where(a_sign != 0, -a_man, a_man).astype(np.int64) << guard
+        am3 = am3.reshape(m, blocks, lanes)
+        ae = a_exp.astype(np.int64).reshape(m, blocks, lanes)
+
+        out = np.zeros((m, k))
+        kernel = gemm_core
+        if HAVE_NUMBA:  # pragma: no cover - requires numba
+            if tile is not None and tile.threads >= 1:
+                try:
+                    numba.set_num_threads(
+                        min(tile.threads, numba.config.NUMBA_NUM_THREADS)
+                    )
+                except ValueError:
+                    pass
+            kernel = _jit_kernel()
+        kernel(
+            am3, ae, te, tm, sf, chan_scales,
+            gpc, bpg, n_terms, lanes,
+            guard + _FP16_EXP_OFFSET, int(cfg.sf_bits), _POW2, out,
+        )
+        spg = bpg * n_terms
+        return GemmExecution(
+            output=out,
+            pe_cycles=m * k * gpc * spg,
+            groups_processed=m * k * gpc,
+        )

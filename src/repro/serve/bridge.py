@@ -128,15 +128,20 @@ def functional_replay(
     batch_size: int,
     layers: Optional[Sequence[str]] = None,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> List[FunctionalReplay]:
     """Replay packed linears through the bit-accurate PE datapath.
 
     ``batch_size`` is the number of concurrent sequence slots (the
     GEMM M dimension of one continuous-batching decode step).  Each
-    selected layer's packed image is decoded once (cached on the
-    tensor) and multiplied against random FP16 activations by the
-    vectorized :class:`~repro.hw.functional.FunctionalGemm`; the
+    selected layer's packed image is decoded once (memoized in the
+    bounded kernel decode cache) and multiplied against random FP16
+    activations by :class:`~repro.hw.functional.FunctionalGemm`; the
     result is validated against the dequantized-matmul reference.
+
+    ``backend`` pins a kernel backend by name (``None`` lets the
+    dispatcher pick — every backend is bit-identical, so this only
+    changes replay speed).
     """
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
@@ -145,7 +150,9 @@ def functional_replay(
     out: List[FunctionalReplay] = []
     for name in names:
         packed = artifact.packed[name]
-        gemm = FunctionalGemm(artifact.tensor_config(name), PEConfig())
+        gemm = FunctionalGemm(
+            artifact.tensor_config(name), PEConfig(), backend=backend
+        )
         k, d = packed.shape
         x = rng.standard_normal((batch_size, d)).astype(np.float16)
         res = gemm.run_packed(x, packed)

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.dse.space import DatatypeChoice, DesignSpace, DesignPoint
-from repro.dse.sweep import accelerator_for, point_key, run_points, run_sweep
+from repro.dse.sweep import (
+    accelerator_for,
+    functional_check,
+    point_key,
+    run_points,
+    run_sweep,
+)
 from repro.hw.baselines import make_accelerator
 from repro.hw.simulator import simulate
 from repro.models.zoo import get_model_config
@@ -184,3 +190,44 @@ class TestAcceleratorFor:
         assert a.kv_bits == 16
         assert a.macs_per_cycle == 2.0
         assert a.supported_bits == (16,)
+
+
+class TestFunctionalCheck:
+    def _point(self, dtype, granularity="group", group_size=128, **kw):
+        spec = make_accelerator("bitmod")
+        return DesignPoint(
+            space="t",
+            arch=spec.arch,
+            model="opt-1.3b",
+            task="generative",
+            weight_bits=4,
+            dtype=None if dtype is None else DatatypeChoice(4, dtype, granularity),
+            group_size=group_size,
+            **kw,
+        )
+
+    def test_one_row_per_unique_combo(self):
+        points = [
+            self._point("bitmod_fp4"),
+            self._point("bitmod_fp4"),  # duplicate combo
+            self._point("bitmod_fp4", group_size=64),
+            self._point("int6_sym"),
+            self._point(None),  # sim-only: no datatype to check
+        ]
+        rows = functional_check(points)
+        assert len(rows) == 3
+        for row in rows:
+            assert row["skipped"] is None
+            assert row["backend"] is not None
+            assert row["max_abs_err"] < 1e-2
+
+    def test_asymmetric_dtype_reported_skipped(self):
+        rows = functional_check([self._point("int4_asym")])
+        assert len(rows) == 1
+        assert rows[0]["skipped"] is not None
+        assert "zero-point" in rows[0]["skipped"]
+        assert rows[0]["backend"] is None
+
+    def test_backend_pin_respected(self):
+        rows = functional_check([self._point("bitmod_fp4")], backend="numpy")
+        assert rows[0]["backend"] == "numpy"

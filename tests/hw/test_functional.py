@@ -8,8 +8,18 @@ from hypothesis import strategies as st
 from repro.dtypes.registry import list_dtypes
 from repro.hw.functional import FunctionalGemm
 from repro.hw.timing import gemm_compute_cycles
+from repro.kernels import list_backends
+from repro.kernels.base import GemmTask
+from repro.kernels.cache import decode_cache
+from repro.kernels.numba_backend import NumbaBackend
 from repro.quant.config import QuantConfig, quantize_tensor
 from repro.quant.packing import pack_tensor
+
+#: Every registered backend, whether or not it is available here: the
+#: dispatcher must run each one bit-identically (unavailable choices —
+#: e.g. "numba" without numba installed — exercise the fallback path,
+#: which must also be bit-identical).
+ALL_BACKENDS = list_backends()
 
 
 @pytest.fixture
@@ -97,15 +107,25 @@ def _assert_same_execution(a, b):
 
 
 class TestVectorizedEquivalence:
-    """The vectorized engine must be bit-identical to the scalar
+    """Every kernel backend must be bit-identical to the scalar
     reference — values, cycle counts and group counts — for every
-    registry datatype, including matching rejection behaviour."""
+    registry datatype, including matching rejection behaviour.
 
+    Backends are selected through the dispatcher (``backend=`` pin),
+    so pinning an unavailable backend (e.g. "numba" here without
+    numba) also proves the fallback path preserves bit identity.
+    """
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     @pytest.mark.parametrize("dtype", list_dtypes())
-    def test_registry_dtype_bit_identical_or_same_rejection(self, rng, dtype):
+    def test_registry_dtype_bit_identical_or_same_rejection(
+        self, rng, dtype, backend
+    ):
         w = rng.standard_normal((3, 64))
         x = rng.standard_normal((2, 64)).astype(np.float16)
-        gemm = FunctionalGemm(QuantConfig(dtype=dtype, group_size=32))
+        gemm = FunctionalGemm(
+            QuantConfig(dtype=dtype, group_size=32), backend=backend
+        )
         try:
             scalar = gemm.run_scalar(x, w)
         except (TypeError, ValueError) as exc:
@@ -119,19 +139,38 @@ class TestVectorizedEquivalence:
         dtype=st.sampled_from(
             ["bitmod_fp4", "bitmod_fp3", "int6_sym", "int8_sym", "fp4", "ant4"]
         ),
+        backend=st.sampled_from(ALL_BACKENDS),
         m=st.integers(1, 4),
         k=st.integers(1, 5),
     )
     @settings(max_examples=30, deadline=None)
-    def test_random_shapes_bit_identical(self, seed, dtype, m, k):
+    def test_random_shapes_bit_identical(self, seed, dtype, backend, m, k):
         rng = np.random.default_rng(seed)
         # Mix magnitudes so exponent alignment and accumulator
         # renormalization paths are exercised.
         d = int(rng.choice([32, 64, 96]))
         w = rng.standard_normal((k, d)) * rng.uniform(0.05, 20.0)
         x = (rng.standard_normal((m, d)) * rng.uniform(0.1, 8.0)).astype(np.float16)
-        gemm = FunctionalGemm(QuantConfig(dtype=dtype, group_size=32))
+        gemm = FunctionalGemm(
+            QuantConfig(dtype=dtype, group_size=32), backend=backend
+        )
         _assert_same_execution(gemm.run_scalar(x, w), gemm.run(x, w))
+
+    @pytest.mark.parametrize("dtype", ["bitmod_fp4", "int6_sym", "ant4"])
+    def test_numba_kernel_python_path_bit_identical(self, rng, dtype):
+        """The numba kernel's plain-Python twin (what JIT compiles) is
+        bit-identical even when numba itself is not installed."""
+        cfg = QuantConfig(dtype=dtype, group_size=32)
+        w = rng.standard_normal((2, 64))
+        x = rng.standard_normal((2, 64)).astype(np.float16)
+        gemm = FunctionalGemm(cfg)
+        task = GemmTask(
+            x=gemm._validated_shapes(x, w.shape),
+            packed=pack_tensor(w, cfg),
+            dtype=cfg.resolve_dtype(),
+            pe_config=gemm.pe.config,
+        )
+        _assert_same_execution(gemm.run_scalar(x, w), NumbaBackend().run(task))
 
     def test_asymmetric_rejection_matches(self, rng):
         w = rng.standard_normal((2, 64))
@@ -155,9 +194,12 @@ class TestVectorizedEquivalence:
         cfg = QuantConfig(dtype="bitmod_fp4")
         gemm = FunctionalGemm(cfg)
         packed = pack_tensor(w, cfg)
+        cache = decode_cache()
         first = gemm.run_packed(x, packed)
-        assert hasattr(packed, "_term_decode_cache")
+        assert cache.contains(packed, "terms")
+        hits_before = cache.hits
         second = gemm.run_packed(x, packed)
+        assert cache.hits > hits_before
         _assert_same_execution(first, second)
 
     def test_subnormal_activations_bit_identical(self, rng):

@@ -1,0 +1,160 @@
+"""Dispatcher: overrides, fallbacks, tuned routing, warn-once logging."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.hw.pe import PEConfig
+from repro.kernels import HAVE_NUMBA, KernelDispatcher, get_backend, reset_dispatcher
+from repro.kernels.base import GemmTask
+from repro.kernels.dispatch import get_dispatcher
+from repro.pipeline.store import CacheStore
+from repro.quant.config import QuantConfig
+from repro.quant.packing import pack_tensor
+
+
+def _task(rng, dtype="bitmod_fp4", m=2, k=3, d=64, pe_config=None):
+    cfg = QuantConfig(dtype=dtype, group_size=32)
+    return GemmTask(
+        x=rng.standard_normal((m, d)).astype(np.float16),
+        packed=pack_tensor(rng.standard_normal((k, d)), cfg),
+        dtype=cfg.resolve_dtype(),
+        pe_config=pe_config or PEConfig(),
+    )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_dispatcher():
+    yield
+    reset_dispatcher()
+
+
+class TestResolution:
+    def test_explicit_backend_wins(self, rng, tmp_path):
+        disp = KernelDispatcher(store=CacheStore(root=tmp_path))
+        b, _tile = disp.resolve(_task(rng), backend="numpy")
+        assert b.name == "numpy"
+
+    def test_unknown_backend_fails_loudly(self, rng, tmp_path):
+        disp = KernelDispatcher(store=CacheStore(root=tmp_path))
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            disp.resolve(_task(rng), backend="not-a-backend")
+
+    def test_env_override(self, rng, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "reference")
+        disp = KernelDispatcher(store=CacheStore(root=tmp_path))
+        b, _tile = disp.resolve(_task(rng))
+        assert b.name == "reference"
+
+    def test_default_is_best_static_without_tuning(self, rng, tmp_path):
+        disp = KernelDispatcher(store=CacheStore(root=tmp_path))
+        b, _tile = disp.resolve(_task(rng))
+        expected = "numba" if HAVE_NUMBA else "fused"
+        assert b.name == expected
+        assert disp.tuner.trials_run == 0  # no search unless enabled
+
+    def test_exotic_pe_config_falls_back_to_numpy(self, rng, tmp_path):
+        """Non-default accumulator widths only run on the integer-exact
+        numpy backend; the float32 backends must decline."""
+        disp = KernelDispatcher(store=CacheStore(root=tmp_path))
+        task = _task(rng, pe_config=PEConfig(acc_mantissa_bits=20))
+        b, _tile = disp.resolve(task)
+        assert b.name == "numpy"
+
+    def test_unsupporting_override_falls_back(self, rng, tmp_path):
+        disp = KernelDispatcher(store=CacheStore(root=tmp_path))
+        task = _task(rng, pe_config=PEConfig(acc_mantissa_bits=20))
+        b, _tile = disp.resolve(task, backend="fused")
+        assert b.name == "numpy"
+
+    def test_autotune_search_then_memoized_routing(self, rng, tmp_path):
+        store = CacheStore(root=tmp_path)
+        disp = KernelDispatcher(store=store, autotune=True)
+        task = _task(rng)
+        b1, tile1 = disp.resolve(task)
+        assert disp.tuner.trials_run > 0
+        # Same shape-class: in-process memo, no second search.
+        trials = disp.tuner.trials_run
+        b2, tile2 = disp.resolve(_task(rng))
+        assert disp.tuner.trials_run == trials
+        assert (b2.name, tile2) == (b1.name, tile1)
+        # A fresh dispatcher over the same store replays the record.
+        warm = KernelDispatcher(store=store, autotune=True)
+        b3, tile3 = warm.resolve(_task(rng))
+        assert warm.tuner.trials_run == 0
+        assert (b3.name, tile3) == (b1.name, tile1)
+
+    def test_autotune_env_flag(self, rng, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_AUTOTUNE", "1")
+        disp = KernelDispatcher(store=CacheStore(root=tmp_path))
+        assert disp.autotune_enabled
+        disp.resolve(_task(rng))
+        assert disp.tuner.trials_run > 0
+
+
+class TestRun:
+    def test_run_counts_dispatches(self, rng, tmp_path):
+        from repro import obs
+
+        obs.reset()
+        disp = KernelDispatcher(store=CacheStore(root=tmp_path))
+        res = disp.run(_task(rng), backend="numpy")
+        assert res.output.shape == (2, 3)
+        counters = obs.snapshot()["counters"]
+        assert counters["kernels.dispatch{backend=numpy}"] == 1
+
+    def test_all_resolved_backends_agree(self, rng, tmp_path):
+        disp = KernelDispatcher(store=CacheStore(root=tmp_path))
+        task = _task(rng)
+        ref = get_backend("reference").run(task)
+        for name in ("numpy", "fused"):
+            res = disp.run(task, backend=name)
+            np.testing.assert_array_equal(res.output, ref.output)
+            assert res.pe_cycles == ref.pe_cycles
+
+
+@pytest.fixture()
+def _propagating_repro_logs():
+    """Undo ``obs.setup_logging``'s propagate=False so caplog's
+    root-attached handler sees ``repro.*`` records (order-independent)."""
+    root = logging.getLogger("repro")
+    before = root.propagate
+    root.propagate = True
+    yield
+    root.propagate = before
+
+
+@pytest.mark.usefixtures("_propagating_repro_logs")
+class TestWarnings:
+    @pytest.mark.skipif(HAVE_NUMBA, reason="needs a numba-less environment")
+    def test_numba_missing_warns_once(self, rng, tmp_path, caplog):
+        disp = reset_dispatcher(store=CacheStore(root=tmp_path))
+        with caplog.at_level(logging.WARNING, logger="repro.kernels.dispatch"):
+            disp.resolve(_task(rng))
+            disp.resolve(_task(rng, dtype="int6_sym"))
+        warnings = [
+            r for r in caplog.records if "numba is not installed" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+        assert "falls back" in warnings[0].getMessage()
+
+    def test_unavailable_override_warns_and_falls_back(
+        self, rng, tmp_path, caplog
+    ):
+        if HAVE_NUMBA:
+            pytest.skip("needs a numba-less environment")
+        disp = reset_dispatcher(store=CacheStore(root=tmp_path))
+        with caplog.at_level(logging.WARNING, logger="repro.kernels.dispatch"):
+            b, _tile = disp.resolve(_task(rng), backend="numba")
+        assert b.name == "fused"
+        assert any(
+            "cannot run this task" in r.getMessage() for r in caplog.records
+        )
+
+
+class TestProcessWide:
+    def test_get_dispatcher_is_singleton(self):
+        disp = reset_dispatcher()
+        assert get_dispatcher() is disp
+        assert reset_dispatcher() is not disp

@@ -7,7 +7,66 @@ from hypothesis import strategies as st
 
 from repro.quant.config import QuantConfig, quantize_tensor
 from repro.quant.kv import KVQuantConfig, quantize_kv
-from repro.quant.packing import pack_bits, pack_tensor, unpack_bits, unpack_tensor
+from repro.quant.packing import (
+    WORD_BITS,
+    pack_bits,
+    pack_tensor,
+    pack_words,
+    unpack_bits,
+    unpack_tensor,
+    unpack_words,
+)
+
+
+class TestWordPacking:
+    @given(
+        bits=st.integers(1, 12),
+        seed=st.integers(0, 2**16),
+        count=st.integers(1, 500),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, bits, seed, count):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 2**bits, size=count).astype(np.uint64)
+        words = pack_words(codes, bits)
+        cpw = WORD_BITS // bits
+        assert words.dtype == np.uint64
+        assert words.size == (count + cpw - 1) // cpw
+        np.testing.assert_array_equal(unpack_words(words, bits, count), codes)
+
+    def test_codes_never_straddle_words(self):
+        """Code i of a word sits at bit offset i*bits: 16 whole 4-bit
+        codes per 64-bit word, high bits zero when underfull."""
+        codes = np.arange(16, dtype=np.uint64)
+        words = pack_words(codes, 4)
+        assert words.size == 1
+        expected = sum(int(c) << (4 * i) for i, c in enumerate(codes))
+        assert int(words[0]) == expected
+        # 17th code starts a fresh word at offset 0.
+        words2 = pack_words(np.arange(17, dtype=np.uint64) % 16, 4)
+        assert int(words2[1]) == 0  # code value 16 % 16 == 0
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            pack_words(np.array([16]), 4)
+        with pytest.raises(ValueError):
+            pack_words(np.array([1]), 0)
+
+    def test_unpack_count_validated(self):
+        words = pack_words(np.arange(8, dtype=np.uint64), 4)
+        with pytest.raises(ValueError, match="cannot unpack"):
+            unpack_words(words, 4, 17)
+
+    def test_word_image_matches_bit_stream(self, rng):
+        """The lazy word image decodes to the same codes as the
+        bit-packed DRAM stream, and is built exactly once."""
+        cfg = QuantConfig(dtype="bitmod_fp4", group_size=32)
+        packed = pack_tensor(rng.standard_normal((3, 64)), cfg)
+        img = packed.word_image()
+        assert packed.word_image() is img  # cached
+        from_words = unpack_words(img, packed.bits, packed.n_codes)
+        from_bits = unpack_bits(packed.element_data, packed.bits, packed.n_codes)
+        np.testing.assert_array_equal(from_words, from_bits)
 
 
 class TestBitPacking:

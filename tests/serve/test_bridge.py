@@ -38,9 +38,20 @@ class TestFunctionalReplay:
         assert one.cycles_per_output == four.cycles_per_output
 
     def test_term_decode_cached_across_replays(self, artifact):
+        from repro.kernels.cache import decode_cache
+
         layer = sorted(artifact.packed)[0]
         functional_replay(artifact, batch_size=1, layers=[layer])
-        assert hasattr(artifact.packed[layer], "_term_decode_cache")
+        assert decode_cache().contains(artifact.packed[layer], "terms")
+
+    def test_backend_pin_is_bit_identical(self, artifact):
+        layer = sorted(artifact.packed)[0]
+        default = functional_replay(artifact, batch_size=2, layers=[layer])[0]
+        pinned = functional_replay(
+            artifact, batch_size=2, layers=[layer], backend="numpy"
+        )[0]
+        assert pinned.pe_cycles == default.pe_cycles
+        assert pinned.max_abs_err == default.max_abs_err
 
     def test_bad_batch_size_rejected(self, artifact):
         with pytest.raises(ValueError):
