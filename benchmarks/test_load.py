@@ -1,0 +1,170 @@
+"""Load-test benchmarks: trace-driven serving under Poisson traffic.
+
+Drives seeded workloads from :mod:`repro.load` at a live
+:class:`~repro.serve.server.ServeServer` and writes the measured tail
+latencies, throughput, shed rate, and prefix-cache hit rate to
+``BENCH_load.json`` next to this file.  The headline run is the
+acceptance bar for the load subsystem: a seeded 1000-request Poisson
+trace (``BENCH_QUICK=1`` trims it to 200) must finish with zero lost
+requests and a reproducible trace digest.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.load import (
+    MixedTraffic,
+    PoissonArrivals,
+    SharedPrefixChat,
+    LongDocSummarization,
+    Workload,
+    default_policy,
+    run_load,
+)
+from repro.models import CausalLM, get_model_config
+from repro.serve import InferenceEngine, PrefixKVCache
+
+_RESULTS_PATH = Path(__file__).parent / "BENCH_load.json"
+_QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+_N_REQUESTS = 200 if _QUICK else 1000
+_SEED = 2025
+
+_results = {}
+
+
+def _workload(n_requests=_N_REQUESTS, seed=_SEED):
+    """The reference trace: mostly shared-prefix chat, some long docs."""
+    return Workload(
+        arrivals=PoissonArrivals(400.0),
+        traffic=MixedTraffic(
+            [
+                (
+                    0.8,
+                    SharedPrefixChat(
+                        n_prefixes=4,
+                        prefix_tokens=48,
+                        suffix_tokens=(4, 12),
+                        max_new_tokens=(4, 8),
+                    ),
+                ),
+                (
+                    0.2,
+                    LongDocSummarization(
+                        doc_tokens=(48, 96), max_new_tokens=(4, 6)
+                    ),
+                ),
+            ]
+        ),
+        n_requests=n_requests,
+        seed=seed,
+        vocab=2048,
+    )
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return InferenceEngine(
+        CausalLM(get_model_config("opt-1.3b"), seed=0),
+        prefix_cache=PrefixKVCache(),
+    )
+
+
+def test_trace_digest_reproducible():
+    """Same seed → byte-identical trace, run to run."""
+    first = _workload()
+    second = _workload()
+    assert first.digest() == second.digest()
+    assert first.digest() != _workload(seed=_SEED + 1).digest()
+    _results["trace"] = {
+        "n_requests": _N_REQUESTS,
+        "seed": _SEED,
+        "digest": first.digest(),
+    }
+
+
+def test_poisson_load_run(engine):
+    """The headline load run: zero lost requests at full scale."""
+    workload = _workload()
+    t0 = time.perf_counter()
+    result = run_load(engine, workload, max_batch_tokens=512, poll_every_s=0.25)
+    wall_s = time.perf_counter() - t0
+    summary = result.summary()
+
+    assert summary["lost"] == 0, "load harness lost requests"
+    assert summary["errors"] == 0, "unstructured errors under load"
+    assert (
+        summary["completed"] + summary["shed"] + summary["expired"]
+        == _N_REQUESTS
+    )
+    assert summary["prefix_cache"]["hits"] > 0
+
+    policy = default_policy(ttft_p95_s=30.0, latency_p99_s=120.0)
+    _results["poisson_load"] = {
+        "quick": _QUICK,
+        "n_requests": _N_REQUESTS,
+        "completed": summary["completed"],
+        "shed": summary["shed"],
+        "expired": summary["expired"],
+        "lost": summary["lost"],
+        "shed_rate": summary["shed_rate"],
+        "wall_s": wall_s,
+        "ttft_p50_s": summary["ttft"]["p50_s"],
+        "ttft_p95_s": summary["ttft"]["p95_s"],
+        "ttft_p99_s": summary["ttft"]["p99_s"],
+        "tbt_p50_s": summary["tbt"]["p50_s"],
+        "latency_p50_s": summary["latency"]["p50_s"],
+        "latency_p99_s": summary["latency"]["p99_s"],
+        "tokens_per_s": summary["tokens_per_s"],
+        "prefix_cache_hit_rate": summary["prefix_cache"]["hit_rate"],
+        "prefix_reused_tokens": result.metrics["tokens"]["prefill_reused"],
+        "slo": policy.to_dict(summary),
+        "trace_digest": workload.digest(),
+    }
+
+
+def test_prefix_cache_payoff(engine):
+    """Shared-prefix traffic with the cache vs a cold engine."""
+    n = 50 if _QUICK else 150
+    workload = Workload(
+        arrivals=PoissonArrivals(400.0),
+        traffic=SharedPrefixChat(
+            n_prefixes=2,
+            prefix_tokens=64,
+            suffix_tokens=(4, 8),
+            max_new_tokens=(4, 6),
+        ),
+        n_requests=n,
+        seed=_SEED,
+        vocab=2048,
+    )
+    engine.prefix_cache.clear()
+    cached = run_load(engine, workload, max_batch_tokens=512)
+    plain = run_load(
+        InferenceEngine(engine.model), workload, max_batch_tokens=512
+    )
+    assert cached.completed == n and plain.completed == n
+    # Identical decode streams — reuse is invisible to clients.
+    assert {r.index: r.tokens for r in cached.records} == {
+        r.index: r.tokens for r in plain.records
+    }
+    stats = cached.prefix_stats
+    _results["prefix_payoff"] = {
+        "n_requests": n,
+        "hit_rate": stats["hit_rate"],
+        "reused_tokens": cached.metrics["tokens"]["prefill_reused"],
+        "prefill_tokens_cached": cached.metrics["tokens"]["prefill"],
+        "prefill_tokens_plain": plain.metrics["tokens"]["prefill"],
+        "wall_s_cached": cached.wall_s,
+        "wall_s_plain": plain.wall_s,
+        "byte_identical_outputs": True,
+    }
+
+
+def test_zz_write_results():
+    """Persist the collected numbers (runs last by name)."""
+    assert _results, "no load benchmarks ran"
+    _RESULTS_PATH.write_text(json.dumps(_results, indent=2) + "\n")

@@ -1,0 +1,72 @@
+"""Trace-driven load generation and SLO evaluation for the serve path.
+
+The serving claims in the reproduction — continuous batching keeps
+tail latency bounded, admission control sheds instead of collapsing,
+prefix-sharing KV reuse pays off on shared-prefix traffic — are only
+claims until a load test exercises them.  This package is that test
+harness, layered the way the serving papers slice it:
+
+``arrivals``
+    Seeded inter-arrival processes: Poisson, bursty, diurnal.  Same
+    seed → byte-identical offsets.
+``traffic``
+    Seeded request mixes (shared-prefix chat, long-doc summarization,
+    weighted blends) and :class:`Workload`, which binds a mix to an
+    arrival process and fingerprints the whole trace (sha256).
+``harness``
+    The asyncio driver: replays a workload against a live
+    :class:`~repro.serve.server.ServeServer`, records every outcome
+    (completed/shed/expired/error), polls live metrics snapshots, and
+    rolls everything into a BENCH-shaped summary with a zero-lost
+    accounting invariant.
+``report``
+    SLO targets/policies evaluated against summaries, plus the ASCII
+    report block for CI logs.
+"""
+
+from repro.load.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    from_spec,
+)
+from repro.load.harness import LoadResult, RequestRecord, drive, run_load
+from repro.load.report import (
+    SLOPolicy,
+    SLOTarget,
+    SLOVerdict,
+    default_policy,
+    format_report,
+)
+from repro.load.traffic import (
+    LongDocSummarization,
+    MixedTraffic,
+    RequestSpec,
+    SharedPrefixChat,
+    TrafficModel,
+    Workload,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "from_spec",
+    "TrafficModel",
+    "SharedPrefixChat",
+    "LongDocSummarization",
+    "MixedTraffic",
+    "RequestSpec",
+    "Workload",
+    "drive",
+    "run_load",
+    "LoadResult",
+    "RequestRecord",
+    "SLOTarget",
+    "SLOVerdict",
+    "SLOPolicy",
+    "default_policy",
+    "format_report",
+]

@@ -1,0 +1,188 @@
+"""Seeded inter-arrival processes for trace-driven load generation.
+
+Each :class:`ArrivalProcess` turns ``(n, seed)`` into ``n`` ascending
+arrival offsets (seconds from the start of the run).  Same process,
+same seed → byte-identical offsets, so a load trace is reproducible
+end to end and a sweep can replay the exact arrival pattern that
+tripped a regression.
+
+Three processes cover the serving-paper workloads:
+
+* :class:`PoissonArrivals` — memoryless open-loop traffic at a fixed
+  mean rate (exponential gaps), the standard serving benchmark.
+* :class:`BurstyArrivals` — requests land in tight bursts separated by
+  Poisson gaps, stressing admission control and queue depth.
+* :class:`DiurnalArrivals` — a sinusoidally modulated Poisson rate
+  (thinning construction), compressing a day-shaped load curve into a
+  short run so schedulers see both the peak and the trough.
+
+Every process round-trips through :meth:`to_spec` / :func:`from_spec`
+plain dicts so a workload can be logged into a benchmark artifact and
+rebuilt from it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "from_spec",
+]
+
+
+class ArrivalProcess:
+    """Base: a seeded generator of ascending arrival offsets."""
+
+    kind = "base"
+
+    def offsets(self, n: int, seed: int) -> np.ndarray:
+        """``n`` ascending arrival times (seconds, float64)."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        return self._offsets(n, np.random.default_rng(seed))
+
+    def _offsets(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def to_spec(self) -> Dict:
+        raise NotImplementedError
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Open-loop Poisson traffic at ``rate_rps`` requests/second."""
+
+    kind = "poisson"
+
+    def __init__(self, rate_rps: float):
+        if rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        self.rate_rps = float(rate_rps)
+
+    def _offsets(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.cumsum(rng.exponential(1.0 / self.rate_rps, size=n))
+
+    def to_spec(self) -> Dict:
+        return {"kind": self.kind, "rate_rps": self.rate_rps}
+
+
+class BurstyArrivals(ArrivalProcess):
+    """Bursts of ``burst_size`` near-simultaneous requests.
+
+    Burst starts follow a Poisson process whose rate is chosen so the
+    *long-run request rate* is still ``rate_rps``; requests within a
+    burst are ``within_burst_s`` apart.  The result keeps the mean
+    load of the Poisson baseline while concentrating it into spikes
+    that exercise shedding and queue-depth limits.
+    """
+
+    kind = "bursty"
+
+    def __init__(
+        self,
+        rate_rps: float,
+        burst_size: int = 8,
+        within_burst_s: float = 0.001,
+    ):
+        if rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        if burst_size < 1:
+            raise ValueError("burst_size must be at least 1")
+        if within_burst_s < 0:
+            raise ValueError("within_burst_s must be non-negative")
+        self.rate_rps = float(rate_rps)
+        self.burst_size = int(burst_size)
+        self.within_burst_s = float(within_burst_s)
+
+    def _offsets(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        n_bursts = math.ceil(n / self.burst_size)
+        burst_rate = self.rate_rps / self.burst_size
+        starts = np.cumsum(rng.exponential(1.0 / burst_rate, size=n_bursts))
+        within = np.arange(self.burst_size) * self.within_burst_s
+        grid = (starts[:, None] + within[None, :]).reshape(-1)[:n]
+        # Bursts can interleave when a gap is shorter than a burst;
+        # arrival order is what the harness replays, so sort.
+        return np.sort(grid)
+
+    def to_spec(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "rate_rps": self.rate_rps,
+            "burst_size": self.burst_size,
+            "within_burst_s": self.within_burst_s,
+        }
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidally modulated Poisson rate (day curve, compressed).
+
+    The instantaneous rate is
+    ``rate_rps * (1 + depth * sin(2π t / period_s))`` — ``depth`` in
+    [0, 1) sets how deep the trough is relative to the mean.  Sampled
+    by thinning: candidate gaps come from the peak rate
+    ``rate_rps * (1 + depth)`` and are accepted with probability
+    ``rate(t) / peak``.  The acceptance probability is bounded below
+    by ``(1 - depth) / (1 + depth) > 0``, so the loop always
+    terminates.
+    """
+
+    kind = "diurnal"
+
+    def __init__(self, rate_rps: float, period_s: float = 60.0, depth: float = 0.8):
+        if rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if not (0.0 <= depth < 1.0):
+            raise ValueError("depth must be in [0, 1)")
+        self.rate_rps = float(rate_rps)
+        self.period_s = float(period_s)
+        self.depth = float(depth)
+
+    def _rate(self, t: float) -> float:
+        return self.rate_rps * (
+            1.0 + self.depth * math.sin(2.0 * math.pi * t / self.period_s)
+        )
+
+    def _offsets(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        peak = self.rate_rps * (1.0 + self.depth)
+        out = np.empty(n, dtype=np.float64)
+        t = 0.0
+        i = 0
+        while i < n:
+            t += rng.exponential(1.0 / peak)
+            if rng.random() < self._rate(t) / peak:
+                out[i] = t
+                i += 1
+        return out
+
+    def to_spec(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "rate_rps": self.rate_rps,
+            "period_s": self.period_s,
+            "depth": self.depth,
+        }
+
+
+_KINDS = {
+    cls.kind: cls for cls in (PoissonArrivals, BurstyArrivals, DiurnalArrivals)
+}
+
+
+def from_spec(spec: Dict) -> ArrivalProcess:
+    """Rebuild an arrival process from its :meth:`to_spec` dict."""
+    spec = dict(spec)
+    kind = spec.pop("kind", None)
+    if kind not in _KINDS:
+        known: List[str] = sorted(_KINDS)
+        raise ValueError(f"unknown arrival kind {kind!r}; known: {', '.join(known)}")
+    return _KINDS[kind](**spec)

@@ -1,0 +1,164 @@
+"""SLO verdicts and human-readable load-test reports.
+
+An :class:`SLOTarget` is one checkable promise about a summary metric
+("p95 TTFT under 500 ms", "shed rate under 5%"); an :class:`SLOPolicy`
+bundles targets and evaluates a :meth:`LoadResult.summary` dict into
+pass/fail verdicts.  :func:`format_report` renders the summary plus
+verdicts as the fixed-width ASCII block a CI log or terminal shows.
+
+Metric paths are dotted keys into the summary dict
+(``"ttft.p95_s"``, ``"shed_rate"``, ``"prefix_cache.hit_rate"``), so
+policies work on any BENCH-shaped dict, not just live results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["SLOTarget", "SLOVerdict", "SLOPolicy", "default_policy", "format_report"]
+
+
+def _resolve(summary: Dict, path: str) -> Optional[float]:
+    node = summary
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return None if node is None else float(node)
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """One promise: ``metric`` must stay on the right side of ``bound``."""
+
+    metric: str  # dotted path into the summary dict
+    bound: float
+    op: str = "<="  # "<=" or ">="
+
+    def check(self, summary: Dict) -> "SLOVerdict":
+        value = _resolve(summary, self.metric)
+        if value is None:
+            return SLOVerdict(self, None, False, "metric missing")
+        if self.op == "<=":
+            ok = value <= self.bound
+        elif self.op == ">=":
+            ok = value >= self.bound
+        else:
+            raise ValueError(f"unknown op {self.op!r}; use '<=' or '>='")
+        return SLOVerdict(self, value, ok, None)
+
+
+@dataclass(frozen=True)
+class SLOVerdict:
+    """Outcome of checking one target against one summary."""
+
+    target: SLOTarget
+    value: Optional[float]
+    ok: bool
+    note: Optional[str] = None
+
+    def to_dict(self) -> Dict:
+        return {
+            "metric": self.target.metric,
+            "op": self.target.op,
+            "bound": self.target.bound,
+            "value": self.value,
+            "ok": self.ok,
+            "note": self.note,
+        }
+
+
+@dataclass
+class SLOPolicy:
+    """A named bundle of targets evaluated together."""
+
+    name: str = "slo"
+    targets: List[SLOTarget] = field(default_factory=list)
+
+    def evaluate(self, summary: Dict) -> List[SLOVerdict]:
+        return [t.check(summary) for t in self.targets]
+
+    def passed(self, summary: Dict) -> bool:
+        return all(v.ok for v in self.evaluate(summary))
+
+    def to_dict(self, summary: Dict) -> Dict:
+        verdicts = self.evaluate(summary)
+        return {
+            "policy": self.name,
+            "passed": all(v.ok for v in verdicts),
+            "verdicts": [v.to_dict() for v in verdicts],
+        }
+
+
+def default_policy(
+    ttft_p95_s: float = 2.0,
+    latency_p99_s: float = 10.0,
+    max_shed_rate: float = 0.25,
+) -> SLOPolicy:
+    """A permissive starter policy: loose tail-latency and shed bounds."""
+    return SLOPolicy(
+        name="default",
+        targets=[
+            SLOTarget("ttft.p95_s", ttft_p95_s),
+            SLOTarget("latency.p99_s", latency_p99_s),
+            SLOTarget("shed_rate", max_shed_rate),
+            SLOTarget("lost", 0.0),
+        ],
+    )
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def format_report(
+    summary: Dict, verdicts: Optional[Sequence[SLOVerdict]] = None
+) -> str:
+    """Fixed-width ASCII report of a load run (plus SLO verdicts)."""
+    lines = ["== load report " + "=" * 33]
+    lines.append(
+        f"requests   {summary['n_requests']:>6}   "
+        f"completed {summary['completed']:>6}"
+    )
+    lines.append(
+        f"shed       {summary['shed']:>6}   "
+        f"expired   {summary['expired']:>6}"
+    )
+    lines.append(
+        f"errors     {summary['errors']:>6}   "
+        f"lost      {summary['lost']:>6}"
+    )
+    lines.append(
+        f"wall       {summary['wall_s']:>8.2f}s  "
+        f"tokens/s  {summary['tokens_per_s']:>8.1f}"
+    )
+    for name in ("ttft", "tbt", "latency"):
+        s = summary.get(name) or {}
+        lines.append(
+            f"{name:<8} p50 {_fmt(s.get('p50_s')):>8}  "
+            f"p95 {_fmt(s.get('p95_s')):>8}  "
+            f"p99 {_fmt(s.get('p99_s')):>8}"
+        )
+    prefix = summary.get("prefix_cache")
+    if prefix:
+        lines.append(
+            f"prefix   hit_rate {prefix['hit_rate']:.3f}  "
+            f"entries {prefix['entries']}  "
+            f"bytes {prefix['bytes']}"
+        )
+    if verdicts is not None:
+        lines.append("-- slo " + "-" * 41)
+        for v in verdicts:
+            mark = "PASS" if v.ok else "FAIL"
+            lines.append(
+                f"[{mark}] {v.target.metric} {v.target.op} "
+                f"{_fmt(v.target.bound)} (got {_fmt(v.value)})"
+                + (f"  # {v.note}" if v.note else "")
+            )
+    lines.append("=" * 48)
+    return "\n".join(lines)

@@ -98,6 +98,40 @@ class KVCache:
         )
         return elements * bits // 8
 
+    # ------------------------------------------------------------------
+    # Prefix sharing (repro.serve.prefix).
+    # ------------------------------------------------------------------
+    def snapshot(self, length: int) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Copied per-layer K/V slices covering the first ``length``
+        positions — the storable form of a shareable prompt prefix."""
+        if not (0 < length <= self.seq_len):
+            raise ValueError(
+                f"snapshot length {length} outside cached range "
+                f"(1..{self.seq_len})"
+            )
+        return [
+            (k[:, :, :length, :].copy(), v[:, :, :length, :].copy())
+            for k, v in zip(self._keys, self._values)
+        ]
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        pairs: List[Tuple[np.ndarray, np.ndarray]],
+        quant: Optional[KVQuantConfig] = None,
+    ) -> "KVCache":
+        """A cache pre-seeded with snapshotted prefix K/V.
+
+        The snapshot arrays are adopted by reference, never mutated:
+        :meth:`append` always *concatenates into fresh arrays*, so one
+        snapshot can seed any number of caches concurrently.
+        """
+        cache = cls(len(pairs), quant=quant)
+        for layer, (k, v) in enumerate(pairs):
+            cache._keys[layer] = k
+            cache._values[layer] = v
+        return cache
+
 
 class CausalLM:
     """A numpy causal language model at sim scale."""

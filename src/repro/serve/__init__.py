@@ -14,7 +14,12 @@ The deployment path the paper motivates, end to end:
     work per generated token instead of recomputing the sequence.
 ``batching``
     A continuous-batching scheduler: token-budgeted steps interleaving
-    prefills of waiting requests with decodes of running ones.
+    prefills of waiting requests with decodes of running ones, with
+    strict-priority SLO tiers (``SLO_TIERS``) and queue-depth-aware
+    admission shedding.
+``prefix``
+    Prefix-sharing KV reuse: a byte-budgeted LRU of block-aligned
+    prompt prefixes so shared-prefix traffic skips repeated prefill.
 ``server``
     The asyncio front-end (``submit()`` / ``generate()``) driving the
     scheduler from a background loop.
@@ -38,7 +43,8 @@ from repro.serve.artifact import (
     pack_tensor_cached,
     save_artifact,
 )
-from repro.serve.batching import ContinuousBatcher, Request, StepReport
+from repro.serve.batching import SLO_TIERS, ContinuousBatcher, Request, StepReport
+from repro.serve.prefix import PrefixKVCache
 from repro.serve.errors import DeadlineExceeded, Overloaded, ServeError
 from repro.serve.bridge import (
     FunctionalReplay,
@@ -66,7 +72,9 @@ __all__ = [
     "GenerationConfig",
     "SequenceState",
     "ContinuousBatcher",
+    "PrefixKVCache",
     "Request",
+    "SLO_TIERS",
     "StepReport",
     "ServeServer",
     "GenerationResult",

@@ -8,11 +8,20 @@ step granularity — a finished request frees its slot immediately, and
 a newly admitted one starts decoding on the very next step, so the
 batch never drains to refill (the "continuous" part).
 
+Requests carry an SLO *tier* (:data:`SLO_TIERS`: ``interactive`` >
+``standard`` > ``batch``).  The scheduler is strict-priority across
+tiers and round-robin within one: decode budget goes to the highest
+tier first (a scarce budget can therefore never starve latency-critical
+decodes behind batch work), and admission prefers the
+earliest-submitted request of the highest waiting tier.
+
 Degradation is explicit (see :mod:`repro.serve.errors`):
 
 * ``max_waiting`` bounds the admission queue — an overfull queue sheds
   the new request with :class:`~repro.serve.errors.Overloaded` instead
-  of growing without limit;
+  of growing without limit; queue-depth-aware shedding rejects
+  ``batch``-tier work earlier (at ``soft_admit_ratio`` of the bound)
+  so background traffic is the first to back off under pressure;
 * a request's ``deadline_s`` is checked every step; an expired request
   is cancelled and evicted from whichever queue holds it, surfacing as
   a structured :class:`~repro.serve.errors.DeadlineExceeded`;
@@ -37,7 +46,12 @@ from repro.serve.engine import GenerationConfig, InferenceEngine, SequenceState
 from repro.serve.errors import Overloaded
 from repro.serve.metrics import ServeMetrics
 
-__all__ = ["Request", "RequestState", "StepReport", "ContinuousBatcher"]
+__all__ = ["Request", "RequestState", "StepReport", "ContinuousBatcher", "SLO_TIERS"]
+
+#: Latency tiers, highest priority first.  ``interactive`` is the
+#: chat-style low-TTFT class, ``standard`` the default, ``batch`` the
+#: throughput class that is shed first and decoded last.
+SLO_TIERS = {"interactive": 2, "standard": 1, "batch": 0}
 
 
 @dataclass
@@ -51,6 +65,13 @@ class Request:
     #: Seconds (on the scheduler clock, from submission) this request
     #: may take end-to-end; ``None`` = no deadline.
     deadline_s: Optional[float] = None
+    #: SLO class (a :data:`SLO_TIERS` key); governs decode priority,
+    #: admission order, and how early the request is shed under load.
+    tier: str = "standard"
+
+    @property
+    def priority(self) -> int:
+        return SLO_TIERS[self.tier]
 
 
 @dataclass
@@ -72,6 +93,10 @@ class RequestState:
     def request_id(self) -> int:
         return self.request.request_id
 
+    @property
+    def priority(self) -> int:
+        return self.request.priority
+
 
 @dataclass
 class StepReport:
@@ -84,6 +109,9 @@ class StepReport:
     expired: List[int] = field(default_factory=list)
     prefill_tokens: int = 0
     decode_tokens: int = 0
+    #: Prompt tokens served from the engine's prefix cache instead of
+    #: being recomputed by this step's prefills.
+    prefix_reused_tokens: int = 0
 
     @property
     def batch_tokens(self) -> int:
@@ -106,6 +134,7 @@ class ContinuousBatcher:
         max_batch_tokens: int = 512,
         max_running: int = 64,
         max_waiting: Optional[int] = None,
+        soft_admit_ratio: float = 0.5,
         clock: Callable[[], float] = time.monotonic,
         metrics: Optional[ServeMetrics] = None,
     ):
@@ -113,10 +142,15 @@ class ContinuousBatcher:
             raise ValueError("max_batch_tokens must be at least 1")
         if max_waiting is not None and max_waiting < 1:
             raise ValueError("max_waiting must be at least 1 (or None)")
+        if not (0.0 < soft_admit_ratio <= 1.0):
+            raise ValueError("soft_admit_ratio must be in (0, 1]")
         self.engine = engine
         self.max_batch_tokens = max_batch_tokens
         self.max_running = max_running
         self.max_waiting = max_waiting
+        #: Fraction of ``max_waiting`` past which the lowest SLO tier
+        #: (``batch``) is shed; higher tiers admit up to the full bound.
+        self.soft_admit_ratio = soft_admit_ratio
         self.clock = clock
         self.metrics = metrics if metrics is not None else ServeMetrics()
         self._waiting: Deque[RequestState] = deque()
@@ -126,19 +160,43 @@ class ContinuousBatcher:
         self._step = 0
 
     # ------------------------------------------------------------------
+    def admit_limit(self, tier: str) -> Optional[int]:
+        """Queue depth at which ``tier`` stops being admitted.
+
+        The lowest tier sheds at ``soft_admit_ratio * max_waiting`` so
+        background work backs off before the queue saturates; every
+        other tier admits up to the full ``max_waiting`` bound.
+        """
+        if self.max_waiting is None:
+            return None
+        if SLO_TIERS[tier] <= min(SLO_TIERS.values()):
+            return max(1, int(self.max_waiting * self.soft_admit_ratio))
+        return self.max_waiting
+
     def submit(self, request: Request) -> RequestState:
         """Queue a request; it enters the batch on a later step.
 
-        Raises :class:`Overloaded` when the admission queue is full —
-        the request is shed, not silently queued behind work the
-        server cannot keep up with.
+        Raises :class:`Overloaded` when the admission queue is full
+        for the request's SLO tier — the request is shed, not silently
+        queued behind work the server cannot keep up with.
         """
-        if self.max_waiting is not None and len(self._waiting) >= self.max_waiting:
+        if request.tier not in SLO_TIERS:
+            raise ValueError(
+                f"unknown SLO tier {request.tier!r}; "
+                f"known: {', '.join(SLO_TIERS)}"
+            )
+        limit = self.admit_limit(request.tier)
+        if limit is not None and len(self._waiting) >= limit:
             self.metrics.rejected += 1
+            self.metrics.registry.counter(
+                "serve.requests.shed", tier=request.tier
+            ).inc()
             raise Overloaded(
-                f"admission queue full ({len(self._waiting)} waiting)",
+                f"admission queue full for tier {request.tier!r} "
+                f"({len(self._waiting)} waiting, limit {limit})",
                 request_id=request.request_id,
                 waiting=len(self._waiting),
+                tier=request.tier,
             )
         if not request.submitted_at:
             # Stamp with the scheduler clock so TTFT/latency are sane
@@ -201,42 +259,53 @@ class ContinuousBatcher:
             budget = self.max_batch_tokens
             self._expire_overdue(report)
 
-            # Decode pass: one token for every running sequence that fits.
-            # The deque rotates so a too-small budget round-robins fairly
+            # Decode pass: one token per running sequence, highest SLO
+            # tier first so a scarce budget never starves
+            # latency-critical decodes behind batch work.  Within one
+            # tier the deque rotates so the budget round-robins fairly
             # instead of starving the tail.
-            still_running: Deque[RequestState] = deque()
-            n_decodable = len(self._running)
-            for _ in range(n_decodable):
-                state = self._running.popleft()
-                if budget < 1:
-                    still_running.append(state)
-                    continue
-                budget -= 1
-                with (
-                    TRACER.span("serve.decode", request=state.request_id)
-                    if traced
-                    else NOOP_SPAN
-                ):
-                    if faults.enabled():
-                        faults.fire("serve.decode", request=state.request_id)
-                    (state.engine or self.engine).decode(state.seq)
-                report.decoded.append(state.request_id)
-                report.decode_tokens += 1
-                if state.seq.done:
-                    self._finish(state, report)
-                else:
-                    still_running.append(state)
-            if budget < 1 and still_running:
-                still_running.rotate(-1)
-            self._running = still_running
+            classes: Dict[int, Deque[RequestState]] = {}
+            for state in self._running:
+                classes.setdefault(state.priority, deque()).append(state)
+            self._running = deque()
+            for priority in sorted(classes, reverse=True):
+                tier_queue = classes[priority]
+                still_running: Deque[RequestState] = deque()
+                cut = False
+                for _ in range(len(tier_queue)):
+                    state = tier_queue.popleft()
+                    if budget < 1:
+                        still_running.append(state)
+                        cut = True
+                        continue
+                    budget -= 1
+                    with (
+                        TRACER.span("serve.decode", request=state.request_id)
+                        if traced
+                        else NOOP_SPAN
+                    ):
+                        if faults.enabled():
+                            faults.fire("serve.decode", request=state.request_id)
+                        (state.engine or self.engine).decode(state.seq)
+                    report.decoded.append(state.request_id)
+                    report.decode_tokens += 1
+                    if state.seq.done:
+                        self._finish(state, report)
+                    else:
+                        still_running.append(state)
+                if cut and still_running:
+                    still_running.rotate(-1)
+                self._running.extend(still_running)
 
-            # Admission pass: prefill waiting prompts with leftover budget.
-            while (
-                self._waiting
-                and len(self._running) < self.max_running
-                and self._waiting[0].seq.prompt.size <= budget
-            ):
-                state = self._waiting.popleft()
+            # Admission pass: prefill waiting prompts with leftover
+            # budget, earliest request of the highest waiting tier
+            # first (strict priority: a blocked high-tier head also
+            # blocks lower tiers, so they cannot jump the class).
+            while self._waiting and len(self._running) < self.max_running:
+                state = max(self._waiting, key=lambda s: s.priority)
+                if state.seq.prompt.size > budget:
+                    break
+                self._waiting.remove(state)
                 budget -= state.seq.prompt.size
                 with (
                     TRACER.span(
@@ -254,6 +323,8 @@ class ContinuousBatcher:
                 )
                 report.prefilled.append(state.request_id)
                 report.prefill_tokens += state.seq.prompt.size
+                report.prefix_reused_tokens += state.seq.prefix_hit_tokens
+                self.metrics.prefill_reused += state.seq.prefix_hit_tokens
                 if state.seq.done:
                     self._finish(state, report)
                 else:

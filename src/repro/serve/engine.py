@@ -21,6 +21,7 @@ from repro.models.layers import softmax
 from repro.models.transformer import CausalLM, KVCache
 from repro.quant.kv import KVQuantConfig
 from repro.serve.artifact import ModelArtifact, load_artifact
+from repro.serve.prefix import PrefixKVCache
 
 __all__ = ["GenerationConfig", "SequenceState", "InferenceEngine"]
 
@@ -42,6 +43,9 @@ class SequenceState:
     generation: GenerationConfig
     cache: Optional[KVCache] = None
     generated: List[int] = field(default_factory=list)
+    #: Prompt tokens whose KV came from the engine's prefix cache
+    #: instead of being recomputed at prefill (0 = cold prefill).
+    prefix_hit_tokens: int = 0
 
     @property
     def prefilled(self) -> bool:
@@ -69,6 +73,7 @@ class InferenceEngine:
         kv_quant: Optional[KVQuantConfig] = None,
         seed: int = 0,
         artifact: Optional[ModelArtifact] = None,
+        prefix_cache: Optional[PrefixKVCache] = None,
     ):
         self.model = model
         self.kv_quant = kv_quant
@@ -76,19 +81,30 @@ class InferenceEngine:
         #: keeps the bit-packed weight images around for bit-accurate
         #: hardware replay alongside the dequantized serving weights.
         self.artifact = artifact
+        #: Prompt-prefix KV reuse (see :mod:`repro.serve.prefix`).
+        #: Only consulted when ``kv_quant`` is None: KV quantization is
+        #: per-prefill-segment, so splitting the prompt at a cached
+        #: prefix boundary would change the stored values.
+        self.prefix_cache = prefix_cache
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
     # Construction from artifacts.
     # ------------------------------------------------------------------
     @classmethod
-    def from_artifact(cls, artifact: ModelArtifact, seed: int = 0) -> "InferenceEngine":
+    def from_artifact(
+        cls,
+        artifact: ModelArtifact,
+        seed: int = 0,
+        prefix_cache: Optional[PrefixKVCache] = None,
+    ) -> "InferenceEngine":
         """Instantiate the packed model and wrap it in an engine."""
         return cls(
             artifact.instantiate(),
             kv_quant=artifact.kv_quant,
             seed=seed,
             artifact=artifact,
+            prefix_cache=prefix_cache,
         )
 
     @classmethod
@@ -137,11 +153,27 @@ class InferenceEngine:
         return SequenceState(prompt=prompt, generation=generation)
 
     def prefill(self, seq: SequenceState) -> int:
-        """Run the prompt, producing the cache and the first token."""
+        """Run the prompt, producing the cache and the first token.
+
+        With a prefix cache attached (and no KV quantization), the
+        longest cached block-aligned prefix seeds the sequence's KV
+        and only the uncached tail is computed;
+        ``seq.prefix_hit_tokens`` records how much prefill was skipped.
+        """
         if seq.prefilled:
             raise RuntimeError("sequence already prefilled")
-        logits, cache = self.model.prefill(seq.prompt, kv_quant=self.kv_quant)
+        share = self.prefix_cache if self.kv_quant is None else None
+        hit = share.lookup(seq.prompt) if share is not None else None
+        if hit is not None:
+            length, snapshot = hit
+            cache = KVCache.from_snapshot(snapshot)
+            logits = self.model.logits(seq.prompt[length:], cache=cache)
+            seq.prefix_hit_tokens = length
+        else:
+            logits, cache = self.model.prefill(seq.prompt, kv_quant=self.kv_quant)
         seq.cache = cache
+        if share is not None:
+            share.insert(seq.prompt, cache)
         token = self._sample(logits[0, -1], seq.generation.temperature)
         seq.generated.append(token)
         return token

@@ -87,6 +87,7 @@ class ServeMetrics:
                 ("expired", "requests.expired"),
                 ("rejected", "requests.rejected"),
                 ("prefill_tokens", "tokens.prefill"),
+                ("prefill_reused", "tokens.prefill_reused"),
                 ("decode_tokens", "tokens.decode"),
                 ("steps", "scheduler.steps"),
             )
@@ -108,6 +109,8 @@ class ServeMetrics:
     #: Requests shed at admission (queue full or server draining).
     rejected = _int_counter("rejected")
     prefill_tokens = _int_counter("prefill_tokens")
+    #: Prompt tokens whose KV was reused from the prefix cache.
+    prefill_reused = _int_counter("prefill_reused")
     decode_tokens = _int_counter("decode_tokens")
     steps = _int_counter("steps")
 
@@ -139,6 +142,27 @@ class ServeMetrics:
     def total_tokens_per_s(self) -> float:
         e = self.elapsed_s
         return self.total_tokens / e if e > 0 else 0.0
+
+    def snapshot(self) -> Dict:
+        """A live, poll-safe view of the run so far.
+
+        Historically TTFT/latency percentiles were only read at drain
+        (after :meth:`stop`); ``snapshot()`` is the mid-run view a load
+        harness polls every few hundred milliseconds: it reads the
+        cached-sort histograms and counter values without resetting or
+        mutating anything, so any number of polls leave the final
+        :meth:`to_dict` byte-identical.  Adds the live queue gauges,
+        in-flight count, and prefix-reuse total on top of the
+        :meth:`to_dict` shape.
+        """
+        d = self.to_dict()
+        d["tokens"]["prefill_reused"] = self.prefill_reused
+        d["queues"] = {
+            "waiting": int(self.queue_waiting.value),
+            "running": int(self.queue_running.value),
+        }
+        d["in_flight"] = self.submitted - self.completed - self.expired
+        return d
 
     def to_dict(self) -> Dict:
         return {

@@ -65,6 +65,7 @@ class ServeServer:
         max_batch_tokens: int = 512,
         max_running: int = 64,
         max_waiting: Optional[int] = None,
+        soft_admit_ratio: float = 0.5,
     ):
         self.metrics = ServeMetrics()
         self._reloads = self.metrics.registry.counter("serve.artifact_reloads")
@@ -73,6 +74,7 @@ class ServeServer:
             max_batch_tokens=max_batch_tokens,
             max_running=max_running,
             max_waiting=max_waiting,
+            soft_admit_ratio=soft_admit_ratio,
             metrics=self.metrics,
         )
         self._ids = itertools.count()
@@ -122,13 +124,17 @@ class ServeServer:
         prompt: np.ndarray,
         generation: GenerationConfig = GenerationConfig(),
         deadline_s: Optional[float] = None,
+        tier: str = "standard",
     ) -> int:
         """Enqueue a prompt; returns the request id immediately.
 
         ``deadline_s`` caps the request's end-to-end time: once it
         passes, the scheduler cancels the request and its future fails
-        with :class:`DeadlineExceeded`.  Raises :class:`Overloaded`
-        when the admission queue is full or the server is draining.
+        with :class:`DeadlineExceeded`.  ``tier`` is the SLO class
+        (see :data:`~repro.serve.batching.SLO_TIERS`): it sets decode
+        priority and how early the scheduler sheds this request under
+        queue pressure.  Raises :class:`Overloaded` when the admission
+        queue is full for the tier or the server is draining.
         """
         # Checked before _loop_task: stop() clears the task handle while
         # the drain is still in flight, and a draining server owes the
@@ -145,6 +151,7 @@ class ServeServer:
             generation=generation,
             submitted_at=time.monotonic(),
             deadline_s=deadline_s,
+            tier=tier,
         )
         self.batcher.submit(request)
         self._futures[request_id] = asyncio.get_running_loop().create_future()
@@ -162,14 +169,21 @@ class ServeServer:
         prompt: np.ndarray,
         generation: GenerationConfig = GenerationConfig(),
         deadline_s: Optional[float] = None,
+        tier: str = "standard",
     ) -> GenerationResult:
         """Submit and wait: the one-call client path."""
-        request_id = await self.submit(prompt, generation, deadline_s=deadline_s)
+        request_id = await self.submit(
+            prompt, generation, deadline_s=deadline_s, tier=tier
+        )
         return await self.result(request_id)
 
     def completed(self) -> List[GenerationResult]:
         """Results of every request finished so far."""
         return list(self._results.values())
+
+    def metrics_snapshot(self) -> Dict:
+        """Live :meth:`ServeMetrics.snapshot` — poll-safe mid-run."""
+        return self.metrics.snapshot()
 
     # ------------------------------------------------------------------
     # Hot swap.

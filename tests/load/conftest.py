@@ -1,0 +1,25 @@
+"""Shared fixtures: a shrunk simulated model so load tests run fast."""
+
+import dataclasses
+
+import pytest
+
+from repro.models import CausalLM, get_model_config
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    return dataclasses.replace(
+        get_model_config("opt-1.3b"),
+        sim_layers=2,
+        sim_hidden=64,
+        sim_heads=4,
+        sim_kv_heads=4,
+        sim_intermediate=128,
+        sim_vocab=512,
+    )
+
+
+@pytest.fixture()
+def tiny_model(tiny_config):
+    return CausalLM(tiny_config, seed=0)

@@ -1,0 +1,91 @@
+"""Arrival processes: reproducibility, shape, and spec round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.load import (
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    from_spec,
+)
+
+ALL = [
+    PoissonArrivals(100.0),
+    BurstyArrivals(100.0, burst_size=4, within_burst_s=0.001),
+    DiurnalArrivals(100.0, period_s=5.0, depth=0.8),
+]
+
+
+@pytest.mark.parametrize("proc", ALL, ids=lambda p: p.kind)
+class TestEveryProcess:
+    def test_same_seed_same_offsets(self, proc):
+        a = proc.offsets(500, seed=3)
+        b = proc.offsets(500, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_different_seed_different_offsets(self, proc):
+        assert not np.array_equal(proc.offsets(100, 1), proc.offsets(100, 2))
+
+    def test_ascending_and_positive(self, proc):
+        offs = proc.offsets(500, seed=0)
+        assert offs.shape == (500,)
+        assert np.all(offs > 0)
+        assert np.all(np.diff(offs) >= 0)
+
+    def test_zero_requests(self, proc):
+        assert proc.offsets(0, seed=0).size == 0
+
+    def test_negative_n_rejected(self, proc):
+        with pytest.raises(ValueError):
+            proc.offsets(-1, seed=0)
+
+    def test_spec_round_trip(self, proc):
+        rebuilt = from_spec(proc.to_spec())
+        assert type(rebuilt) is type(proc)
+        assert np.array_equal(rebuilt.offsets(200, 5), proc.offsets(200, 5))
+
+
+class TestRates:
+    def test_poisson_mean_rate(self):
+        offs = PoissonArrivals(50.0).offsets(5000, seed=0)
+        rate = 5000 / offs[-1]
+        assert rate == pytest.approx(50.0, rel=0.1)
+
+    def test_bursty_long_run_rate_matches(self):
+        offs = BurstyArrivals(50.0, burst_size=8).offsets(4000, seed=0)
+        assert 4000 / offs[-1] == pytest.approx(50.0, rel=0.15)
+
+    def test_bursty_is_actually_bursty(self):
+        offs = BurstyArrivals(10.0, burst_size=8, within_burst_s=1e-4).offsets(
+            800, seed=0
+        )
+        gaps = np.diff(offs)
+        # Most gaps are the tiny within-burst spacing; the rest are the
+        # long between-burst exponentials.
+        tiny = np.sum(gaps < 1e-3)
+        assert tiny >= 0.7 * gaps.size
+
+    def test_diurnal_rate_modulates(self):
+        proc = DiurnalArrivals(200.0, period_s=10.0, depth=0.9)
+        offs = proc.offsets(4000, seed=1)
+        # Count arrivals in the peak vs trough quarter of each period.
+        phase = (offs % 10.0) / 10.0
+        peak = np.sum((phase > 0.15) & (phase < 0.35))  # sin ≈ +1
+        trough = np.sum((phase > 0.65) & (phase < 0.85))  # sin ≈ -1
+        assert peak > 3 * trough
+
+    def test_diurnal_depth_validated(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(10.0, depth=1.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(10.0, depth=-0.1)
+
+    def test_invalid_rate_rejected(self):
+        for cls in (PoissonArrivals, BurstyArrivals, DiurnalArrivals):
+            with pytest.raises(ValueError):
+                cls(0.0)
+
+    def test_unknown_spec_kind(self):
+        with pytest.raises(ValueError, match="unknown arrival kind"):
+            from_spec({"kind": "fractal"})

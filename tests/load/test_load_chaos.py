@@ -1,0 +1,71 @@
+"""Chaos leg: load under injected decode stalls.
+
+CI runs this with ``$REPRO_FAULTS`` carrying a ``serve.decode`` delay
+plan; run standalone, the test installs an equivalent plan itself.
+Either way the assertion is the same: stalled decodes push requests
+past their deadlines, the scheduler evicts them as structured
+``DeadlineExceeded``, and the accounting still balances to zero lost.
+"""
+
+import os
+
+import pytest
+
+from repro.load import PoissonArrivals, SharedPrefixChat, Workload, run_load
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.serve import InferenceEngine
+
+
+@pytest.fixture()
+def decode_stall_plan():
+    """Use the ambient $REPRO_FAULTS plan when CI provides one;
+    otherwise install a local decode-stall plan for this test."""
+    installed = None
+    if not os.environ.get("REPRO_FAULTS"):
+        installed = FaultPlan(
+            [
+                FaultSpec(
+                    site="serve.decode",
+                    action="delay",
+                    delay_s=0.02,
+                    times=10**9,
+                    p=0.5,
+                )
+            ]
+        )
+        faults.set_fault_plan(installed)
+    yield
+    if installed is not None:
+        faults.clear_fault_plan()
+
+
+class TestDecodeStallUnderLoad:
+    def test_deadline_eviction_under_injected_stalls(
+        self, tiny_model, decode_stall_plan
+    ):
+        engine = InferenceEngine(tiny_model)
+        workload = Workload(
+            arrivals=PoissonArrivals(2000.0),
+            traffic=SharedPrefixChat(
+                n_prefixes=2,
+                prefix_tokens=24,
+                suffix_tokens=(2, 4),
+                max_new_tokens=(16, 24),
+                deadline_s=0.05,
+            ),
+            n_requests=40,
+            seed=0,
+            vocab=512,
+        )
+        result = run_load(engine, workload, max_batch_tokens=128)
+        summary = result.summary()
+        # Stalls make the deadline unmeetable for most of the stream.
+        assert summary["expired"] > 0
+        # Degradation stays structured: no lost tasks, no raw errors.
+        assert summary["lost"] == 0
+        assert summary["errors"] == 0
+        assert summary["expired"] + summary["completed"] == 40
+        # Expired requests were cancelled mid-flight, not completed.
+        for record in result.by_outcome("expired"):
+            assert record.tokens is None

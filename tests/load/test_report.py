@@ -1,0 +1,108 @@
+"""SLO policy evaluation and the ASCII report block."""
+
+import pytest
+
+from repro.load import SLOPolicy, SLOTarget, default_policy, format_report
+
+
+def _summary(**overrides):
+    base = {
+        "n_requests": 100,
+        "completed": 96,
+        "shed": 3,
+        "expired": 1,
+        "errors": 0,
+        "lost": 0,
+        "shed_rate": 0.03,
+        "wall_s": 2.5,
+        "tokens_per_s": 480.0,
+        "decode_tokens": 1200,
+        "ttft": {"count": 96, "mean_s": 0.02, "p50_s": 0.015, "p95_s": 0.05,
+                 "p99_s": 0.09, "max_s": 0.12},
+        "tbt": {"count": 96, "mean_s": 0.005, "p50_s": 0.004, "p95_s": 0.009,
+                "p99_s": 0.012, "max_s": 0.02},
+        "latency": {"count": 96, "mean_s": 0.1, "p50_s": 0.08, "p95_s": 0.3,
+                    "p99_s": 0.6, "max_s": 0.9},
+        "prefix_cache": {"hit_rate": 0.4, "entries": 7, "bytes": 1024,
+                         "budget_bytes": 4096, "hits": 40, "misses": 60,
+                         "inserts": 7, "evictions": 0, "oversize": 0},
+    }
+    base.update(overrides)
+    return base
+
+
+class TestSLOTargets:
+    def test_le_and_ge_ops(self):
+        assert SLOTarget("shed_rate", 0.05).check(_summary()).ok
+        assert not SLOTarget("shed_rate", 0.01).check(_summary()).ok
+        assert SLOTarget("prefix_cache.hit_rate", 0.3, op=">=").check(
+            _summary()
+        ).ok
+        assert not SLOTarget("prefix_cache.hit_rate", 0.5, op=">=").check(
+            _summary()
+        ).ok
+
+    def test_dotted_paths(self):
+        v = SLOTarget("ttft.p95_s", 0.1).check(_summary())
+        assert v.ok and v.value == 0.05
+
+    def test_missing_metric_fails_closed(self):
+        v = SLOTarget("no.such.metric", 1.0).check(_summary())
+        assert not v.ok
+        assert v.note == "metric missing"
+        assert v.value is None
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            SLOTarget("shed_rate", 0.1, op="==").check(_summary())
+
+    def test_verdict_to_dict(self):
+        d = SLOTarget("lost", 0.0).check(_summary()).to_dict()
+        assert d == {
+            "metric": "lost",
+            "op": "<=",
+            "bound": 0.0,
+            "value": 0.0,
+            "ok": True,
+            "note": None,
+        }
+
+
+class TestSLOPolicy:
+    def test_default_policy_passes_healthy_run(self):
+        assert default_policy().passed(_summary())
+
+    def test_lost_requests_fail_the_default_policy(self):
+        assert not default_policy().passed(_summary(lost=1))
+
+    def test_policy_to_dict(self):
+        policy = SLOPolicy("p", [SLOTarget("shed_rate", 0.05),
+                                 SLOTarget("lost", 0.0)])
+        out = policy.to_dict(_summary())
+        assert out["passed"] is True
+        assert len(out["verdicts"]) == 2
+        out = policy.to_dict(_summary(shed_rate=0.5))
+        assert out["passed"] is False
+
+
+class TestFormatReport:
+    def test_contains_key_numbers(self):
+        text = format_report(_summary())
+        assert "completed     96" in text
+        assert "tokens/s" in text
+        assert "hit_rate 0.400" in text
+
+    def test_verdict_lines(self):
+        summary = _summary(shed_rate=0.5)
+        policy = default_policy()
+        text = format_report(summary, policy.evaluate(summary))
+        assert "[FAIL] shed_rate <= 0.25" in text
+        assert "[PASS] ttft.p95_s <= 2" in text
+
+    def test_no_prefix_cache_section_when_disabled(self):
+        text = format_report(_summary(prefix_cache=None))
+        assert "hit_rate" not in text
+
+    def test_ascii_only(self):
+        text = format_report(_summary(), default_policy().evaluate(_summary()))
+        text.encode("ascii")  # raises if anything non-ASCII slipped in

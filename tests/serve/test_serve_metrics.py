@@ -109,3 +109,54 @@ class TestServeMetricsRegistry:
         b = ServeMetrics()
         a.submitted += 5
         assert b.submitted == 0
+
+
+class TestLiveSnapshot:
+    """snapshot() is the mid-run poll: it must never reset anything."""
+
+    def _loaded(self):
+        m = ServeMetrics()
+        m.submitted += 4
+        m.completed += 2
+        m.expired += 1
+        m.prefill_tokens += 20
+        m.prefill_reused += 12
+        m.decode_tokens += 30
+        m.queue_waiting.set(1)
+        m.queue_running.set(2)
+        m.ttft.record(0.01)
+        m.ttft.record(0.03)
+        m.latency.record(0.2)
+        return m
+
+    def test_snapshot_shape(self):
+        snap = self._loaded().snapshot()
+        assert snap["requests"]["submitted"] == 4
+        assert snap["tokens"]["prefill_reused"] == 12
+        assert snap["queues"] == {"waiting": 1, "running": 2}
+        assert snap["in_flight"] == 1  # 4 submitted - 2 done - 1 expired
+        assert snap["ttft"]["count"] == 2
+
+    def test_polling_does_not_reset_or_mutate(self):
+        m = self._loaded()
+        first = m.snapshot()
+        for _ in range(50):
+            m.snapshot()
+        # Counters and histograms survive arbitrary polling untouched.
+        assert m.submitted == 4
+        assert m.ttft.count == 2
+        again = m.snapshot()
+        for key in ("requests", "tokens", "queues", "in_flight", "ttft"):
+            assert again[key] == first[key]
+
+    def test_snapshot_interleaves_with_live_updates(self):
+        m = self._loaded()
+        assert m.snapshot()["in_flight"] == 1
+        m.completed += 1
+        m.decode_tokens += 5
+        snap = m.snapshot()
+        assert snap["in_flight"] == 0
+        assert snap["tokens"]["decode"] == 35
+        # to_dict() keeps its historical shape (no snapshot-only keys).
+        assert "queues" not in m.to_dict()
+        assert "prefill_reused" not in m.to_dict()["tokens"]

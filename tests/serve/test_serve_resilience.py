@@ -132,9 +132,11 @@ class TestAdmissionControl:
             batcher.submit(_req(2))
         assert e.value.to_dict() == {
             "error": "overloaded",
-            "message": "admission queue full (2 waiting)",
+            "message": "admission queue full for tier 'standard' "
+            "(2 waiting, limit 2)",
             "request_id": 2,
             "waiting": 2,
+            "tier": "standard",
         }
         assert batcher.metrics.rejected == 1
         # The shed request cost nothing; the queued ones still finish.
