@@ -49,6 +49,7 @@ SUMMARY_COLUMNS = [
     "n_pes",
     "dram_gbps",
     "wbuf_kb",
+    "mesh",
     "area_mm2",
     "time_ms",
     "total_uj",
@@ -67,6 +68,11 @@ def _summary_row(r: Dict) -> List:
     # single datatype name.
     dtype = r.get("policy") or r["dtype"] or "-"
     weight_mb = r.get("weight_mb")
+    # Multi-chip points say which mesh they ran on ("4x ring");
+    # single-chip records (including pre-v3 ones) print "1x".
+    shards = r.get("shards", 1)
+    topology = r.get("topology")
+    mesh = f"{shards}x {topology}" if topology else f"{shards}x"
     return [
         r["model"],
         r["task"],
@@ -78,6 +84,7 @@ def _summary_row(r: Dict) -> List:
         a["n_pes"],
         a["dram_gbps"],
         a["weight_buffer_kb"],
+        mesh,
         r["area_mm2"],
         r["time_ms"],
         r["total_uj"],

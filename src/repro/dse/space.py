@@ -171,6 +171,11 @@ class DesignPoint:
     #: time (``dtype`` is ``None``, ``weight_bits`` is 0 — the real
     #: per-layer precisions come out of the solver).
     policy: Optional[PolicyChoice] = None
+    #: Tensor-parallel degree: > 1 evaluates the point on a multi-chip
+    #: mesh via :func:`repro.hw.multichip.simulate_sharded`, charging
+    #: interconnect collectives per ``topology``.
+    shards: int = 1
+    topology: str = "ring"
 
 
 @dataclass(frozen=True)
@@ -198,6 +203,11 @@ class DesignSpace:
     #: ``datatypes`` points.  Policies with an empty ladder inherit
     #: the space's ``datatypes`` as their candidate ladder.
     policies: Tuple[PolicyChoice, ...] = ()
+    #: Multi-chip axis: tensor-parallel shard counts to evaluate each
+    #: point at, and the interconnect topologies to price them with.
+    #: Single-chip points (``shards == 1``) ignore the topology axis.
+    shards: Tuple[int, ...] = (1,)
+    topologies: Tuple[str, ...] = ("ring",)
 
     def __post_init__(self):
         for fname, values in self.arch_axes:
@@ -226,6 +236,21 @@ class DesignSpace:
                 raise ValueError(
                     f"design space {self.name!r}: unknown task {t!r}"
                 )
+        if not self.shards or any(int(s) < 1 for s in self.shards):
+            raise ValueError(
+                f"design space {self.name!r}: shard counts must be >= 1, "
+                f"got {self.shards}"
+            )
+        from repro.hw.multichip import TOPOLOGIES
+
+        if not self.topologies:
+            raise ValueError(f"design space {self.name!r}: no topologies")
+        for topo in self.topologies:
+            if topo not in TOPOLOGIES:
+                raise ValueError(
+                    f"design space {self.name!r}: unknown topology "
+                    f"{topo!r} (known: {', '.join(TOPOLOGIES)})"
+                )
 
     # ------------------------------------------------------------------
     def arch_combos(self) -> List[Dict[str, float]]:
@@ -237,11 +262,28 @@ class DesignSpace:
             ]
         return combos
 
+    def mesh_combos(self) -> List[Tuple[int, str]]:
+        """The ``(shards, topology)`` pairs of the multi-chip axis.
+
+        Single-chip entries collapse the topology axis (there is no
+        interconnect to price), so ``shards=(1, 4)`` with two
+        topologies yields three combos, not four.
+        """
+        combos: List[Tuple[int, str]] = []
+        for s in self.shards:
+            s = int(s)
+            if s == 1:
+                combos.append((1, self.topologies[0]))
+            else:
+                combos.extend((s, topo) for topo in self.topologies)
+        return combos
+
     def n_candidates(self) -> int:
         """Size of the raw product (before validity filtering)."""
         n = (len(self.datatypes) + len(self.policies)) * len(self.models) * len(
             self.tasks
         )
+        n *= len(self.mesh_combos())
         for _f, values in self.arch_axes:
             n *= len(values)
         return n
@@ -374,6 +416,30 @@ class DesignSpace:
                 )
         return None
 
+    def _shard_reason(self, model: str, shards: int) -> Optional[str]:
+        """Validity of one (model, shard count) pairing; reason or None.
+
+        Mirrors the divisibility constraints of
+        :func:`repro.hw.multichip.simulate_sharded` so invalid meshes
+        are filtered (with a reason) at expansion, not mid-sweep.
+        """
+        if shards == 1:
+            return None
+        from repro.models.zoo import get_model_config
+
+        cfg = get_model_config(model)
+        if cfg.n_heads % shards or cfg.n_kv_heads % shards:
+            return (
+                f"{model}: {cfg.n_heads} heads / {cfg.n_kv_heads} KV heads "
+                f"not divisible by {shards} shards"
+            )
+        if cfg.intermediate % shards or cfg.vocab % shards:
+            return (
+                f"{model}: intermediate {cfg.intermediate} / vocab "
+                f"{cfg.vocab} not divisible by {shards} shards"
+            )
+        return None
+
     # ------------------------------------------------------------------
     def points(self) -> Tuple[List[DesignPoint], List[Tuple[Dict, str]]]:
         """Expand to ``(valid_points, skipped)``.
@@ -396,25 +462,38 @@ class DesignSpace:
                 for pc in policies:
                     skipped.append(({**params, "policy": pc.label}, str(e)))
                 continue
+            meshes = self.mesh_combos()
             for dt in self.datatypes:
                 reason = self.check_point(arch, dt)
                 if reason is not None:
                     skipped.append(({**params, "bits": dt.bits}, reason))
                     continue
                 for model in self.models:
-                    for task in self.tasks:
-                        points.append(
-                            DesignPoint(
-                                space=self.name,
-                                arch=arch,
-                                model=model,
-                                task=task,
-                                weight_bits=dt.bits,
-                                dtype=dt,
-                                group_size=self.group_size,
-                                quick=self.quick,
+                    for n_shards, topo in meshes:
+                        reason = self._shard_reason(model, n_shards)
+                        if reason is not None:
+                            skipped.append(
+                                (
+                                    {**params, "bits": dt.bits, "shards": n_shards},
+                                    reason,
+                                )
                             )
-                        )
+                            continue
+                        for task in self.tasks:
+                            points.append(
+                                DesignPoint(
+                                    space=self.name,
+                                    arch=arch,
+                                    model=model,
+                                    task=task,
+                                    weight_bits=dt.bits,
+                                    dtype=dt,
+                                    group_size=self.group_size,
+                                    quick=self.quick,
+                                    shards=n_shards,
+                                    topology=topo,
+                                )
+                            )
             for pc in policies:
                 for model in self.models:
                     reason = self._policy_reason(arch, pc, model)
@@ -423,20 +502,37 @@ class DesignSpace:
                             ({**params, "policy": pc.label, "model": model}, reason)
                         )
                         continue
-                    for task in self.tasks:
-                        points.append(
-                            DesignPoint(
-                                space=self.name,
-                                arch=arch,
-                                model=model,
-                                task=task,
-                                weight_bits=0,
-                                dtype=None,
-                                group_size=self.group_size,
-                                quick=self.quick,
-                                policy=pc,
+                    for n_shards, topo in meshes:
+                        reason = self._shard_reason(model, n_shards)
+                        if reason is not None:
+                            skipped.append(
+                                (
+                                    {
+                                        **params,
+                                        "policy": pc.label,
+                                        "model": model,
+                                        "shards": n_shards,
+                                    },
+                                    reason,
+                                )
                             )
-                        )
+                            continue
+                        for task in self.tasks:
+                            points.append(
+                                DesignPoint(
+                                    space=self.name,
+                                    arch=arch,
+                                    model=model,
+                                    task=task,
+                                    weight_bits=0,
+                                    dtype=None,
+                                    group_size=self.group_size,
+                                    quick=self.quick,
+                                    policy=pc,
+                                    shards=n_shards,
+                                    topology=topo,
+                                )
+                            )
         return points, skipped
 
     # ------------------------------------------------------------------
@@ -454,6 +550,8 @@ class DesignSpace:
             "iso_area": self.iso_area,
             "quick": self.quick,
             "group_size": self.group_size,
+            "shards": [int(s) for s in self.shards],
+            "topologies": list(self.topologies),
         }
         if self.policies:
             out["policies"] = [
@@ -484,6 +582,8 @@ class DesignSpace:
             "quick",
             "group_size",
             "policies",
+            "shards",
+            "topologies",
         }
         unknown = set(d) - known
         if unknown:
@@ -516,6 +616,8 @@ class DesignSpace:
                 )
                 for p in d.get("policies", ())
             ),
+            shards=tuple(int(s) for s in d.get("shards", (1,))),
+            topologies=tuple(d.get("topologies", ("ring",))),
         )
 
     def with_(self, **kwargs) -> "DesignSpace":
@@ -592,6 +694,21 @@ PRESETS: Dict[str, DesignSpace] = {
             PolicyChoice(solver="budget", budget_mb=mb)
             for mb in (500.0, 550.0, 625.0, 700.0, 800.0, 900.0, 1000.0, 1100.0)
         ),
+    ),
+    # Scaling out: how many chips (and which interconnect) does each
+    # precision justify?  Frontier of interest:
+    # --objectives time_ms:min,total_uj:min keyed by (shards, topology).
+    "sharding": DesignSpace(
+        name="sharding",
+        arch_axes=(),
+        datatypes=(
+            DatatypeChoice(4, "bitmod_fp4"),
+            DatatypeChoice(8, "int8_sym"),
+        ),
+        models=("llama-2-7b",),
+        tasks=("generative",),
+        shards=(1, 2, 4, 8),
+        topologies=("ring", "fully_connected"),
     ),
     # How far does memory bandwidth alone carry each precision?
     "bandwidth": DesignSpace(

@@ -67,7 +67,8 @@ DSE_KIND = "dse"
 
 #: Bump when the record layout or evaluation semantics change.
 #: v2: mixed-precision policy points + weight_mb/mean_bits fields.
-DSE_SCHEMA_VERSION = 2
+#: v3: multi-chip (shards x topology) points + interconnect fields.
+DSE_SCHEMA_VERSION = 3
 
 
 def point_key(point: DesignPoint) -> str:
@@ -198,9 +199,40 @@ def _weight_mb(point: DesignPoint, plan: Optional[QuantPlan]) -> Optional[float]
 def _evaluate(
     point: DesignPoint, cell: Optional[dict], plan: Optional[QuantPlan] = None
 ) -> dict:
-    """Compute one point's record (hardware sim + accuracy join)."""
+    """Compute one point's record (hardware sim + accuracy join).
+
+    Multi-chip points (``shards > 1``) run the mesh simulator
+    (:func:`repro.hw.multichip.simulate_sharded`), which layers
+    per-topology interconnect time and traffic over the same per-chip
+    model; accuracy cells are shared with the single-chip points —
+    sharded execution is bit-identical, so the perplexity is too.
+    """
     cfg = get_model_config(point.model)
-    if plan is not None:
+    sharded = point.shards > 1
+    if sharded:
+        from repro.hw.multichip import simulate_sharded, simulate_sharded_plan
+
+        if plan is not None:
+            r = simulate_sharded_plan(
+                cfg,
+                accelerator_for(point),
+                point.task,
+                plan_gemm_bits(plan, cfg),
+                shards=point.shards,
+                topology=point.topology,
+                group_size=point.group_size,
+            )
+        else:
+            r = simulate_sharded(
+                cfg,
+                accelerator_for(point),
+                point.task,
+                point.weight_bits,
+                shards=point.shards,
+                topology=point.topology,
+                group_size=point.group_size,
+            )
+    elif plan is not None:
         r = simulate_plan(
             cfg,
             accelerator_for(point),
@@ -250,7 +282,14 @@ def _evaluate(
             "weight_buffer_kb": arch.weight_buffer_kb,
             "input_buffer_kb": arch.input_buffer_kb,
         },
-        "area_mm2": arch.compute_area_um2() / 1e6,
+        # Multi-chip points pay silicon per device: tp x pp chips.
+        "area_mm2": arch.compute_area_um2() / 1e6 * (point.shards if sharded else 1),
+        "shards": point.shards,
+        "topology": point.topology if sharded else None,
+        "interconnect_bytes": r.interconnect_bytes if sharded else 0.0,
+        "interconnect_time_ms": (
+            r.interconnect_cycles / (freq * 1e9) * 1e3 if sharded else 0.0
+        ),
         "cycles": r.cycles,
         "time_ms": time_ms,
         "dram_uj": r.energy.dram_uj,

@@ -90,6 +90,10 @@ class ModelArtifact:
     #: Per-layer mixed-precision plan, when the artifact was packed
     #: from one (``None`` = uniform ``quant_config`` artifact).
     plan: Optional[QuantPlan] = None
+    #: Set when this artifact is one shard of a mesh-partitioned set
+    #: (see :mod:`repro.shard.artifact`): mesh dict, shard coordinates,
+    #: covered layer range, and the set's mesh digest.
+    shard_header: Optional[Dict] = None
 
     @property
     def packed_bytes(self) -> int:
@@ -121,6 +125,13 @@ class ModelArtifact:
 
     def instantiate(self) -> CausalLM:
         """Rebuild the quantized :class:`CausalLM` from the artifact."""
+        if self.shard_header is not None:
+            raise ValueError(
+                f"artifact is shard {self.shard_header['shard_index']} of "
+                f"{self.shard_header['n_shards']}, not a full model; load "
+                "the set with repro.shard.load_sharded_artifact and build "
+                "a ShardedEngine"
+            )
         weights = {k: v.copy() for k, v in self.raw_weights.items()}
         for name, p in self.packed.items():
             weights[name] = unpack_tensor(p, self.tensor_config(name))
@@ -373,6 +384,8 @@ def write_artifact(path: Union[str, Path], artifact: ModelArtifact) -> None:
     }
     if artifact.plan is not None:
         header["plan"] = artifact.plan.to_dict()
+    if artifact.shard_header is not None:
+        header["shard"] = artifact.shard_header
     # Integrity envelope: total blob-section size catches truncation,
     # the sha256 catches bit rot.  Optional fields — containers written
     # before they existed load fine — so ARTIFACT_VERSION stays 1.
@@ -475,4 +488,7 @@ def load_artifact(path: Union[str, Path], verify: bool = True) -> ModelArtifact:
         # Uniform artifacts (and containers written before plans
         # existed) simply carry no plan block.
         plan=None if "plan" not in header else QuantPlan.from_dict(header["plan"]),
+        # Single-device artifacts (all containers before sharding
+        # existed) carry no shard block.
+        shard_header=header.get("shard"),
     )

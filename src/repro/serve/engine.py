@@ -97,8 +97,21 @@ class InferenceEngine:
         artifact: ModelArtifact,
         seed: int = 0,
         prefix_cache: Optional[PrefixKVCache] = None,
+        mesh=None,
     ) -> "InferenceEngine":
-        """Instantiate the packed model and wrap it in an engine."""
+        """Instantiate the packed model and wrap it in an engine.
+
+        With a :class:`~repro.shard.mesh.DeviceMesh`, the artifact is
+        partitioned and a :class:`~repro.shard.engine.ShardedEngine`
+        comes back instead (same sequence API; prefix caching is
+        rejected there — see ``repro.shard.engine``).
+        """
+        if mesh is not None and mesh.n_devices > 1:
+            from repro.shard.engine import ShardedEngine
+
+            return ShardedEngine.from_artifact(
+                artifact, mesh, seed=seed, prefix_cache=prefix_cache
+            )
         return cls(
             artifact.instantiate(),
             kv_quant=artifact.kv_quant,

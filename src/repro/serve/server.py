@@ -193,13 +193,16 @@ class ServeServer:
         source: Union[str, Path, InferenceEngine],
         seed: int = 0,
         verify: bool = True,
+        mesh=None,
     ) -> InferenceEngine:
         """Swap a new model in under live traffic; returns the old engine.
 
         ``source`` is an artifact path (loaded with checksum
         verification unless ``verify=False``) or a pre-built
-        :class:`InferenceEngine`.  The load happens *before* the swap,
-        so a corrupt artifact raises
+        :class:`InferenceEngine`.  With a
+        :class:`~repro.shard.mesh.DeviceMesh` the artifact comes up as
+        a :class:`~repro.shard.engine.ShardedEngine` instead.  The
+        load happens *before* the swap, so a corrupt artifact raises
         :class:`~repro.serve.artifact.ArtifactIntegrityError` and the
         running engine keeps serving.  In-flight requests finish on
         the engine they started on — zero dropped requests.
@@ -210,7 +213,7 @@ class ServeServer:
             from repro.serve.artifact import load_artifact
 
             artifact = load_artifact(source, verify=verify)
-            engine = InferenceEngine.from_artifact(artifact, seed=seed)
+            engine = InferenceEngine.from_artifact(artifact, seed=seed, mesh=mesh)
         old = self.batcher.swap_engine(engine)
         self._reloads.inc()
         return old

@@ -1,0 +1,52 @@
+"""repro.shard — tensor/pipeline-parallel serving over a device mesh.
+
+The sharding layer splits a packed model over an explicit
+:class:`DeviceMesh` (``tp`` tensor-parallel shards x ``pp`` pipeline
+stages) and serves it through a :class:`ShardedEngine` whose
+cross-shard traffic all flows through one metered :class:`Collective`.
+Under the default ``reduce="gather"`` mesh the sharded engine's
+logits and token streams are **byte-identical** to the single-device
+engine; ``reduce="sum"`` runs the classic all-reduce schedule with a
+fixed accumulation order (deterministic, token-identical).
+
+Interconnect cost is modeled, not wished away: per-topology wire
+bytes and link seconds come from :mod:`repro.hw.multichip`, and the
+same formulas drive the multi-chip design-space axis in
+:mod:`repro.dse`.
+"""
+
+from repro.shard.artifact import (
+    load_sharded_artifact,
+    mesh_digest,
+    save_sharded_artifact,
+    shard_paths,
+)
+from repro.shard.collective import Collective, OpStats
+from repro.shard.engine import PREFIX_CACHE_UNSUPPORTED, ShardedEngine
+from repro.shard.errors import ShardError, ShardTopologyError
+from repro.shard.mesh import REDUCE_MODES, DeviceMesh, ShardSpec, partition_specs
+from repro.shard.model import ShardedCausalLM, ShardedKVCache, check_kv_quant
+from repro.shard.partition import shard_artifact, shard_weights, slice_packed
+
+__all__ = [
+    "Collective",
+    "DeviceMesh",
+    "OpStats",
+    "PREFIX_CACHE_UNSUPPORTED",
+    "REDUCE_MODES",
+    "ShardError",
+    "ShardSpec",
+    "ShardTopologyError",
+    "ShardedCausalLM",
+    "ShardedEngine",
+    "ShardedKVCache",
+    "check_kv_quant",
+    "load_sharded_artifact",
+    "mesh_digest",
+    "partition_specs",
+    "save_sharded_artifact",
+    "shard_artifact",
+    "shard_paths",
+    "shard_weights",
+    "slice_packed",
+]

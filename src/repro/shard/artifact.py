@@ -1,0 +1,150 @@
+"""Sharded artifact sets on disk: per-shard blobs + topology header.
+
+:func:`save_sharded_artifact` splits one packed
+:class:`~repro.serve.artifact.ModelArtifact` over a
+:class:`~repro.shard.mesh.DeviceMesh` and writes one ``.rpro``
+container per device (the same binary format as single-device
+artifacts — each shard is independently loadable and verifiable),
+plus nothing else: the topology lives *inside* each container's
+``shard`` header block, so a shard directory needs no side-car index.
+
+Every shard of a set carries the same :func:`mesh_digest` — a content
+address over the mesh shape and the source artifact's identity (model,
+seed, quant policy, plan, tensor inventory).  :func:`load_sharded_artifact`
+refuses, with a structured
+:class:`~repro.shard.errors.ShardTopologyError`, any directory whose
+shards disagree on that digest or whose index set is not exactly
+``0..n-1`` — a shard set mixing two packs, or missing a device, fails
+loudly at load time rather than serving a frankenstein model.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.pipeline.keys import stable_digest
+from repro.serve.artifact import ModelArtifact, load_artifact, write_artifact
+from repro.shard.errors import ShardTopologyError
+from repro.shard.mesh import DeviceMesh
+from repro.shard.partition import shard_artifact
+
+__all__ = [
+    "mesh_digest",
+    "save_sharded_artifact",
+    "load_sharded_artifact",
+    "shard_paths",
+]
+
+#: ``shard-03-of-08.rpro``
+_SHARD_NAME = "shard-{index:02d}-of-{n:02d}.rpro"
+_SHARD_GLOB = "shard-*-of-*.rpro"
+
+
+def mesh_digest(artifact: ModelArtifact, mesh: DeviceMesh) -> str:
+    """Content address binding a shard set to its source + mesh.
+
+    Covers the mesh shape (tp/pp/topology/reduce), the model identity,
+    the quantization policy (global config, KV config, per-layer plan),
+    and the tensor inventory with shapes — everything that determines
+    whether two shards could have come from the same
+    :func:`~repro.shard.partition.shard_artifact` call.  Blob *content*
+    is already guarded per-file by the container's sha256.
+    """
+    return stable_digest(
+        {
+            "mesh": mesh.to_dict(),
+            "model": artifact.model_name,
+            "seed": artifact.seed,
+            "quant": artifact.quant_config.cache_key(),
+            "kv_quant": (
+                None
+                if artifact.kv_quant is None
+                else {
+                    "bits": artifact.kv_quant.bits,
+                    "per_head": artifact.kv_quant.per_head,
+                }
+            ),
+            "plan": None if artifact.plan is None else artifact.plan.cache_key(),
+            "packed": sorted(
+                (name, list(p.shape)) for name, p in artifact.packed.items()
+            ),
+            "raw": sorted(
+                (name, list(w.shape)) for name, w in artifact.raw_weights.items()
+            ),
+        }
+    )
+
+
+def shard_paths(directory: Union[str, Path], n: int) -> List[Path]:
+    """The canonical shard filenames of an ``n``-device set."""
+    d = Path(directory)
+    return [d / _SHARD_NAME.format(index=i, n=n) for i in range(n)]
+
+
+def save_sharded_artifact(
+    directory: Union[str, Path], artifact: ModelArtifact, mesh: DeviceMesh
+) -> List[Path]:
+    """Split ``artifact`` over ``mesh`` and write one container per
+    device into ``directory``; returns the paths in shard-index order."""
+    d = Path(directory)
+    d.mkdir(parents=True, exist_ok=True)
+    shards = shard_artifact(artifact, mesh)
+    paths = shard_paths(d, len(shards))
+    for sub, path in zip(shards, paths):
+        write_artifact(path, sub)
+    return paths
+
+
+def load_sharded_artifact(
+    directory: Union[str, Path], verify: bool = True
+) -> Tuple[List[ModelArtifact], DeviceMesh]:
+    """Load and validate a complete shard set from ``directory``.
+
+    Returns ``(shards, mesh)`` with shards sorted by shard index
+    (stage-major).  Raises :class:`ShardTopologyError` when the
+    directory holds no shards, a shard lacks its topology header, the
+    mesh digests disagree, or the index set is incomplete/duplicated.
+    """
+    d = Path(directory)
+    files = sorted(d.glob(_SHARD_GLOB))
+    if not files:
+        raise ShardTopologyError(
+            f"no shard containers ({_SHARD_GLOB}) in {d}", directory=str(d)
+        )
+    loaded = []
+    for path in files:
+        art = load_artifact(path, verify=verify)
+        if art.shard_header is None:
+            raise ShardTopologyError(
+                f"{path.name} is a single-device artifact, not a shard "
+                "(no shard header)",
+                path=str(path),
+            )
+        loaded.append((path, art))
+
+    digests = {art.shard_header["mesh_digest"] for _, art in loaded}
+    if len(digests) != 1:
+        raise ShardTopologyError(
+            f"shards in {d} come from different packs/meshes: "
+            f"{len(digests)} distinct mesh digests",
+            directory=str(d),
+            digests=sorted(digests),
+        )
+    n = loaded[0][1].shard_header["n_shards"]
+    indices = sorted(art.shard_header["shard_index"] for _, art in loaded)
+    if indices != list(range(n)):
+        missing = sorted(set(range(n)) - set(indices))
+        dupes = sorted({i for i in indices if indices.count(i) > 1})
+        raise ShardTopologyError(
+            f"incomplete shard set in {d}: have indices {indices}, "
+            f"need 0..{n - 1}",
+            directory=str(d),
+            expected=n,
+            have=indices,
+            missing=missing,
+            duplicates=dupes,
+        )
+    loaded.sort(key=lambda pair: pair[1].shard_header["shard_index"])
+    mesh = DeviceMesh.from_dict(loaded[0][1].shard_header["mesh"])
+    return [art for _, art in loaded], mesh

@@ -1,0 +1,39 @@
+"""Structured sharding errors.
+
+Sharding failures must surface at *construction/load* time with a
+machine-readable shape, never as a mid-prefill broadcasting crash:
+:class:`ShardError` mirrors the :class:`~repro.serve.errors.ServeError`
+convention (a stable ``code`` plus ``to_dict()`` wire form) so a
+front-end can branch on ``shard_incompatible`` vs
+``shard_topology_mismatch`` without parsing prose.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["ShardError", "ShardTopologyError"]
+
+
+class ShardError(ValueError):
+    """A model/config cannot be sharded as requested (incompatible
+    head counts, unsupported KV quantization, unaligned slices, ...)."""
+
+    code = "shard_incompatible"
+
+    def __init__(self, message: str, **details):
+        super().__init__(message)
+        self.details = details
+
+    def to_dict(self) -> Dict:
+        """The JSON error body a front-end would serialize."""
+        out: Dict = {"error": self.code, "message": str(self)}
+        out.update(self.details)
+        return out
+
+
+class ShardTopologyError(ShardError):
+    """A shard *set* is unloadable: missing/duplicate shard indices, or
+    shards whose mesh digests disagree (mixed artifacts or meshes)."""
+
+    code = "shard_topology_mismatch"

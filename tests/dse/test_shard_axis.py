@@ -1,0 +1,112 @@
+"""The multi-chip (shards x topology) axis of the design space."""
+
+import pytest
+
+from repro.dse.space import (
+    DatatypeChoice,
+    DesignPoint,
+    DesignSpace,
+    get_preset,
+)
+from repro.dse.sweep import point_key, run_sweep
+from repro.hw.baselines import make_accelerator
+from repro.pipeline import Engine
+from repro.pipeline.store import CacheStore
+
+
+def _space(**kw):
+    base = dict(
+        name="t-shard",
+        datatypes=(DatatypeChoice(4, "bitmod_fp4"),),
+        models=("llama-2-7b",),
+        tasks=("generative",),
+        quick=True,
+    )
+    base.update(kw)
+    return DesignSpace(**base)
+
+
+@pytest.fixture
+def engine(tmp_path):
+    return Engine(store=CacheStore(tmp_path))
+
+
+class TestSpaceAxis:
+    def test_single_chip_collapses_topology(self):
+        space = _space(shards=(1, 4), topologies=("ring", "fully_connected"))
+        assert space.mesh_combos() == [
+            (1, "ring"),
+            (4, "ring"),
+            (4, "fully_connected"),
+        ]
+        assert space.n_candidates() == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            _space(shards=(0,))
+        with pytest.raises(ValueError, match="unknown topology"):
+            _space(topologies=("torus",))
+        with pytest.raises(ValueError, match="no topologies"):
+            _space(topologies=())
+
+    def test_indivisible_model_skipped_with_reason(self):
+        # llama-3-8b has 8 KV heads: 16 shards cannot divide them.
+        space = _space(models=("llama-3-8b",), shards=(1, 16))
+        points, skipped = space.points()
+        assert all(p.shards == 1 for p in points)
+        assert any("KV heads" in reason for _params, reason in skipped)
+        assert any(params.get("shards") == 16 for params, _ in skipped)
+
+    def test_dict_round_trip(self):
+        space = _space(shards=(1, 2, 8), topologies=("fully_connected",))
+        assert DesignSpace.from_dict(space.to_dict()) == space
+
+    def test_sharding_preset_expands(self):
+        space = get_preset("sharding")
+        points, skipped = space.points()
+        assert not skipped
+        # 2 datatypes x (1 + 3 multi-shard x 2 topologies) = 14.
+        assert len(points) == space.n_candidates() == 14
+        meshes = {(p.shards, p.topology) for p in points}
+        assert (1, "ring") in meshes and (8, "fully_connected") in meshes
+
+
+class TestSweepRecords:
+    def test_point_key_sensitive_to_mesh(self):
+        arch = make_accelerator("bitmod").arch
+        common = dict(
+            space="t", arch=arch, model="llama-2-7b", task="generative",
+            weight_bits=4,
+        )
+        single = DesignPoint(**common)
+        assert point_key(single) != point_key(DesignPoint(shards=2, **common))
+        assert point_key(DesignPoint(shards=2, **common)) != point_key(
+            DesignPoint(shards=2, topology="fully_connected", **common)
+        )
+
+    def test_records_carry_interconnect_fields(self, engine):
+        space = _space(shards=(1, 2), topologies=("ring",))
+        res = run_sweep(space, engine=engine)
+        by_shards = {r["shards"]: r for r in res.records}
+        assert set(by_shards) == {1, 2}
+        single, dual = by_shards[1], by_shards[2]
+        assert single["topology"] is None
+        assert single["interconnect_bytes"] == 0.0
+        assert dual["topology"] == "ring"
+        assert dual["interconnect_bytes"] > 0
+        assert dual["interconnect_time_ms"] > 0
+        # Two chips pay double the silicon.
+        assert dual["area_mm2"] == pytest.approx(2 * single["area_mm2"])
+        # Bit-identical execution: the accuracy cell is shared.
+        assert dual["ppl"] == single["ppl"]
+
+    def test_frontier_keyed_by_mesh(self, engine):
+        space = _space(
+            shards=(1, 2, 4), topologies=("ring", "fully_connected")
+        )
+        res = run_sweep(space, engine=engine)
+        front = res.frontier(("time_ms", "total_uj"), ("min", "min"))
+        assert front
+        keys = {(r["shards"], r["topology"]) for r in front}
+        assert len(keys) == len(front)  # each mesh at most once
+        assert all((r["shards"], r["topology"]) in keys for r in front)

@@ -1,0 +1,228 @@
+"""The sharding acceptance bar: sharded == single-device, byte for byte.
+
+Parametrized over datatypes, mixed-precision plans, KV quantization,
+1/2/4-shard meshes and pipeline depths, asserting that the sharded
+engine's greedy token streams — and, under the default ``"gather"``
+reduce mode, every logit row — are byte-identical to the single-device
+engine built from the same artifact.  ``"sum"`` mode (classic
+all-reduce with a pinned accumulation order) must stay token-identical
+and deterministic.
+
+Prefix-cache reuse is gated off on sharded engines (snapshots are
+whole-model caches); the gate is tested here, along with the
+equivalence of a sharded run against a prefix-cache-enabled
+single-device run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import get_model_config
+from repro.models.transformer import CausalLM
+from repro.policy import QuantPlan, layer_names
+from repro.quant.config import QuantConfig
+from repro.quant.kv import KVQuantConfig
+from repro.serve.artifact import save_artifact
+from repro.serve.engine import GenerationConfig, InferenceEngine
+from repro.serve.prefix import PrefixKVCache
+from repro.shard import (
+    PREFIX_CACHE_UNSUPPORTED,
+    DeviceMesh,
+    ShardError,
+    ShardedEngine,
+)
+
+GEN = GenerationConfig(max_new_tokens=6)
+MESHES = [
+    DeviceMesh(tp=1),
+    DeviceMesh(tp=2),
+    DeviceMesh(tp=4),
+    DeviceMesh(tp=2, pp=2),
+]
+
+
+def _prompt(cfg, n=12, seed=7):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, cfg.sim_vocab, size=n)
+
+
+def _artifact(tmp_path, model_name, quant, kv_quant=None, seed=0):
+    cfg = get_model_config(model_name)
+    model = CausalLM(cfg, seed=seed)
+    return save_artifact(tmp_path / "a.rpro", model, quant, kv_quant=kv_quant)
+
+
+@pytest.fixture(scope="module")
+def uniform_artifacts(tmp_path_factory):
+    """(model, dtype) -> artifact, built once for the whole module."""
+    cache = {}
+
+    def build(model_name, dtype):
+        key = (model_name, dtype)
+        if key not in cache:
+            d = tmp_path_factory.mktemp("uniform")
+            cache[key] = _artifact(d, model_name, QuantConfig(dtype=dtype))
+        return cache[key]
+
+    return build
+
+
+class TestUniformArtifacts:
+    @pytest.mark.parametrize("model", ["opt-1.3b", "llama-2-7b"])
+    @pytest.mark.parametrize("dtype", ["int4_sym", "int3_asym", "bitmod_fp4"])
+    @pytest.mark.parametrize("mesh", MESHES, ids=lambda m: f"tp{m.tp}pp{m.pp}")
+    def test_gather_mode_byte_identical(self, uniform_artifacts, model, dtype, mesh):
+        art = uniform_artifacts(model, dtype)
+        cfg = get_model_config(model)
+        prompt = _prompt(cfg)
+        ref = InferenceEngine.from_artifact(art)
+        sharded = ShardedEngine.from_artifact(art, mesh)
+
+        assert sharded.generate(prompt, GEN).generated == ref.generate(prompt, GEN).generated
+        np.testing.assert_array_equal(
+            sharded.model.logits(prompt), ref.model.logits(prompt)
+        )
+
+    @pytest.mark.parametrize("tp", [2, 4])
+    def test_sum_mode_token_identical_and_deterministic(
+        self, uniform_artifacts, tp
+    ):
+        art = uniform_artifacts("llama-2-7b", "int4_sym")
+        cfg = get_model_config("llama-2-7b")
+        prompt = _prompt(cfg)
+        ref = InferenceEngine.from_artifact(art).generate(prompt, GEN).generated
+        mesh = DeviceMesh(tp=tp, reduce="sum")
+        first = ShardedEngine.from_artifact(art, mesh).generate(prompt, GEN)
+        second = ShardedEngine.from_artifact(art, mesh).generate(prompt, GEN)
+        assert first.generated == ref
+        # Fixed rank-order accumulation: bitwise run-to-run stable.
+        assert second.generated == first.generated
+
+    def test_gqa_model_at_tp2(self, tmp_path):
+        """GQA head groups (sim_kv_heads=2) shard without straddling."""
+        art = _artifact(tmp_path, "llama-3-8b", QuantConfig(dtype="int4_sym"))
+        cfg = get_model_config("llama-3-8b")
+        prompt = _prompt(cfg)
+        ref = InferenceEngine.from_artifact(art)
+        sharded = ShardedEngine.from_artifact(art, DeviceMesh(tp=2))
+        assert sharded.generate(prompt, GEN).generated == ref.generate(prompt, GEN).generated
+        np.testing.assert_array_equal(
+            sharded.model.logits(prompt), ref.model.logits(prompt)
+        )
+
+    def test_gqa_model_rejects_tp4(self, tmp_path):
+        art = _artifact(tmp_path, "llama-3-8b", QuantConfig(dtype="int4_sym"))
+        with pytest.raises(ShardError, match="KV heads"):
+            ShardedEngine.from_artifact(art, DeviceMesh(tp=4))
+
+
+class TestKVQuantization:
+    @pytest.mark.parametrize("mesh", MESHES[1:], ids=lambda m: f"tp{m.tp}pp{m.pp}")
+    def test_per_head_kv_quant_byte_identical(self, tmp_path, mesh):
+        """Per-head KV scales commute with head partitioning."""
+        kv = KVQuantConfig(bits=8, per_head=True)
+        art = _artifact(
+            tmp_path, "llama-2-7b", QuantConfig(dtype="int4_sym"), kv_quant=kv
+        )
+        cfg = get_model_config("llama-2-7b")
+        prompt = _prompt(cfg)
+        ref = InferenceEngine.from_artifact(art)
+        sharded = ShardedEngine.from_artifact(art, mesh)
+        assert (
+            sharded.generate(prompt, GEN).generated
+            == ref.generate(prompt, GEN).generated
+        )
+
+    def test_per_tensor_kv_quant_rejected(self, tmp_path):
+        """per_head=False couples heads across shards: structured error."""
+        kv = KVQuantConfig(bits=8, per_head=False)
+        art = _artifact(
+            tmp_path, "opt-1.3b", QuantConfig(dtype="int4_sym"), kv_quant=kv
+        )
+        with pytest.raises(ShardError, match="per_head"):
+            ShardedEngine.from_artifact(art, DeviceMesh(tp=2))
+
+
+class TestMixedPrecisionPlans:
+    @pytest.fixture(scope="class")
+    def plan_artifact(self, tmp_path_factory):
+        cfg = get_model_config("opt-1.3b")
+        names = layer_names(cfg)
+        ladder = (
+            QuantConfig(dtype="bitmod_fp3"),
+            QuantConfig(dtype="bitmod_fp4", granularity="channel"),
+            QuantConfig(dtype="int6_sym"),
+            QuantConfig(dtype="int8_sym", group_size=64),
+        )
+        # Heterogeneous assignment, one layer deliberately FP16.
+        mapping = {n: ladder[i % len(ladder)] for i, n in enumerate(names[:-1])}
+        plan = QuantPlan.from_mapping(mapping, name="shard-mixed")
+        d = tmp_path_factory.mktemp("plan")
+        model = CausalLM(cfg, seed=0)
+        return save_artifact(d / "mixed.rpro", model, plan)
+
+    @pytest.mark.parametrize("mesh", MESHES, ids=lambda m: f"tp{m.tp}pp{m.pp}")
+    def test_plan_artifact_byte_identical(self, plan_artifact, mesh):
+        cfg = get_model_config("opt-1.3b")
+        prompt = _prompt(cfg)
+        ref = InferenceEngine.from_artifact(plan_artifact)
+        sharded = ShardedEngine.from_artifact(plan_artifact, mesh)
+        assert (
+            sharded.generate(prompt, GEN).generated
+            == ref.generate(prompt, GEN).generated
+        )
+        np.testing.assert_array_equal(
+            sharded.model.logits(prompt), ref.model.logits(prompt)
+        )
+
+
+class TestPrefixCacheGate:
+    def test_prefix_cache_rejected_with_reason(self, tmp_path):
+        art = _artifact(tmp_path, "opt-1.3b", QuantConfig(dtype="int4_sym"))
+        with pytest.raises(ShardError) as err:
+            ShardedEngine.from_artifact(
+                art, DeviceMesh(tp=2), prefix_cache=PrefixKVCache()
+            )
+        assert str(err.value) == PREFIX_CACHE_UNSUPPORTED
+        assert err.value.to_dict()["error"] == "shard_incompatible"
+
+    def test_matches_prefix_cached_single_device(self, tmp_path):
+        """A sharded run equals a prefix-cache-warmed single-device run
+        (reuse must be invisible in the token stream)."""
+        art = _artifact(tmp_path, "opt-1.3b", QuantConfig(dtype="int4_sym"))
+        cfg = get_model_config("opt-1.3b")
+        rng = np.random.default_rng(3)
+        shared = rng.integers(0, cfg.sim_vocab, size=16)
+        prompts = [
+            np.concatenate([shared, rng.integers(0, cfg.sim_vocab, size=4)])
+            for _ in range(2)
+        ]
+        cached = InferenceEngine.from_artifact(art, prefix_cache=PrefixKVCache())
+        sharded = ShardedEngine.from_artifact(art, DeviceMesh(tp=2))
+        for i, prompt in enumerate(prompts):
+            ref_seq = cached.generate(prompt, GEN)
+            assert sharded.generate(prompt, GEN).generated == ref_seq.generated
+        # The second prompt actually exercised reuse on the reference.
+        assert ref_seq.prefix_hit_tokens > 0
+
+
+class TestEngineSurface:
+    def test_inference_engine_from_artifact_dispatches_on_mesh(self, tmp_path):
+        art = _artifact(tmp_path, "opt-1.3b", QuantConfig(dtype="int4_sym"))
+        eng = InferenceEngine.from_artifact(art, mesh=DeviceMesh(tp=2))
+        assert isinstance(eng, ShardedEngine)
+        # A 1x1 mesh stays single-device.
+        eng1 = InferenceEngine.from_artifact(art, mesh=DeviceMesh())
+        assert not isinstance(eng1, ShardedEngine)
+
+    def test_collective_stats_populated(self, tmp_path):
+        art = _artifact(tmp_path, "opt-1.3b", QuantConfig(dtype="int4_sym"))
+        eng = ShardedEngine.from_artifact(art, DeviceMesh(tp=2))
+        cfg = get_model_config("opt-1.3b")
+        eng.generate(_prompt(cfg), GEN)
+        snap = eng.collective_stats()
+        assert snap["tp"] == 2
+        assert snap["ops"]["all_gather"]["calls"] > 0
+        assert snap["total_wire_bytes"] > 0
+        eng.collective.reset()
+        assert eng.collective_stats()["total_wire_bytes"] == 0

@@ -1,0 +1,124 @@
+"""Exactness of packed-tensor slicing and float-weight partitioning.
+
+The invariant everything else rests on:
+``unpack(slice_packed(p, dim, a, b)) == unpack(p)[slice]`` — bit for
+bit, across datatypes (symmetric/asymmetric integers, BitMoD floats),
+granularities, group-aligned and sub-group slices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import get_model_config
+from repro.models.transformer import CausalLM
+from repro.quant.config import QuantConfig
+from repro.quant.packing import pack_tensor, unpack_tensor
+from repro.shard import DeviceMesh, ShardError, shard_weights, slice_packed
+
+DTYPES = ["int4_sym", "int3_asym", "int5_asym", "bitmod_fp4", "bitmod_fp3", "fp4"]
+
+
+def _pack(rng, dtype, granularity="group", group_size=64, shape=(32, 256)):
+    w = rng.standard_normal(shape)
+    qc = QuantConfig(dtype=dtype, granularity=granularity, group_size=group_size)
+    return pack_tensor(w, qc), qc
+
+
+class TestSlicePackedRows:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_dim0_exact(self, rng, dtype):
+        p, qc = _pack(rng, dtype)
+        full = unpack_tensor(p, qc)
+        for a, b in [(0, 16), (16, 32), (8, 24), (0, 32)]:
+            part = slice_packed(p, 0, a, b)
+            qc_part = qc.with_(group_size=part.group_size)
+            np.testing.assert_array_equal(
+                unpack_tensor(part, qc_part), full[a:b]
+            )
+
+    def test_dim0_out_of_range(self, rng):
+        p, _qc = _pack(rng, "int4_sym")
+        with pytest.raises(ShardError):
+            slice_packed(p, 0, 16, 40)
+
+
+class TestSlicePackedColumns:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_group_aligned_exact(self, rng, dtype):
+        p, qc = _pack(rng, dtype, group_size=64)
+        full = unpack_tensor(p, qc)
+        for a, b in [(0, 128), (128, 256), (64, 192)]:
+            part = slice_packed(p, 1, a, b)
+            qc_part = qc.with_(group_size=part.group_size)
+            np.testing.assert_array_equal(
+                unpack_tensor(part, qc_part), full[:, a:b]
+            )
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_subgroup_exact(self, rng, dtype):
+        """Slices narrower than a group subdivide it exactly."""
+        p, qc = _pack(rng, dtype, group_size=128)
+        full = unpack_tensor(p, qc)
+        for a, b in [(0, 64), (64, 128), (192, 256)]:
+            part = slice_packed(p, 1, a, b)
+            assert part.group_size == b - a
+            qc_part = qc.with_(group_size=part.group_size)
+            np.testing.assert_array_equal(
+                unpack_tensor(part, qc_part), full[:, a:b]
+            )
+
+    def test_channel_granularity_exact(self, rng):
+        """Channel-granularity images slice like one group per row."""
+        p, qc = _pack(rng, "int4_sym", granularity="channel", group_size=128)
+        full = unpack_tensor(p, qc)
+        part = slice_packed(p, 1, 0, 128)
+        np.testing.assert_array_equal(
+            unpack_tensor(part, qc.with_(group_size=part.group_size)),
+            full[:, :128],
+        )
+
+    def test_unalignable_slice_rejected(self, rng):
+        p, _qc = _pack(rng, "int4_sym", group_size=64)
+        with pytest.raises(ShardError, match="group-alignable"):
+            slice_packed(p, 1, 48, 144)  # straddles groups unevenly
+
+    def test_bad_dim_rejected(self, rng):
+        p, _qc = _pack(rng, "int4_sym")
+        with pytest.raises(ShardError):
+            slice_packed(p, 2, 0, 8)
+
+
+class TestShardWeights:
+    @pytest.mark.parametrize("model", ["opt-1.3b", "llama-2-7b"])
+    def test_column_parallel_rows_concatenate_back(self, model):
+        """tp slices of every split tensor reassemble the original."""
+        cfg = get_model_config(model)
+        m = CausalLM(cfg, seed=0)
+        mesh = DeviceMesh(tp=4)
+        grid = shard_weights(m.weights, cfg, mesh)
+        assert len(grid) == 1 and len(grid[0]) == 4
+        for name, w in m.weights.items():
+            parts = [grid[0][r][name] for r in range(4)]
+            if parts[0].shape == w.shape:  # replicated
+                for p in parts:
+                    np.testing.assert_array_equal(p, w)
+            else:
+                np.testing.assert_array_equal(np.concatenate(parts, axis=0), w)
+
+    def test_pipeline_stages_partition_layers(self):
+        cfg = get_model_config("opt-1.3b")  # 4 sim layers
+        m = CausalLM(cfg, seed=0)
+        grid = shard_weights(m.weights, cfg, DeviceMesh(pp=2))
+        stage0, stage1 = grid[0][0], grid[1][0]
+        assert "embed" in stage0 and "embed" not in stage1
+        assert "lm_head" in stage1 and "lm_head" not in stage0
+        assert "layers.0.q_proj" in stage0 and "layers.0.q_proj" not in stage1
+        assert "layers.3.q_proj" in stage1 and "layers.3.q_proj" not in stage0
+
+    def test_sum_mode_slices_contraction_dim(self):
+        cfg = get_model_config("llama-2-7b")
+        m = CausalLM(cfg, seed=0)
+        grid = shard_weights(m.weights, cfg, DeviceMesh(tp=2, reduce="sum"))
+        w = m.weights["layers.0.down_proj"]
+        parts = [grid[0][r]["layers.0.down_proj"] for r in range(2)]
+        np.testing.assert_array_equal(np.concatenate(parts, axis=1), w)
